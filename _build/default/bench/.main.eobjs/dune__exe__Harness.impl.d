@@ -1,0 +1,1 @@
+bench/harness.ml: Deepspeech Echo_autodiff Echo_core Echo_exec Echo_gpusim Echo_models Footprint Format Hashtbl Language_model List Model Nmt Option Params Pass Recurrent Transformer

@@ -1,0 +1,111 @@
+(* Shared infrastructure for the experiment harness: model builders, policy
+   runners and table formatting. Every experiment in main.ml prints the rows
+   of the corresponding table/figure of the paper's evaluation (see
+   DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured). *)
+
+open Echo_models
+open Echo_core
+open Echo_exec
+
+let device = Echo_gpusim.Device.titan_xp
+
+(* Configurations under study. [quick] shrinks them for smoke runs. *)
+type scale = Full | Quick
+
+let lm_cfg ?(scale = Full) ?batch ?seq_len ?hidden () =
+  let d = Language_model.ptb_default in
+  let d = match scale with Full -> d | Quick -> { d with Language_model.vocab = 2000; seq_len = 12; batch = 16; hidden = 256; embed = 256 } in
+  let hidden_v = Option.value hidden ~default:d.Language_model.hidden in
+  {
+    d with
+    Language_model.batch = Option.value batch ~default:d.Language_model.batch;
+    seq_len = Option.value seq_len ~default:d.Language_model.seq_len;
+    hidden = hidden_v;
+    embed = hidden_v;
+  }
+
+let nmt_cfg ?(scale = Full) ?batch () =
+  let d = Nmt.gnmt_like in
+  let d =
+    match scale with
+    | Full -> d
+    | Quick ->
+      { d with Nmt.src_vocab = 4000; tgt_vocab = 4000; hidden = 128; embed = 128;
+        enc_layers = 2; dec_layers = 2; src_len = 10; tgt_len = 10; batch = 16 }
+  in
+  { d with Nmt.batch = Option.value batch ~default:d.Nmt.batch }
+
+let ds2_cfg ?(scale = Full) () =
+  match scale with
+  | Full -> Deepspeech.ds2_like
+  | Quick ->
+    { Deepspeech.ds2_like with Deepspeech.time = 32; rnn_hidden = 128; rnn_layers = 2; batch = 4 }
+
+let transformer_cfg ?(scale = Full) () =
+  match scale with
+  | Full -> Transformer.base_like
+  | Quick ->
+    { Transformer.base_like with Transformer.vocab = 4000; seq_len = 16; batch = 2;
+      d_model = 128; d_ff = 256; layers = 2 }
+
+let build_lm ?scale ?batch ?seq_len ?hidden ?(cell = Recurrent.Lstm) () =
+  let cfg = { (lm_cfg ?scale ?batch ?seq_len ?hidden ()) with Language_model.cell } in
+  (Language_model.build cfg).Language_model.model
+
+let build_nmt ?scale ?batch () = (Nmt.build (nmt_cfg ?scale ?batch ())).Nmt.model
+let build_ds2 ?scale () = (Deepspeech.build (ds2_cfg ?scale ())).Deepspeech.model
+
+let build_transformer ?scale () =
+  (Transformer.build (transformer_cfg ?scale ())).Transformer.model
+
+let training_graph model = (Model.training model).Echo_autodiff.Grad.graph
+
+(* Policy comparison set used by the headline experiments. *)
+let policies =
+  [
+    Pass.Stash_all;
+    Pass.Mirror_all_cheap;
+    Pass.Checkpoint_sqrt;
+    Pass.Echo { overhead_budget = 0.03 };
+    Pass.Echo { overhead_budget = 0.10 };
+    Pass.Echo { overhead_budget = 0.30 };
+  ]
+
+(* Memoised policy reports per named graph so E2/E3/E5/E7 share work. *)
+let report_cache : (string, (Pass.policy * Pass.report) list) Hashtbl.t =
+  Hashtbl.create 8
+
+let policy_reports name graph =
+  match Hashtbl.find_opt report_cache name with
+  | Some rs -> rs
+  | None ->
+    let rs = List.map (fun p -> (p, snd (Pass.run ~device p graph))) policies in
+    Hashtbl.replace report_cache name rs;
+    rs
+
+let mib bytes = float_of_int bytes /. (1024.0 *. 1024.0)
+let ms s = 1000.0 *. s
+
+let heading id title =
+  Format.printf "@.==== %s: %s ====@." id title
+
+let row fmt = Format.printf fmt
+
+(* Pearson correlation. *)
+let pearson xs ys =
+  let n = float_of_int (List.length xs) in
+  let mean l = List.fold_left ( +. ) 0.0 l /. n in
+  let mx = mean xs and my = mean ys in
+  let cov =
+    List.fold_left2 (fun acc x y -> acc +. ((x -. mx) *. (y -. my))) 0.0 xs ys
+  in
+  let var l m = List.fold_left (fun acc v -> acc +. ((v -. m) ** 2.0)) 0.0 l in
+  cov /. sqrt (var xs mx *. var ys my)
+
+let iteration_time ?(optimizer = Footprint.Momentum) graph model =
+  let params = model.Model.params in
+  Echo_gpusim.Costmodel.graph_time device graph
+  +. Echo_gpusim.Costmodel.optimizer_update_time device
+       ~weight_bytes:(Params.total_bytes params)
+       ~param_count:(Params.count params)
+       ~state_tensors:(Footprint.state_multiplier optimizer)

@@ -1,0 +1,473 @@
+(* The experiment harness: regenerates every table/figure of the paper's
+   evaluation (reconstructed index E1..E12 — see DESIGN.md) on the simulated
+   GPU substrate, plus a Bechamel micro-suite over the host kernels.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --only E3    # one experiment
+     dune exec bench/main.exe -- --quick      # shrunken configs *)
+
+open Echo_tensor
+open Echo_ir
+open Echo_models
+open Echo_core
+open Echo_exec
+open Echo_train
+open Echo_workloads
+open Harness
+
+let scale = ref Full
+
+let zoo () =
+  [
+    ("lstm-lm", lazy (build_lm ~scale:!scale ()));
+    ("nmt-attn", lazy (build_nmt ~scale:!scale ()));
+    ("deepspeech2", lazy (build_ds2 ~scale:!scale ()));
+    ("transformer", lazy (build_transformer ~scale:!scale ()));
+  ]
+
+let graphs : (string, Graph.t * Model.t) Hashtbl.t = Hashtbl.create 8
+
+let graph_of (name, lazy_model) =
+  match Hashtbl.find_opt graphs name with
+  | Some (g, m) -> (g, m)
+  | None ->
+    let m = Lazy.force lazy_model in
+    let g = training_graph m in
+    Hashtbl.replace graphs name (g, m);
+    (g, m)
+
+(* E1: model/configuration inventory (paper's workload table). *)
+let e1 () =
+  heading "E1" "model inventory (workload table)";
+  row "%-14s %10s %10s %10s %12s %12s@." "model" "params" "fwd-nodes" "nodes"
+    "weights" "stash";
+  List.iter
+    (fun entry ->
+      let graph, model = graph_of entry in
+      let r = Memplan.plan graph in
+      row "%-14s %10d %10d %10d %12s %12s@." model.Model.name
+        (Params.scalar_count model.Model.params)
+        (List.length (Graph.forward_nodes graph))
+        (Graph.node_count graph)
+        (Footprint.human r.Memplan.weight_bytes)
+        (Footprint.human r.Memplan.stash_bytes))
+    (zoo ())
+
+(* E2: baseline footprint breakdown (feature maps dominate). *)
+let e2 () =
+  heading "E2" "baseline footprint breakdown at the peak step";
+  List.iter
+    (fun entry ->
+      let graph, model = graph_of entry in
+      let r = Memplan.plan graph in
+      row "%s (peak %s):@." model.Model.name
+        (Footprint.human r.Memplan.live_peak_bytes);
+      List.iter
+        (fun (cat, bytes) ->
+          if bytes > 0 then
+            row "  %-18s %10s  (%4.1f%%)@." (Category.to_string cat)
+              (Footprint.human bytes)
+              (100.0 *. float_of_int bytes /. float_of_int r.Memplan.live_peak_bytes))
+        r.Memplan.breakdown;
+      if Graph.node_count graph < 10_000 then begin
+        let plan = Assign.assign graph in
+        Assign.validate plan;
+        row "  %-18s %10s  (best-fit offset assignment)@." "static plan"
+          (Footprint.human (Assign.total_with_persistent plan graph))
+      end)
+    (zoo ())
+
+(* E3: headline footprint reduction per policy per model. *)
+let e3 () =
+  heading "E3" "peak footprint by policy (headline)";
+  row "%-14s %-18s %12s %8s %9s@." "model" "policy" "peak" "factor" "overhead";
+  List.iter
+    (fun entry ->
+      let graph, model = graph_of entry in
+      List.iter
+        (fun (_, report) ->
+          row "%-14s %-18s %12s %7.2fx %+8.1f%%@." model.Model.name
+            report.Pass.policy
+            (Footprint.human report.Pass.optimised_mem.Memplan.live_peak_bytes)
+            (Pass.reduction report)
+            (100.0 *. Pass.overhead report))
+        (policy_reports model.Model.name graph))
+    (zoo ())
+
+(* E4: footprint vs batch size (the OOM wall moves right). *)
+let e4 () =
+  heading "E4" "footprint vs batch size (NMT, stash-all vs Echo 10%)";
+  let budget_line = device.Echo_gpusim.Device.memory_bytes in
+  row "device memory: %s@." (Footprint.human budget_line);
+  row "%-8s %18s %18s %8s@." "batch" "stash-all" "echo(10%)" "factor";
+  let batches = match !scale with Full -> [ 16; 32; 64; 128; 256 ] | Quick -> [ 8; 16 ] in
+  List.iter
+    (fun batch ->
+      let model = build_nmt ~scale:!scale ~batch () in
+      let graph = training_graph model in
+      let base = Memplan.plan graph in
+      let sel = Select.echo device graph ~overhead_budget:0.10 in
+      let echo_graph = Rewrite.mirror graph ~mirror_ids:sel.Select.mirror_ids in
+      let echo = Memplan.plan echo_graph in
+      let mark r =
+        Printf.sprintf "%s%s"
+          (Footprint.human r.Memplan.live_peak_bytes)
+          (if r.Memplan.live_peak_bytes > budget_line then " OOM" else "")
+      in
+      row "%-8d %18s %18s %7.2fx@." batch (mark base) (mark echo)
+        (float_of_int base.Memplan.live_peak_bytes
+        /. float_of_int echo.Memplan.live_peak_bytes))
+    batches
+
+(* E5: simulated iteration-time overhead at equal batch size. *)
+let e5 () =
+  heading "E5" "iteration time by policy at equal batch size";
+  row "%-14s %-18s %10s %10s %9s@." "model" "policy" "fwd (ms)" "bwd (ms)" "overhead";
+  List.iter
+    (fun entry ->
+      let graph, model = graph_of entry in
+      List.iter
+        (fun (policy, report) ->
+          let rewritten, _ = Pass.run ~device policy graph in
+          let pt = Echo_gpusim.Costmodel.phase_times device rewritten in
+          row "%-14s %-18s %10.2f %10.2f %+8.1f%%@." model.Model.name
+            report.Pass.policy
+            (ms pt.Echo_gpusim.Costmodel.forward_s)
+            (ms pt.Echo_gpusim.Costmodel.backward_s)
+            (100.0 *. Pass.overhead report))
+        (policy_reports model.Model.name graph))
+    (zoo ())
+
+(* E6: max batch under a memory budget and resulting training throughput.
+   The paper's end-to-end claim: memory freed by Echo admits larger batches,
+   which amortise per-iteration overheads into higher samples/s. *)
+let e6 () =
+  heading "E6" "max batch and throughput under a memory budget (NMT)";
+  let candidates =
+    match !scale with
+    | Full -> [ 16; 32; 64; 96; 128; 192; 256; 384; 512; 768 ]
+    | Quick -> [ 8; 16; 32 ]
+  in
+  let budgets_gib = match !scale with Full -> [ 1.0; 2.0; 4.0 ] | Quick -> [ 0.02 ] in
+  let measure use_echo batch =
+    let model = build_nmt ~scale:!scale ~batch () in
+    let graph = training_graph model in
+    let graph =
+      if use_echo then begin
+        let sel = Select.echo device graph ~overhead_budget:0.10 in
+        Rewrite.mirror graph ~mirror_ids:sel.Select.mirror_ids
+      end
+      else graph
+    in
+    let r = Memplan.plan graph in
+    (Footprint.total_bytes r ~optimizer:Footprint.Momentum,
+     float_of_int batch /. iteration_time graph model)
+  in
+  let table use_echo = List.map (fun b -> (b, measure use_echo b)) candidates in
+  let base_table = table false and echo_table = table true in
+  row "%-10s %-12s %10s %16s@." "budget" "executor" "max batch" "samples/s (sim)";
+  List.iter
+    (fun gib ->
+      let budget = int_of_float (gib *. 1024.0 *. 1024.0 *. 1024.0) in
+      let best tbl =
+        List.fold_left
+          (fun acc (b, (bytes, thr)) -> if bytes <= budget then Some (b, thr) else acc)
+          None tbl
+      in
+      let show name best_fit =
+        match best_fit with
+        | None -> row "%-10.1f %-12s %10s@." gib name "OOM"
+        | Some (b, thr) -> row "%-10.1f %-12s %10d %16.1f@." gib name b thr
+      in
+      show "stash-all" (best base_table);
+      show "echo(10%)" (best echo_table);
+      (match (best base_table, best echo_table) with
+      | Some (_, t0), Some (_, t1) ->
+        row "%-10s gain: %.2fx@." "" (t1 /. t0)
+      | _ -> ()))
+    budgets_gib
+
+(* E7: recomputation statistics. *)
+let e7 () =
+  heading "E7" "recomputation statistics";
+  row "%-14s %-18s %9s %8s %12s %12s %10s@." "model" "policy" "mirrored"
+    "clones" "claimed" "stash-left" "extraFLOPs";
+  List.iter
+    (fun entry ->
+      let graph, model = graph_of entry in
+      List.iter
+        (fun (policy, report) ->
+          let rewritten, _ = Pass.run ~device policy graph in
+          row "%-14s %-18s %9d %8d %12s %12s %9.1f%%@." model.Model.name
+            report.Pass.policy report.Pass.mirrored_nodes report.Pass.clone_nodes
+            (Footprint.human report.Pass.claimed_saving_bytes)
+            (Footprint.human report.Pass.optimised_mem.Memplan.stash_bytes)
+            (100.0 *. Pass.recompute_flops_ratio rewritten ~original:graph))
+        (List.filter
+           (fun (p, _) -> match p with Pass.Stash_all -> false | _ -> true)
+           (policy_reports model.Model.name graph)))
+    (List.filteri (fun i _ -> i < 2) (zoo ()))
+
+(* E8: sensitivity of the reduction factor to sequence length and width. *)
+let e8 () =
+  heading "E8" "sensitivity: LM reduction factor vs T and H (echo 10%)";
+  let run cfg_desc model =
+    let graph = training_graph model in
+    let _, report = Pass.run ~device (Pass.Echo { overhead_budget = 0.10 }) graph in
+    row "%-18s peak %12s -> %12s  (%.2fx at %+.1f%%)@." cfg_desc
+      (Footprint.human report.Pass.baseline_mem.Memplan.live_peak_bytes)
+      (Footprint.human report.Pass.optimised_mem.Memplan.live_peak_bytes)
+      (Pass.reduction report)
+      (100.0 *. Pass.overhead report)
+  in
+  let ts = match !scale with Full -> [ 16; 35; 70 ] | Quick -> [ 8; 16 ] in
+  List.iter
+    (fun t -> run (Printf.sprintf "T=%d" t) (build_lm ~scale:!scale ~seq_len:t ()))
+    ts;
+  let hs = match !scale with Full -> [ 256; 650; 1024 ] | Quick -> [ 128; 256 ] in
+  List.iter
+    (fun h -> run (Printf.sprintf "H=%d" h) (build_lm ~scale:!scale ~hidden:h ()))
+    hs
+
+(* E9: generality beyond stacked LSTMs. *)
+let e9 () =
+  heading "E9" "generality: other cell types and architectures (echo 10%)";
+  let models =
+    [
+      ("peephole-lm", build_lm ~scale:!scale ~cell:Recurrent.Peephole ());
+      ("gru-lm", build_lm ~scale:!scale ~cell:Recurrent.Gru ());
+      ("rnn-lm", build_lm ~scale:!scale ~cell:Recurrent.Vanilla ());
+      ("deepspeech2", snd (graph_of (List.nth (zoo ()) 2)));
+      ("transformer", snd (graph_of (List.nth (zoo ()) 3)));
+    ]
+  in
+  row "%-14s %12s %12s %8s %9s@." "model" "baseline" "echo" "factor" "overhead";
+  List.iter
+    (fun (name, model) ->
+      let graph = training_graph model in
+      let _, report = Pass.run ~device (Pass.Echo { overhead_budget = 0.10 }) graph in
+      row "%-14s %12s %12s %7.2fx %+8.1f%%@." name
+        (Footprint.human report.Pass.baseline_mem.Memplan.live_peak_bytes)
+        (Footprint.human report.Pass.optimised_mem.Memplan.live_peak_bytes)
+        (Pass.reduction report)
+        (100.0 *. Pass.overhead report))
+    models
+
+(* E10: training correctness — bit-identical losses, falling perplexity. *)
+let e10 () =
+  heading "E10" "training correctness (tiny LM, interpreter execution)";
+  let cfg =
+    {
+      Language_model.ptb_default with
+      vocab = 150;
+      embed = 24;
+      hidden = 24;
+      layers = 2;
+      seq_len = 10;
+      batch = 6;
+      dropout = 0.2;
+    }
+  in
+  let lm = Language_model.build cfg in
+  let graph = training_graph lm.Language_model.model in
+  let echo_graph, report = Pass.run ~device (Pass.Echo { overhead_budget = 0.10 }) graph in
+  let steps = 30 in
+  let stream = Corpus.generate ~seed:5 ~vocab:cfg.Language_model.vocab ~length:40_000 in
+  let batches =
+    List.map
+      (fun (tokens, labels) ->
+        [ (lm.Language_model.token_input, tokens);
+          (lm.Language_model.label_input, labels) ])
+      (Corpus.lm_batches stream ~batch:cfg.Language_model.batch
+         ~seq_len:cfg.Language_model.seq_len ~steps)
+  in
+  let train g =
+    (Loop.train ~graph:g
+       ~params:(Params.bindings lm.Language_model.model.Model.params)
+       ~optimizer:(Optimizer.create (Optimizer.Sgd { lr = 0.5 }))
+       ~clip_norm:5.0 ~batches ())
+      .Loop.losses
+  in
+  let base = train graph and echo = train echo_graph in
+  let max_diff =
+    List.fold_left2 (fun acc a b -> Float.max acc (Float.abs (a -. b))) 0.0 base echo
+  in
+  row "steps=%d  ppl %.1f -> %.1f  (footprint %.2fx)@." steps
+    (Loop.perplexity (List.nth base 0))
+    (Loop.perplexity (List.nth base (steps - 1)))
+    (Pass.reduction report);
+  row "max |loss(stash-all) - loss(echo)| over %d steps: %g  [%s]@." steps max_diff
+    (if max_diff = 0.0 then "bit-identical" else "MISMATCH")
+
+(* E11: the two estimator ablations. *)
+let e11 () =
+  heading "E11" "ablations: recompute sharing and transitive accounting";
+  let graph, model = graph_of (List.hd (zoo ())) in
+  ignore model;
+  row "%-22s %8s %9s %14s %14s@." "variant" "factor" "overhead" "claimed" "measured";
+  List.iter
+    (fun policy ->
+      let _, report = Pass.run ~device policy graph in
+      let measured =
+        report.Pass.baseline_mem.Memplan.stash_bytes
+        - report.Pass.optimised_mem.Memplan.stash_bytes
+      in
+      row "%-22s %7.2fx %+8.1f%% %14s %14s@." report.Pass.policy
+        (Pass.reduction report)
+        (100.0 *. Pass.overhead report)
+        (Footprint.human report.Pass.claimed_saving_bytes)
+        (Footprint.human measured))
+    [
+      Pass.Echo { overhead_budget = 0.05 };
+      Pass.Echo_no_sharing { overhead_budget = 0.05 };
+      Pass.Echo_no_transitive { overhead_budget = 0.05 };
+    ]
+
+(* E12: microbenchmark — cost model vs host kernels (Bechamel). *)
+let kernel_cases () =
+  let rng = Rng.create 99 in
+  let mk shape = Tensor.uniform rng shape ~lo:(-1.0) ~hi:1.0 in
+  let gemm m k n =
+    let a = mk [| m; k |] and b = mk [| k; n |] in
+    (Printf.sprintf "gemm %dx%dx%d" m k n,
+     (fun () -> ignore (Tensor.matmul a b)),
+     Node.matmul (Node.placeholder [| m; k |]) (Node.placeholder [| k; n |]))
+  in
+  let elementwise n =
+    let x = mk [| n |] in
+    (Printf.sprintf "sigmoid %d" n,
+     (fun () -> ignore (Tensor.sigmoid x)),
+     Node.sigmoid (Node.placeholder [| n |]))
+  in
+  let softmax rows cols =
+    let x = mk [| rows; cols |] in
+    (Printf.sprintf "softmax %dx%d" rows cols,
+     (fun () -> ignore (Tensor.softmax x)),
+     Node.softmax (Node.placeholder [| rows; cols |]))
+  in
+  [
+    gemm 32 256 1024;
+    gemm 64 512 512;
+    gemm 16 128 256;
+    elementwise 65536;
+    elementwise 8192;
+    softmax 64 4096;
+    softmax 16 512;
+  ]
+
+let bechamel_measure cases =
+  let open Bechamel in
+  let tests =
+    List.map (fun (name, f, _) -> Test.make ~name (Staged.stage f)) cases
+  in
+  let grouped = Test.make_grouped ~name:"kernels" tests in
+  let cfg =
+    Benchmark.cfg ~limit:400 ~quota:(Time.second 0.25) ~kde:None ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name o acc ->
+      match Analyze.OLS.estimates o with
+      | Some (est :: _) -> (name, est) :: acc
+      | Some [] | None -> acc)
+    results []
+
+let e12 () =
+  heading "E12" "microbenchmark: cost model vs measured host kernels (Bechamel)";
+  let cases = kernel_cases () in
+  let measured = bechamel_measure cases in
+  row "%-20s %14s %16s@." "kernel" "host ns/run" "model time (us)";
+  let pairs =
+    List.filter_map
+      (fun (name, _, node) ->
+        let key = "kernels/" ^ name in
+        match List.assoc_opt key measured with
+        | Some ns ->
+          let predicted = Echo_gpusim.Costmodel.node_time device node in
+          row "%-20s %14.0f %16.3f@." name ns (1e6 *. predicted);
+          Some (log ns, log predicted)
+        | None -> None)
+      cases
+  in
+  if List.length pairs >= 3 then begin
+    let xs = List.map fst pairs and ys = List.map snd pairs in
+    row "correlation of log(host time) vs log(model time): rho = %.3f@."
+      (pearson xs ys)
+  end
+
+(* E13: the framework graph-optimisation pipeline (fold + CSE) composed
+   with Echo — optimisations real executors run before memory planning. *)
+let e13 () =
+  heading "E13" "graph optimisation pipeline composed with Echo (LM)";
+  let graph, _ = graph_of (List.hd (zoo ())) in
+  let optimised, stats = Echo_opt.Pipeline.run graph in
+  row "pipeline: %a@." Echo_opt.Pipeline.pp_stats stats;
+  row "%-22s %12s %8s %9s@." "variant" "peak" "factor" "overhead";
+  let show name g =
+    let _, report = Pass.run ~device (Pass.Echo { overhead_budget = 0.10 }) g in
+    row "%-22s %12s %7.2fx %+8.1f%%@." name
+      (Footprint.human report.Pass.optimised_mem.Memplan.live_peak_bytes)
+      (float_of_int (Memplan.plan graph).Memplan.live_peak_bytes
+      /. float_of_int report.Pass.optimised_mem.Memplan.live_peak_bytes)
+      (100.0 *. Pass.overhead report)
+  in
+  show "echo on raw graph" graph;
+  show "echo after pipeline" optimised
+
+(* E14: kernel-launch anatomy — the nvprof-style profile and how much of
+   Echo's recomputation overhead an elementwise-fusing backend would erase. *)
+let e14 () =
+  heading "E14" "simulated nvprof profile and fusion interaction (LM)";
+  let graph, _ = graph_of (List.hd (zoo ())) in
+  let tl = Echo_gpusim.Timeline.simulate device graph in
+  Echo_gpusim.Timeline.pp_profile Format.std_formatter tl;
+  row "launch-overhead share of the iteration: %.1f%%@."
+    (100.0 *. Echo_gpusim.Timeline.launch_share device tl);
+  let echo_graph, report =
+    Pass.run ~device (Pass.Echo { overhead_budget = 0.10 }) graph
+  in
+  let t0 = Echo_gpusim.Costmodel.graph_time device graph in
+  let t1 = Echo_gpusim.Costmodel.graph_time device echo_graph in
+  let f0 = Echo_opt.Fusion.fused_graph_time device graph in
+  let f1 = Echo_opt.Fusion.fused_graph_time device echo_graph in
+  let stats = Echo_opt.Fusion.analyse echo_graph in
+  row "fusion groups in the Echo graph: %d (%d launches saved)@."
+    stats.Echo_opt.Fusion.groups stats.Echo_opt.Fusion.launches_saved;
+  row "recompute overhead unfused: %+.1f%%, with a fusing backend: %+.1f%%@."
+    (100.0 *. (t1 -. t0) /. t0)
+    (100.0 *. (f1 -. f0) /. f0);
+  ignore report
+
+let experiments =
+  [
+    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
+    ("E13", e13); ("E14", e14);
+  ]
+
+let () =
+  let only = ref None in
+  let args =
+    [
+      ("--only", Arg.String (fun s -> only := Some s), "Run a single experiment (e.g. E3)");
+      ("--quick", Arg.Unit (fun () -> scale := Quick), "Shrunken configurations");
+    ]
+  in
+  Arg.parse args (fun _ -> ()) "echo experiment harness";
+  let selected =
+    match !only with
+    | None -> experiments
+    | Some id -> List.filter (fun (name, _) -> String.lowercase_ascii name = String.lowercase_ascii id) experiments
+  in
+  if selected = [] then begin
+    Format.printf "unknown experiment; available: %s@."
+      (String.concat ", " (List.map fst experiments));
+    exit 1
+  end;
+  let t0 = Sys.time () in
+  List.iter (fun (_, f) -> f ()) selected;
+  Format.printf "@.done in %.1f s (cpu)@." (Sys.time () -. t0)

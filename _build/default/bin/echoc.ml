@@ -1,0 +1,195 @@
+(* echoc: the Echo compiler driver.
+
+   Builds one of the model-zoo training graphs, applies a recomputation
+   policy, and reports simulated-GPU footprint and iteration time. Examples:
+
+     dune exec bin/echoc.exe -- --model lm --policy echo --budget 0.1
+     dune exec bin/echoc.exe -- --model nmt --batch 128 --all --breakdown
+     dune exec bin/echoc.exe -- --model transformer --policy checkpoint *)
+
+open Cmdliner
+open Echo_models
+open Echo_core
+open Echo_exec
+
+type model_choice = Lm | Peephole_lm | Gru_lm | Rnn_lm | Nmt_model | Ds2 | Transformer_model
+
+let build_graph choice ~batch ~seq_len ~hidden ~layers =
+  let lm cell =
+    let d = Language_model.ptb_default in
+    let cfg =
+      {
+        d with
+        Language_model.cell;
+        batch = Option.value batch ~default:d.Language_model.batch;
+        seq_len = Option.value seq_len ~default:d.Language_model.seq_len;
+        hidden = Option.value hidden ~default:d.Language_model.hidden;
+        embed = Option.value hidden ~default:d.Language_model.embed;
+        layers = Option.value layers ~default:d.Language_model.layers;
+      }
+    in
+    (Language_model.build cfg).Language_model.model
+  in
+  let model =
+    match choice with
+    | Lm -> lm Recurrent.Lstm
+    | Peephole_lm -> lm Recurrent.Peephole
+    | Gru_lm -> lm Recurrent.Gru
+    | Rnn_lm -> lm Recurrent.Vanilla
+    | Nmt_model ->
+      let d = Nmt.gnmt_like in
+      let cfg =
+        {
+          d with
+          Nmt.batch = Option.value batch ~default:d.Nmt.batch;
+          src_len = Option.value seq_len ~default:d.Nmt.src_len;
+          tgt_len = Option.value seq_len ~default:d.Nmt.tgt_len;
+          hidden = Option.value hidden ~default:d.Nmt.hidden;
+          embed = Option.value hidden ~default:d.Nmt.embed;
+          enc_layers = Option.value layers ~default:d.Nmt.enc_layers;
+          dec_layers = Option.value layers ~default:d.Nmt.dec_layers;
+        }
+      in
+      (Nmt.build cfg).Nmt.model
+    | Ds2 ->
+      let d = Deepspeech.ds2_like in
+      let cfg =
+        {
+          d with
+          Deepspeech.batch = Option.value batch ~default:d.Deepspeech.batch;
+          time = Option.value seq_len ~default:d.Deepspeech.time;
+          rnn_hidden = Option.value hidden ~default:d.Deepspeech.rnn_hidden;
+          rnn_layers = Option.value layers ~default:d.Deepspeech.rnn_layers;
+        }
+      in
+      (Deepspeech.build cfg).Deepspeech.model
+    | Transformer_model ->
+      let d = Transformer.base_like in
+      let cfg =
+        {
+          d with
+          Transformer.batch = Option.value batch ~default:d.Transformer.batch;
+          seq_len = Option.value seq_len ~default:d.Transformer.seq_len;
+          d_model = Option.value hidden ~default:d.Transformer.d_model;
+          layers = Option.value layers ~default:d.Transformer.layers;
+        }
+      in
+      (Transformer.build cfg).Transformer.model
+  in
+  (model, (Model.training model).Echo_autodiff.Grad.graph)
+
+let run model_choice batch seq_len hidden layers policy budget all breakdown
+    profile optimize dot_file trace_file save_file load_file device_name =
+  let device =
+    match Echo_gpusim.Device.by_name device_name with
+    | Some d -> d
+    | None -> failwith (Printf.sprintf "unknown device %S" device_name)
+  in
+  let model, graph = build_graph model_choice ~batch ~seq_len ~hidden ~layers in
+  Format.printf "%a@." Model.describe model;
+  let graph =
+    match load_file with
+    | Some path ->
+      let g = Echo_ir.Serial.of_file path in
+      Format.printf "loaded %s@." path;
+      g
+    | None -> graph
+  in
+  Format.printf "training graph: %a@." Echo_ir.Graph.pp_stats graph;
+  let graph =
+    if optimize then begin
+      let graph, stats = Echo_opt.Pipeline.run graph in
+      Format.printf "optimised: %a@." Echo_opt.Pipeline.pp_stats stats;
+      graph
+    end
+    else graph
+  in
+  let policies =
+    if all then Pass.default_policies
+    else begin
+      match policy with
+      | "stash-all" -> [ Pass.Stash_all ]
+      | "mirror-all" -> [ Pass.Mirror_all_cheap ]
+      | "checkpoint" -> [ Pass.Checkpoint_sqrt ]
+      | "echo" -> [ Pass.Echo { overhead_budget = budget } ]
+      | "echo-cheap" -> [ Pass.Echo_cheap_only { overhead_budget = budget } ]
+      | "recompute-all" -> [ Pass.Recompute_all ]
+      | other -> failwith (Printf.sprintf "unknown policy %S" other)
+    end
+  in
+  List.iter
+    (fun p ->
+      let _, report = Pass.run ~device p graph in
+      Format.printf "%a@." Pass.pp_report report;
+      if breakdown then
+        Format.printf "%a" Footprint.pp_breakdown report.Pass.optimised_mem;
+      let rewritten, _ = Pass.run ~device p graph in
+      if profile then begin
+        let tl = Echo_gpusim.Timeline.simulate device rewritten in
+        Echo_gpusim.Timeline.pp_profile Format.std_formatter tl;
+        Format.printf "launch-overhead share: %.1f%%@."
+          (100.0 *. Echo_gpusim.Timeline.launch_share device tl)
+      end;
+      let write path contents =
+        let oc = open_out path in
+        output_string oc contents;
+        close_out oc;
+        Format.printf "wrote %s@." path
+      in
+      Option.iter (fun path -> write path (Echo_ir.Graph.to_dot rewritten)) dot_file;
+      Option.iter (fun path -> Echo_ir.Serial.to_file rewritten path;
+                               Format.printf "wrote %s@." path) save_file;
+      Option.iter
+        (fun path ->
+          let tl = Echo_gpusim.Timeline.simulate device rewritten in
+          write path (Echo_gpusim.Timeline.to_chrome_trace tl))
+        trace_file)
+    policies
+
+let model_conv =
+  Arg.enum
+    [
+      ("lm", Lm);
+      ("peephole-lm", Peephole_lm);
+      ("gru-lm", Gru_lm);
+      ("rnn-lm", Rnn_lm);
+      ("nmt", Nmt_model);
+      ("ds2", Ds2);
+      ("transformer", Transformer_model);
+    ]
+
+let cmd =
+  let model =
+    Arg.(value & opt model_conv Lm & info [ "m"; "model" ] ~doc:"Model to compile.")
+  in
+  let batch = Arg.(value & opt (some int) None & info [ "b"; "batch" ] ~doc:"Batch size.") in
+  let seq_len = Arg.(value & opt (some int) None & info [ "t"; "seq-len" ] ~doc:"Sequence length.") in
+  let hidden = Arg.(value & opt (some int) None & info [ "H"; "hidden" ] ~doc:"Hidden dimension.") in
+  let layers = Arg.(value & opt (some int) None & info [ "l"; "layers" ] ~doc:"Layer count.") in
+  let policy =
+    Arg.(
+      value & opt string "echo"
+      & info [ "p"; "policy" ]
+          ~doc:"One of stash-all, mirror-all, checkpoint, echo, echo-cheap, recompute-all.")
+  in
+  let budget =
+    Arg.(value & opt float 0.1 & info [ "budget" ] ~doc:"Echo overhead budget (fraction).")
+  in
+  let all = Arg.(value & flag & info [ "all" ] ~doc:"Run the default policy comparison set.") in
+  let breakdown = Arg.(value & flag & info [ "breakdown" ] ~doc:"Print the per-category breakdown.") in
+  let profile = Arg.(value & flag & info [ "profile" ] ~doc:"Print an nvprof-style simulated kernel profile.") in
+  let optimize = Arg.(value & flag & info [ "O"; "optimize" ] ~doc:"Run the fold+CSE pipeline before the pass.") in
+  let dot_file = Arg.(value & opt (some string) None & info [ "dot" ] ~doc:"Write the rewritten graph as Graphviz.") in
+  let trace_file = Arg.(value & opt (some string) None & info [ "trace" ] ~doc:"Write a Chrome trace of the simulated timeline.") in
+  let save_file = Arg.(value & opt (some string) None & info [ "save" ] ~doc:"Serialize the rewritten training graph to a file.") in
+  let load_file = Arg.(value & opt (some string) None & info [ "load" ] ~doc:"Load a serialized training graph instead of building one.") in
+  let device = Arg.(value & opt string "titan-xp" & info [ "device" ] ~doc:"titan-xp or v100.") in
+  let term =
+    Term.(
+      const run $ model $ batch $ seq_len $ hidden $ layers $ policy $ budget
+      $ all $ breakdown $ profile $ optimize $ dot_file $ trace_file
+      $ save_file $ load_file $ device)
+  in
+  Cmd.v (Cmd.info "echoc" ~doc:"Echo compiler pass driver") term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/deepspeech_sweep.ml: Deepspeech Echo_autodiff Echo_core Echo_gpusim Echo_models Format List Model Pass

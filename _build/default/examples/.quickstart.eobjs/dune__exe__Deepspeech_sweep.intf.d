@@ -1,0 +1,1 @@
+examples/deepspeech_sweep.mli:

@@ -1,0 +1,1 @@
+examples/memory_budget.ml: Autotune Echo_autodiff Echo_core Echo_exec Echo_gpusim Echo_models Footprint Format List Memplan Model Nmt Pass

@@ -1,0 +1,1 @@
+examples/nmt_footprint.ml: Echo_autodiff Echo_core Echo_exec Echo_gpusim Echo_models Footprint Format List Model Nmt Pass

@@ -1,0 +1,1 @@
+examples/nmt_footprint.mli:

@@ -1,0 +1,1 @@
+examples/policy_explorer.ml: Corpus Echo_autodiff Echo_core Echo_gpusim Echo_models Echo_train Echo_workloads Float Format Language_model List Loop Model Optimizer Params Pass

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Echo_autodiff Echo_core Echo_exec Echo_gpusim Echo_ir Echo_models Echo_tensor Format Graph Language_model List Model Node Params Pass Rng Tensor

@@ -1,0 +1,35 @@
+(* DeepSpeech2 generality check: Echo on a conv + bidirectional-LSTM speech
+   model. Convolution feature maps are expensive to recompute (the pass must
+   leave them alone or spend real budget), while the biLSTM stash behaves
+   like the NMT encoder — this exercises the cost-benefit analysis on a
+   mixed graph.
+
+   Run with: dune exec examples/deepspeech_sweep.exe *)
+
+open Echo_models
+open Echo_core
+
+let () =
+  let device = Echo_gpusim.Device.titan_xp in
+  List.iter
+    (fun (label, cfg) ->
+      let ds2 = Deepspeech.build cfg in
+      let training = Model.training ds2.Deepspeech.model in
+      let graph = training.Echo_autodiff.Grad.graph in
+      Format.printf "=== %s (%d output frames) ===@." label ds2.Deepspeech.out_frames;
+      List.iter
+        (fun policy ->
+          let _, report = Pass.run ~device policy graph in
+          Format.printf "  %a@." Pass.pp_report report)
+        [
+          Pass.Stash_all;
+          Pass.Checkpoint_sqrt;
+          Pass.Echo { overhead_budget = 0.03 };
+          Pass.Echo { overhead_budget = 0.30 };
+        ];
+      Format.printf "@.")
+    [
+      ("ds2-small (3 x biLSTM-400)",
+       { Deepspeech.ds2_like with rnn_layers = 3; rnn_hidden = 400; time = 64 });
+      ("ds2 (5 x biLSTM-800)", Deepspeech.ds2_like);
+    ]

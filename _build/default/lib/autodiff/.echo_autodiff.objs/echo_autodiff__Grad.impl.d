@@ -1,0 +1,1 @@
+lib/autodiff/grad.ml: Array Echo_ir Echo_tensor Graph Hashtbl List Node Op Printf Shape Stdlib

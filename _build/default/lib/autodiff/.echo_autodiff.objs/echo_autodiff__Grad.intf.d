@@ -1,0 +1,1 @@
+lib/autodiff/grad.mli: Echo_ir Graph Node

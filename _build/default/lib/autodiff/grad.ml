@@ -1,0 +1,187 @@
+open Echo_tensor
+open Echo_ir
+
+exception Non_differentiable of string
+
+type training = {
+  loss : Node.t;
+  grads : (Node.t * Node.t) list;
+  graph : Graph.t;
+}
+
+(* Backward-region constructors, so every rule reads as plain math. *)
+let b = Node.Backward
+let ( + ) x y = Node.add ~region:b x y
+let ( - ) x y = Node.sub ~region:b x y
+let ( * ) x y = Node.mul ~region:b x y
+let ( / ) x y = Node.div ~region:b x y
+let neg x = Node.neg ~region:b x
+let scale k x = Node.scale ~region:b k x
+let add_scalar k x = Node.add_scalar ~region:b k x
+let pow_const p x = Node.pow_const ~region:b p x
+let sq x = Node.sq ~region:b x
+let exp_ x = Node.exp_ ~region:b x
+let sign x = Node.sign ~region:b x
+let matmul ?trans_a ?trans_b x y = Node.matmul ~region:b ?trans_a ?trans_b x y
+let transpose2d x = Node.transpose2d ~region:b x
+let reshape s x = Node.reshape ~region:b s x
+let slice ~axis ~lo ~hi x = Node.slice ~region:b ~axis ~lo ~hi x
+let pad_slice ~axis ~lo ~full x = Node.pad_slice ~region:b ~axis ~lo ~full x
+let reduce_sum ~axis ~keepdims x = Node.reduce_sum ~region:b ~axis ~keepdims x
+let broadcast_axis ~axis ~n x = Node.broadcast_axis ~region:b ~axis ~n x
+let scale_by x s = Node.scale_by ~region:b x s
+
+let last_axis n = Stdlib.( - ) (Shape.rank (Node.shape n)) 1
+
+(* Adjoint of a reduction: restore the reduced axis (if dropped) and
+   broadcast back to the input width. *)
+let unreduce ~axis ~keepdims ~input g =
+  let n = Shape.dim (Node.shape input) axis in
+  let g =
+    if keepdims then g
+    else begin
+      let keep_shape =
+        Array.mapi
+          (fun i d -> if i = axis then 1 else d)
+          (Array.copy (Node.shape input))
+      in
+      reshape keep_shape g
+    end
+  in
+  broadcast_axis ~axis ~n g
+
+let vjp node ~adjoint:g =
+  let ins = Node.inputs node in
+  let y = node in
+  match (Node.op node, ins) with
+  | (Op.Placeholder | Op.Variable | Op.Zeros | Op.ConstFill _ | Op.DropoutMask _), [] ->
+    []
+  | Op.Neg, [ x ] -> [ (x, neg g) ]
+  | Op.Scale k, [ x ] -> [ (x, scale k g) ]
+  | Op.AddScalar _, [ x ] -> [ (x, g) ]
+  | Op.PowConst p, [ x ] -> [ (x, g * scale p (pow_const (p -. 1.0) x)) ]
+  | Op.Sigmoid, [ x ] -> [ (x, g * (y * add_scalar 1.0 (neg y))) ]
+  | Op.Tanh, [ x ] -> [ (x, g * add_scalar 1.0 (neg (sq y))) ]
+  | Op.Relu, [ x ] -> [ (x, g * sign y) ]
+  | Op.Exp, [ x ] -> [ (x, g * y) ]
+  | Op.Log, [ x ] -> [ (x, g / x) ]
+  | Op.Sqrt, [ x ] -> [ (x, scale 0.5 (g / y)) ]
+  | Op.Sq, [ x ] -> [ (x, scale 2.0 (g * x)) ]
+  | Op.Recip, [ x ] -> [ (x, neg (g * sq y)) ]
+  | Op.Sign, [ _ ] -> []
+  | Op.Add, [ a; bb ] -> [ (a, g); (bb, g) ]
+  | Op.Sub, [ a; bb ] -> [ (a, g); (bb, neg g) ]
+  | Op.Mul, [ a; bb ] -> [ (a, g * bb); (bb, g * a) ]
+  | Op.Div, [ a; bb ] -> [ (a, g / bb); (bb, neg (g * (y / bb))) ]
+  | Op.Matmul { trans_a; trans_b }, [ a; bb ] ->
+    let da, db =
+      match (trans_a, trans_b) with
+      | false, false ->
+        (matmul ~trans_b:true g bb, matmul ~trans_a:true a g)
+      | true, false -> (matmul ~trans_b:true bb g, matmul a g)
+      | false, true -> (matmul g bb, matmul ~trans_a:true g a)
+      | true, true ->
+        ( matmul ~trans_a:true ~trans_b:true bb g,
+          matmul ~trans_a:true ~trans_b:true g a )
+    in
+    [ (a, da); (bb, db) ]
+  | Op.AddBias, [ m; bias ] ->
+    [ (m, g); (bias, reduce_sum ~axis:0 ~keepdims:false g) ]
+  | Op.Slice { axis; lo; hi = _ }, [ x ] ->
+    [ (x, pad_slice ~axis ~lo ~full:(Shape.dim (Node.shape x) axis) g) ]
+  | Op.PadSlice { axis; lo; full = _ }, [ x ] ->
+    let w = Shape.dim (Node.shape x) axis in
+    [ (x, slice ~axis ~lo ~hi:(Stdlib.( + ) lo w) g) ]
+  | Op.Concat { axis }, xs ->
+    let _, contribs =
+      List.fold_left
+        (fun (off, acc) x ->
+          let w = Shape.dim (Node.shape x) axis in
+          let hi = Stdlib.( + ) off w in
+          (hi, (x, slice ~axis ~lo:off ~hi g) :: acc))
+        (0, []) xs
+    in
+    List.rev contribs
+  | Op.Reshape _, [ x ] -> [ (x, reshape (Node.shape x) g) ]
+  | Op.Transpose2d, [ x ] -> [ (x, transpose2d g) ]
+  | Op.ReduceSum { axis; keepdims }, [ x ] ->
+    [ (x, unreduce ~axis ~keepdims ~input:x g) ]
+  | Op.ReduceMean { axis; keepdims }, [ x ] ->
+    let n = Shape.dim (Node.shape x) axis in
+    [ (x, scale (1.0 /. float_of_int n) (unreduce ~axis ~keepdims ~input:x g)) ]
+  | Op.BroadcastAxis { axis; n = _ }, [ x ] ->
+    [ (x, reduce_sum ~axis ~keepdims:true g) ]
+  | Op.Softmax, [ x ] ->
+    let ax = last_axis y in
+    let inner = reduce_sum ~axis:ax ~keepdims:true (g * y) in
+    let n = Shape.dim (Node.shape y) ax in
+    [ (x, y * (g - broadcast_axis ~axis:ax ~n inner)) ]
+  | Op.LogSoftmax, [ x ] ->
+    let ax = last_axis y in
+    let s = reduce_sum ~axis:ax ~keepdims:true g in
+    let n = Shape.dim (Node.shape y) ax in
+    [ (x, g - (exp_ y * broadcast_axis ~axis:ax ~n s)) ]
+  | Op.CrossEntropy, [ logits; labels ] ->
+    let base = Node.cross_entropy_grad ~logits ~labels in
+    let scaled =
+      match Node.op g with
+      | Op.ConstFill 1.0 -> base
+      | _ -> scale_by base g
+    in
+    [ (logits, scaled) ]
+  | Op.Embedding, [ table; ids ] ->
+    let vocab = Shape.dim (Node.shape table) 0 in
+    [ (table, Node.embedding_grad ~vocab ~ids ~grad_out:g) ]
+  | Op.Conv2d { stride; pad }, [ input; kernel ] ->
+    let d_input =
+      Node.create ~region:b
+        (Op.Conv2dGradInput { stride; pad; input_shape = Node.shape input })
+        [ kernel; g ]
+    in
+    let d_kernel =
+      Node.create ~region:b
+        (Op.Conv2dGradKernel { stride; pad; kernel_shape = Node.shape kernel })
+        [ input; g ]
+    in
+    [ (input, d_input); (kernel, d_kernel) ]
+  | ( ( Op.ScaleBy | Op.CrossEntropyGrad | Op.EmbeddingGrad _
+      | Op.Conv2dGradInput _ | Op.Conv2dGradKernel _ ),
+      _ ) ->
+    raise
+      (Non_differentiable
+         (Printf.sprintf "no gradient rule for %s (backward-only operator)"
+            (Op.to_string (Node.op node))))
+  | op, _ ->
+    failwith (Printf.sprintf "Grad.vjp: malformed node %s" (Op.to_string op))
+
+let differentiate ~loss ~wrt =
+  if Shape.rank (Node.shape loss) <> 0 then
+    invalid_arg "Grad.differentiate: loss must be a scalar";
+  let forward = Graph.create [ loss ] in
+  let adjoints : (int, Node.t) Hashtbl.t = Hashtbl.create 1024 in
+  Hashtbl.replace adjoints (Node.id loss)
+    (Node.const_fill ~name:"dloss" ~region:b 1.0 Shape.scalar);
+  let accumulate input contrib =
+    match Hashtbl.find_opt adjoints (Node.id input) with
+    | None -> Hashtbl.replace adjoints (Node.id input) contrib
+    | Some prev -> Hashtbl.replace adjoints (Node.id input) (prev + contrib)
+  in
+  (* Reverse schedule order: every consumer's adjoint is final before we
+     propagate through a node. *)
+  List.iter
+    (fun node ->
+      match Hashtbl.find_opt adjoints (Node.id node) with
+      | None -> ()  (* not on a differentiable path from the loss *)
+      | Some g -> List.iter (fun (x, c) -> accumulate x c) (vjp node ~adjoint:g))
+    (List.rev (Graph.nodes forward));
+  let grads =
+    List.map
+      (fun p ->
+        match Hashtbl.find_opt adjoints (Node.id p) with
+        | Some g -> (p, g)
+        | None ->
+          (p, Node.zeros ~name:(Node.name p ^ "_zero_grad") ~region:b (Node.shape p)))
+      wrt
+  in
+  let graph = Graph.create (loss :: List.map snd grads) in
+  { loss; grads; graph }

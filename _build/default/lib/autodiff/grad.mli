@@ -1,0 +1,32 @@
+(** Symbolic reverse-mode differentiation.
+
+    [differentiate] extends a forward graph with gradient nodes, producing
+    the full training graph that a framework executor would run. Gradient
+    rules are written in the public operator vocabulary wherever possible, so
+    backward nodes reference forward feature maps directly — these references
+    are exactly the "stash" that the Echo pass optimizes. All nodes created
+    here carry the [Backward] region tag. *)
+
+open Echo_ir
+
+exception Non_differentiable of string
+(** Raised when a gradient is requested through an operator that only exists
+    in backward graphs (fused gradient kernels, [ScaleBy]); higher-order
+    differentiation is out of scope. *)
+
+type training = {
+  loss : Node.t;  (** the forward scalar loss *)
+  grads : (Node.t * Node.t) list;  (** (parameter, gradient) in [wrt] order *)
+  graph : Graph.t;  (** outputs = loss followed by every gradient *)
+}
+
+val differentiate : loss:Node.t -> wrt:Node.t list -> training
+(** @raise Invalid_argument if [loss] is not a scalar.
+    @raise Non_differentiable on unsupported operators reachable from a
+    requested gradient. Parameters that the loss does not depend on receive a
+    [Zeros] gradient. *)
+
+val vjp : Node.t -> adjoint:Node.t -> (Node.t * Node.t) list
+(** The per-operator rule: contributions of the node's output adjoint to each
+    of its inputs (inputs that receive no gradient, e.g. label tensors, are
+    absent). Exposed for tests. *)

@@ -1,0 +1,1 @@
+lib/core/autotune.ml: Echo_exec Echo_ir List Memplan Pass

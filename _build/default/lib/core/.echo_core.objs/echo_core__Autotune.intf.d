@@ -1,0 +1,1 @@
+lib/core/autotune.mli: Device Echo_gpusim Echo_ir Graph Pass

@@ -1,0 +1,1 @@
+lib/core/pass.ml: Costmodel Echo_exec Echo_gpusim Echo_ir Footprint Format Graph Ids List Memplan Printf Rewrite Select

@@ -1,0 +1,1 @@
+lib/core/pass.mli: Device Echo_exec Echo_gpusim Echo_ir Format Graph

@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Echo_ir Float Graph Hashtbl Ids List Node Op Printf String

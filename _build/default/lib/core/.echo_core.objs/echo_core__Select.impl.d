@@ -1,0 +1,1 @@
+lib/core/select.ml: Costmodel Device Echo_gpusim Echo_ir Float Graph Hashtbl Ids List Node Op Option Stash

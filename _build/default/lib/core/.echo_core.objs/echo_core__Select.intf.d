@@ -1,0 +1,1 @@
+lib/core/select.mli: Device Echo_gpusim Echo_ir Graph Ids

@@ -1,0 +1,1 @@
+lib/core/stash.ml: Echo_ir Graph Ids List Node Op

@@ -1,0 +1,1 @@
+lib/core/stash.mli: Echo_ir Graph Ids Node

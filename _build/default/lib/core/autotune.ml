@@ -1,0 +1,39 @@
+open Echo_exec
+
+type outcome = { policy : Pass.policy; graph : Echo_ir.Graph.t; report : Pass.report }
+
+let escalation = [ 0.01; 0.03; 0.05; 0.10; 0.20; 0.30; 0.50; 1.0 ]
+
+let run_one ~device policy graph =
+  let rewritten, report = Pass.run ~device policy graph in
+  { policy; graph = rewritten; report }
+
+let for_memory_target ~device graph ~target_bytes =
+  let fits outcome =
+    outcome.report.Pass.optimised_mem.Memplan.live_peak_bytes <= target_bytes
+  in
+  let rec escalate = function
+    | [] -> None
+    | budget :: rest ->
+      let outcome = run_one ~device (Pass.Echo { overhead_budget = budget }) graph in
+      if fits outcome then Some outcome else escalate rest
+  in
+  (* The baseline may already fit. *)
+  let baseline = run_one ~device Pass.Stash_all graph in
+  if fits baseline then Some baseline else escalate escalation
+
+let best_throughput ~device graph ~budget_bytes ~candidates =
+  List.fold_left
+    (fun best policy ->
+      let outcome = run_one ~device policy graph in
+      if outcome.report.Pass.optimised_mem.Memplan.live_peak_bytes > budget_bytes
+      then best
+      else begin
+        match best with
+        | Some b
+          when b.report.Pass.optimised_time_s
+               <= outcome.report.Pass.optimised_time_s ->
+          best
+        | Some _ | None -> Some outcome
+      end)
+    None candidates

@@ -1,0 +1,32 @@
+(** Policy autotuning: pick a recomputation plan for an external constraint
+    rather than a fixed overhead budget.
+
+    This is the runtime-tool direction the original authors describe —
+    selecting the best executor configuration automatically from measured
+    (here: simulated) footprint and time, instead of asking the user to
+    hand-pick flags. *)
+
+open Echo_ir
+open Echo_gpusim
+
+type outcome = {
+  policy : Pass.policy;
+  graph : Graph.t;  (** rewritten training graph *)
+  report : Pass.report;
+}
+
+val for_memory_target :
+  device:Device.t -> Graph.t -> target_bytes:int -> outcome option
+(** Cheapest Echo plan (by simulated overhead) whose measured peak footprint
+    fits [target_bytes]: escalates the overhead budget through
+    {1%%, 3%%, 5%%, 10%%, 20%%, 30%%, 50%%, 100%%} and stops at the first
+    budget that fits. [None] when even the most aggressive plan does not. *)
+
+val best_throughput :
+  device:Device.t ->
+  Graph.t ->
+  budget_bytes:int ->
+  candidates:Pass.policy list ->
+  outcome option
+(** Among [candidates] whose plan fits [budget_bytes], the one with the
+    smallest simulated iteration time. [None] if none fits. *)

@@ -1,0 +1,60 @@
+(** The Echo compiler pass: policy selection + rewrite + measurement.
+
+    [run] takes a training graph (forward + backward, as produced by
+    [Echo_autodiff.Grad.differentiate]), applies the chosen recomputation
+    policy, and measures both the baseline and the rewritten graph with the
+    memory planner and the simulated-GPU cost model. Every reported number
+    is measured on the actual graphs — the selection estimators can be wrong
+    (see the ablations) without compromising the report. *)
+
+open Echo_ir
+open Echo_gpusim
+
+type policy =
+  | Stash_all  (** the framework baseline: keep every feature map *)
+  | Mirror_all_cheap  (** legacy heuristic, no cost-benefit analysis *)
+  | Checkpoint_sqrt  (** Chen et al. √n segment checkpointing *)
+  | Echo of { overhead_budget : float }  (** the paper's policy *)
+  | Echo_cheap_only of { overhead_budget : float }
+      (** Echo without the second (expensive-closure) pass *)
+  | Echo_no_sharing of { overhead_budget : float }
+      (** ablation: clones are not shared among backward consumers *)
+  | Echo_no_transitive of { overhead_budget : float }
+      (** ablation: estimator ignores transitive stashing *)
+  | Recompute_all  (** memory lower bound / time upper bound *)
+
+val policy_name : policy -> string
+
+val default_policies : policy list
+(** The comparison set used across benchmarks: stash-all, mirror-all-cheap,
+    √n checkpointing, Echo (3% and 30% budgets), recompute-all. *)
+
+type report = {
+  policy : string;
+  mirrored_nodes : int;  (** selected forward nodes *)
+  clone_nodes : int;  (** recomputation clones materialised *)
+  claimed_saving_bytes : int;
+  claimed_cost_s : float;
+  baseline_mem : Echo_exec.Memplan.report;
+  optimised_mem : Echo_exec.Memplan.report;
+  baseline_time_s : float;
+  optimised_time_s : float;
+}
+
+val run : device:Device.t -> policy -> Graph.t -> Graph.t * report
+(** Returns the rewritten graph and the measurement report. [Stash_all]
+    returns the input graph unchanged. *)
+
+val reduction : report -> float
+(** Baseline/optimised peak-footprint ratio (>1 is better), on the
+    static-planner ([live_peak]) metric — MXNet plans buffer offsets
+    offline, so its device footprint tracks the live peak rather than a
+    caching allocator's arena. *)
+
+val overhead : report -> float
+(** (optimised - baseline) / baseline simulated iteration time. *)
+
+val recompute_flops_ratio : Graph.t -> original:Graph.t -> float
+(** Extra FLOPs of the rewritten graph relative to the original. *)
+
+val pp_report : Format.formatter -> report -> unit

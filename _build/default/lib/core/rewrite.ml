@@ -1,0 +1,142 @@
+open Echo_ir
+
+let clone_suffix = "~r"
+
+let validate_mirror_ids graph mirror_ids =
+  Ids.Set.iter
+    (fun id ->
+      if not (Graph.mem graph id) then
+        invalid_arg (Printf.sprintf "Rewrite.mirror: id %d not in graph" id);
+      let n = Graph.find graph id in
+      if Node.region n <> Node.Forward then
+        invalid_arg
+          (Printf.sprintf "Rewrite.mirror: node %d is not a forward node" id);
+      if not (Op.is_recomputable (Node.op n)) then
+        invalid_arg
+          (Printf.sprintf "Rewrite.mirror: %s (#%d) is not recomputable"
+             (Op.to_string (Node.op n)) id))
+    mirror_ids
+
+(* Mirrored nodes whose clone must actually be materialised: those read by a
+   backward node directly, or (transitively) by another needed clone. For
+   each we also derive the scheduling hint — just below the earliest
+   consumer's hint — so the clone executes just-in-time inside the backward
+   pass. Processing in reverse schedule order guarantees consumers are
+   settled first. *)
+let needed_clones graph mirror_ids =
+  let needed : (int, float) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun n ->
+      let id = Node.id n in
+      if Ids.Set.mem id mirror_ids then begin
+        let earliest =
+          List.fold_left
+            (fun acc c ->
+              if Node.region c = Node.Backward then Float.min acc (Node.hint c)
+              else
+                match Hashtbl.find_opt needed (Node.id c) with
+                | Some h when Ids.Set.mem (Node.id c) mirror_ids ->
+                  Float.min acc h
+                | Some _ | None -> acc)
+            infinity
+            (Graph.consumers graph id)
+        in
+        if earliest < infinity then
+          Hashtbl.replace needed id (earliest -. 1e-3)
+      end)
+    (List.rev (Graph.nodes graph));
+  needed
+
+let mirror ?(share = true) graph ~mirror_ids =
+  validate_mirror_ids graph mirror_ids;
+  let shared_clones : (int, Node.t) Hashtbl.t = Hashtbl.create 256 in
+  if share then begin
+    let needed = needed_clones graph mirror_ids in
+    (* Schedule order guarantees a mirrored node's mirrored inputs are cloned
+       before it. *)
+    List.iter
+      (fun n ->
+        let id = Node.id n in
+        match Hashtbl.find_opt needed id with
+        | None -> ()
+        | Some hint ->
+          let inputs =
+            List.map
+              (fun u ->
+                match Hashtbl.find_opt shared_clones (Node.id u) with
+                | Some c -> c
+                | None -> u)
+              (Node.inputs n)
+          in
+          let clone =
+            Node.clone_with_inputs ~region:Node.Backward ~hint
+              ~name:(Node.name n ^ clone_suffix) n inputs
+          in
+          Hashtbl.replace shared_clones id clone)
+      (Graph.forward_nodes graph)
+  end;
+  (* Per-consumer clone chains for the no-sharing ablation. *)
+  let private_chain ~hint =
+    let memo : (int, Node.t) Hashtbl.t = Hashtbl.create 16 in
+    let rec build n =
+      match Hashtbl.find_opt memo (Node.id n) with
+      | Some c -> c
+      | None ->
+        let inputs =
+          List.map
+            (fun u -> if Ids.Set.mem (Node.id u) mirror_ids then build u else u)
+            (Node.inputs n)
+        in
+        let clone =
+          Node.clone_with_inputs ~region:Node.Backward ~hint
+            ~name:(Node.name n ^ clone_suffix) n inputs
+        in
+        Hashtbl.replace memo (Node.id n) clone;
+        clone
+    in
+    build
+  in
+  (* Rebuild the backward region bottom-up with substituted inputs. *)
+  let rebuilt : (int, Node.t) Hashtbl.t = Hashtbl.create 1024 in
+  let resolve u =
+    match Hashtbl.find_opt rebuilt (Node.id u) with Some r -> r | None -> u
+  in
+  List.iter
+    (fun n ->
+      if Node.region n = Node.Backward then begin
+        let chain =
+          if share then None
+          else Some (private_chain ~hint:(Node.hint n -. 1e-3))
+        in
+        let changed = ref false in
+        let inputs =
+          List.map
+            (fun u ->
+              if Ids.Set.mem (Node.id u) mirror_ids then begin
+                changed := true;
+                match chain with
+                | None -> Hashtbl.find shared_clones (Node.id u)
+                | Some build -> build u
+              end
+              else begin
+                let r = resolve u in
+                if not (Node.equal r u) then changed := true;
+                r
+              end)
+            (Node.inputs n)
+        in
+        if !changed then
+          Hashtbl.replace rebuilt (Node.id n) (Node.clone_with_inputs n inputs)
+      end)
+    (Graph.nodes graph);
+  Graph.create (List.map resolve (Graph.outputs graph))
+
+let clone_count graph =
+  List.length
+    (List.filter
+       (fun n ->
+         let name = Node.name n in
+         let slen = String.length clone_suffix in
+         String.length name >= slen
+         && String.sub name (String.length name - slen) slen = clone_suffix)
+       (Graph.nodes graph))

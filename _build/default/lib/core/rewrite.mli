@@ -1,0 +1,31 @@
+(** The mirror rewrite: materialise a recomputation plan as a graph
+    transformation.
+
+    Given a training graph and a set of forward node ids to {e mirror}, every
+    backward reference to a mirrored node is redirected to a fresh clone
+    living in the backward region. The original buffer then dies at its last
+    forward consumer, and the memory planner observes the saving; the clone
+    executes just-in-time before its first backward consumer.
+
+    Clone inputs follow the plan recursively: a mirrored input is replaced by
+    {e its} clone, a non-mirrored input keeps pointing at the original node —
+    which the planner therefore keeps alive into the backward pass (the
+    "transitive stashing" cost the Echo estimator must account for).
+
+    With [share = true] (the Echo behaviour, default) each mirrored node is
+    cloned exactly once and all backward consumers share the recomputed
+    value. With [share = false] every backward consumer re-triggers the full
+    recomputation chain — the naive scheme the paper's overhead analysis
+    warns against; exposed for the ablation experiment. *)
+
+open Echo_ir
+
+val mirror : ?share:bool -> Graph.t -> mirror_ids:Ids.Set.t -> Graph.t
+(** @raise Invalid_argument if [mirror_ids] contains a node that is not a
+    recomputable forward member of the graph. Semantics are preserved
+    exactly: evaluating the result under the same feeds yields bitwise
+    identical outputs. *)
+
+val clone_count : Graph.t -> int
+(** Number of recomputation clones in a rewritten graph (nodes named with
+    the ["~r"] suffix convention used by [mirror]). *)

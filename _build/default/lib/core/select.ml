@@ -1,0 +1,318 @@
+open Echo_ir
+open Echo_gpusim
+
+type selection = {
+  mirror_ids : Ids.Set.t;
+  claimed_saving_bytes : int;
+  claimed_cost_s : float;
+}
+
+(* A candidate's recomputation plan. [chain] is recomputed (cost, once);
+   [forced] stays live into the backward pass (memory penalty); [min_root]
+   is the earliest forward-schedule position the plan transitively depends
+   on through other mirrored nodes — the chain-locality measure. *)
+type plan = { chain : Ids.Set.t; forced : Ids.Set.t; min_root : int }
+
+let set_bytes graph ids =
+  Ids.Set.fold (fun id acc -> acc + Node.size_bytes (Graph.find graph id)) ids 0
+
+let set_time device graph ids =
+  Ids.Set.fold
+    (fun id acc -> acc +. Costmodel.node_time device (Graph.find graph id))
+    ids 0.0
+
+(* Selection state threaded through the greedy passes. *)
+type state = {
+  graph : Graph.t;
+  device : Device.t;
+  stash : Stash.t;
+  position : (int, int) Hashtbl.t;  (* forward node id -> schedule position *)
+  root_pos : (int, int) Hashtbl.t;  (* mirrored id -> its plan's min_root *)
+  mutable mirrored : Ids.Set.t;
+  mutable forced : Ids.Set.t;
+  mutable spent : float;
+  mutable saved : int;
+  budget : float;
+  max_span : int;
+}
+
+let make_state device graph ~overhead_budget ~max_chain_span =
+  let stash = Stash.analyse graph in
+  let position = Hashtbl.create 1024 in
+  List.iteri
+    (fun i n -> Hashtbl.replace position (Node.id n) i)
+    (Graph.nodes graph);
+  let fwd_count = List.length (Graph.forward_nodes graph) in
+  let max_span =
+    match max_chain_span with Some s -> s | None -> max 64 (fwd_count / 8)
+  in
+  {
+    graph;
+    device;
+    stash;
+    position;
+    root_pos = Hashtbl.create 256;
+    mirrored = Ids.Set.empty;
+    forced = Ids.Set.empty;
+    spent = 0.0;
+    saved = 0;
+    budget = overhead_budget *. Costmodel.graph_time device graph;
+    max_span;
+  }
+
+let pos st n = Hashtbl.find st.position (Node.id n)
+
+(* Is this value available to backward-region readers without any new cost?
+   Parameters and inputs are persistent; stashed originals and already
+   forced nodes are alive anyway; mirrored nodes are reachable via their
+   clone. *)
+let available st u =
+  Stash.is_persistent_input u
+  || Stash.is_stashed st.stash (Node.id u)
+  || Ids.Set.mem (Node.id u) st.forced
+  || Ids.Set.mem (Node.id u) st.mirrored
+
+let empty_plan = { chain = Ids.Set.empty; forced = Ids.Set.empty; min_root = max_int }
+
+let merge a b =
+  {
+    chain = Ids.Set.union a.chain b.chain;
+    forced = Ids.Set.union a.forced b.forced;
+    min_root = min a.min_root b.min_root;
+  }
+
+(* The cut decision: recomputing [u] requires its non-available ancestors;
+   when force-stashing [u] itself costs fewer bytes than the frontier its
+   recomputation would force, cut the chain at [u]. Memoised per candidate
+   so diamonds are counted once. *)
+let build_plan st ~allow_expensive candidate =
+  let memo : (int, plan) Hashtbl.t = Hashtbl.create 16 in
+  let rec eval u =
+    match Hashtbl.find_opt memo (Node.id u) with
+    | Some p -> p
+    | None ->
+      let p = eval_uncached u in
+      Hashtbl.replace memo (Node.id u) p;
+      p
+  and eval_uncached u =
+    (* Contribution of one input edge to [u]'s recomputation plan. *)
+    let input_plan v =
+      if Ids.Set.mem (Node.id v) st.mirrored then
+        { empty_plan with min_root = Hashtbl.find st.root_pos (Node.id v) }
+      else if available st v then empty_plan
+      else eval v
+    in
+    let recomputable =
+      Op.is_recomputable (Node.op u)
+      && (allow_expensive || Op.is_cheap (Node.op u))
+    in
+    if not recomputable then
+      { chain = Ids.Set.empty; forced = Ids.Set.singleton (Node.id u); min_root = pos st u }
+    else begin
+      let sub = List.fold_left (fun acc v -> merge acc (input_plan v)) empty_plan (Node.inputs u) in
+      let forced_new = Ids.Set.diff sub.forced st.forced in
+      if
+        (not (Ids.Set.is_empty forced_new))
+        && Node.size_bytes u <= set_bytes st.graph forced_new
+      then
+        (* Cheaper to keep [u] itself alive than its frontier. *)
+        { chain = Ids.Set.empty; forced = Ids.Set.singleton (Node.id u); min_root = pos st u }
+      else
+        {
+          chain = Ids.Set.add (Node.id u) sub.chain;
+          forced = sub.forced;
+          min_root = min (pos st u) sub.min_root;
+        }
+    end
+  in
+  (* The candidate itself is never cut — the whole point is to recompute it. *)
+  let sub =
+    List.fold_left
+      (fun acc v ->
+        merge acc
+          (if Ids.Set.mem (Node.id v) st.mirrored then
+             { empty_plan with min_root = Hashtbl.find st.root_pos (Node.id v) }
+           else if available st v then empty_plan
+           else eval v))
+      empty_plan (Node.inputs candidate)
+  in
+  {
+    chain = Ids.Set.add (Node.id candidate) sub.chain;
+    forced = sub.forced;
+    min_root = min (pos st candidate) sub.min_root;
+  }
+
+type verdict = Accepted | Rejected_gain | Rejected_budget | Rejected_span
+
+let try_accept st ~allow_expensive candidate =
+  if Ids.Set.mem (Node.id candidate) st.mirrored then Accepted
+  else begin
+    let plan = build_plan st ~allow_expensive candidate in
+    let new_forced = Ids.Set.diff plan.forced st.forced in
+    let gain = Node.size_bytes candidate - set_bytes st.graph new_forced in
+    let cost = set_time st.device st.graph plan.chain in
+    if gain <= 0 then Rejected_gain
+    else if pos st candidate - plan.min_root > st.max_span then Rejected_span
+    else if st.spent +. cost > st.budget then Rejected_budget
+    else begin
+      st.mirrored <- Ids.Set.union st.mirrored plan.chain;
+      st.forced <- Ids.Set.union st.forced plan.forced;
+      Ids.Set.iter
+        (fun id -> Hashtbl.replace st.root_pos id plan.min_root)
+        plan.chain;
+      st.spent <- st.spent +. cost;
+      st.saved <- st.saved + gain;
+      Accepted
+    end
+  end
+
+(* The ablation estimator: no transitive accounting at all — each stashed
+   node is assumed recomputable in isolation at its own kernel cost with its
+   full size as the gain. The rewrite stays sound; the planner will expose
+   the claimed-vs-actual gap. *)
+let try_accept_naive st candidate =
+  if not (Ids.Set.mem (Node.id candidate) st.mirrored) then begin
+    let cost = Costmodel.node_time st.device candidate in
+    if st.spent +. cost <= st.budget then begin
+      st.mirrored <- Ids.Set.add (Node.id candidate) st.mirrored;
+      Hashtbl.replace st.root_pos (Node.id candidate) (pos st candidate);
+      st.spent <- st.spent +. cost;
+      st.saved <- st.saved + Node.size_bytes candidate
+    end
+  end
+
+let candidates_of st =
+  List.filter
+    (fun n ->
+      Op.is_recomputable (Node.op n)
+      && not (Graph.is_output st.graph (Node.id n)))
+    (Stash.stashed_nodes st.stash)
+
+let echo ?(cheap_only = false) ?(transitive = true) ?max_chain_span device graph
+    ~overhead_budget =
+  if overhead_budget < 0.0 then invalid_arg "Select.echo: negative budget";
+  let st = make_state device graph ~overhead_budget ~max_chain_span in
+  let candidates = candidates_of st in
+  let allow_expensive = not cheap_only in
+  if transitive then begin
+    (* Greedy by density (bytes saved per second of recomputation), with
+       plans re-derived at acceptance time — accepting one candidate makes
+       its chain available to later ones, so a few sweeps converge. *)
+    let density c =
+      let plan = build_plan st ~allow_expensive c in
+      let new_forced = Ids.Set.diff plan.forced st.forced in
+      let gain = Node.size_bytes c - set_bytes st.graph new_forced in
+      let cost = set_time st.device st.graph plan.chain in
+      if gain > 0 && cost > 0.0 then Some (float_of_int gain /. cost) else None
+    in
+    let max_sweeps = 8 in
+    let rec sweep round =
+      if round < max_sweeps then begin
+        let remaining =
+          List.filter
+            (fun c -> not (Ids.Set.mem (Node.id c) st.mirrored))
+            candidates
+        in
+        let scored =
+          List.filter_map
+            (fun c -> Option.map (fun d -> (c, d)) (density c))
+            remaining
+        in
+        let sorted =
+          List.sort (fun (_, a) (_, b) -> Float.compare b a) scored
+        in
+        let progress = ref false in
+        List.iter
+          (fun (c, _) ->
+            match try_accept st ~allow_expensive c with
+            | Accepted -> progress := true
+            | Rejected_gain | Rejected_budget | Rejected_span -> ())
+          sorted;
+        if !progress then sweep (round + 1)
+      end
+    in
+    sweep 0
+  end
+  else List.iter (try_accept_naive st) candidates;
+  {
+    mirror_ids = st.mirrored;
+    claimed_saving_bytes = st.saved;
+    claimed_cost_s = st.spent;
+  }
+
+let mirror_all_cheap graph =
+  let stash = Stash.analyse graph in
+  let chosen =
+    List.filter
+      (fun n ->
+        Op.is_cheap (Node.op n)
+        && Op.is_recomputable (Node.op n)
+        && not (Graph.is_output graph (Node.id n)))
+      (Stash.stashed_nodes stash)
+  in
+  {
+    mirror_ids =
+      List.fold_left (fun s n -> Ids.Set.add (Node.id n) s) Ids.Set.empty chosen;
+    claimed_saving_bytes =
+      List.fold_left (fun acc n -> acc + Node.size_bytes n) 0 chosen;
+    claimed_cost_s = 0.0;
+  }
+
+let selection_of device nodes ~claimed_saving =
+  {
+    mirror_ids =
+      List.fold_left (fun s n -> Ids.Set.add (Node.id n) s) Ids.Set.empty nodes;
+    claimed_saving_bytes = claimed_saving;
+    claimed_cost_s =
+      List.fold_left (fun acc n -> acc +. Costmodel.node_time device n) 0.0 nodes;
+  }
+
+(* Chen et al. (2016): split the forward schedule into ~sqrt(n) segments;
+   keep the inter-segment frontier (values read by a later segment or by the
+   loss) and recompute everything inside a segment during backward. *)
+let checkpoint_sqrt device graph =
+  let stash = Stash.analyse graph in
+  let fwd = Graph.forward_nodes graph in
+  let n = List.length fwd in
+  if n = 0 then selection_of device [] ~claimed_saving:0
+  else begin
+    let segments = max 1 (int_of_float (ceil (sqrt (float_of_int n)))) in
+    let seg_len = max 1 ((n + segments - 1) / segments) in
+    let seg_of = Hashtbl.create 1024 in
+    List.iteri (fun i node -> Hashtbl.replace seg_of (Node.id node) (i / seg_len)) fwd;
+    let crosses_segment node =
+      let s = Hashtbl.find seg_of (Node.id node) in
+      List.exists
+        (fun c ->
+          Node.region c = Node.Forward
+          && Hashtbl.mem seg_of (Node.id c)
+          && Hashtbl.find seg_of (Node.id c) > s)
+        (Graph.consumers graph (Node.id node))
+    in
+    let mirrored =
+      List.filter
+        (fun node ->
+          Op.is_recomputable (Node.op node)
+          && (not (Graph.is_output graph (Node.id node)))
+          && not (crosses_segment node))
+        fwd
+    in
+    let claimed =
+      List.fold_left
+        (fun acc node ->
+          if Stash.is_stashed stash (Node.id node) then acc + Node.size_bytes node
+          else acc)
+        0 mirrored
+    in
+    selection_of device mirrored ~claimed_saving:claimed
+  end
+
+let recompute_all device graph =
+  let stash = Stash.analyse graph in
+  let nodes =
+    List.filter
+      (fun n ->
+        Op.is_recomputable (Node.op n) && not (Graph.is_output graph (Node.id n)))
+      (Graph.forward_nodes graph)
+  in
+  selection_of device nodes ~claimed_saving:(Stash.bytes stash)

@@ -1,0 +1,36 @@
+open Echo_ir
+
+type t = { ids : Ids.Set.t; nodes : Node.t list; bytes : int }
+
+let analyse graph =
+  let stashed =
+    List.filter
+      (fun n ->
+        Node.region n = Node.Forward
+        && List.exists
+             (fun c -> Node.region c = Node.Backward)
+             (Graph.consumers graph (Node.id n))
+        && not
+             (match Node.op n with
+             | Op.Placeholder | Op.Variable -> true
+             | _ -> false))
+      (Graph.forward_nodes graph)
+  in
+  {
+    ids = List.fold_left (fun s n -> Ids.Set.add (Node.id n) s) Ids.Set.empty stashed;
+    nodes = stashed;
+    bytes = List.fold_left (fun acc n -> acc + Node.size_bytes n) 0 stashed;
+  }
+
+let stashed_ids t = t.ids
+let is_stashed t id = Ids.Set.mem id t.ids
+let stashed_nodes t = t.nodes
+let bytes t = t.bytes
+
+let is_persistent_input node =
+  match Node.op node with
+  | Op.Placeholder | Op.Variable -> true
+  | _ -> false
+
+let available_for_backward t node =
+  is_persistent_input node || Ids.Set.mem (Node.id node) t.ids

@@ -1,0 +1,29 @@
+(** Stash analysis: which forward feature maps does the backward pass read?
+
+    A forward node is {e stashed} when at least one backward node consumes
+    it — its buffer must survive from its forward definition until that
+    consumer runs, which is what makes training footprints balloon. These
+    sets drive both the Echo selection policy and the reports. *)
+
+open Echo_ir
+
+type t
+
+val analyse : Graph.t -> t
+
+val stashed_ids : t -> Ids.Set.t
+val is_stashed : t -> int -> bool
+
+val stashed_nodes : t -> Node.t list
+(** In schedule order. *)
+
+val bytes : t -> int
+(** Total stashed feature-map bytes. *)
+
+val is_persistent_input : Node.t -> bool
+(** [Variable] or [Placeholder]: always available to the backward pass at no
+    extra cost — recomputation chains terminate on these for free. *)
+
+val available_for_backward : t -> Node.t -> bool
+(** Persistent, or stashed anyway: reading this node during the backward pass
+    costs no additional memory. *)

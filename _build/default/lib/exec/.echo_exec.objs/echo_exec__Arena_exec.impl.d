@@ -1,0 +1,1 @@
+lib/exec/arena_exec.ml: Echo_ir Echo_tensor Graph Hashtbl Interp List Liveness Node Op Printf Shape Tensor

@@ -1,0 +1,1 @@
+lib/exec/arena_exec.mli: Echo_ir Echo_tensor Graph Interp Tensor

@@ -1,0 +1,1 @@
+lib/exec/assign.ml: Array Echo_ir Graph Hashtbl List Liveness Node Op Printf Workspace

@@ -1,0 +1,1 @@
+lib/exec/assign.mli: Echo_ir Graph

@@ -1,0 +1,1 @@
+lib/exec/category.ml: Echo_ir Graph List Node Op

@@ -1,0 +1,1 @@
+lib/exec/footprint.ml: Category Format List Memplan Printf

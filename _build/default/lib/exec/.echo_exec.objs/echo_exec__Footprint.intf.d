@@ -1,0 +1,1 @@
+lib/exec/footprint.mli: Format Memplan

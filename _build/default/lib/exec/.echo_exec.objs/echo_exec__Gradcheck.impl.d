@@ -1,0 +1,1 @@
+lib/exec/gradcheck.ml: Echo_autodiff Echo_ir Echo_tensor Float Graph Hashtbl Interp List Node Tensor

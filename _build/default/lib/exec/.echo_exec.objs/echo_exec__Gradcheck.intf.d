@@ -1,0 +1,1 @@
+lib/exec/gradcheck.mli: Echo_ir Echo_tensor Interp Node Stdlib Tensor

@@ -1,0 +1,1 @@
+lib/exec/interp.ml: Echo_ir Echo_tensor Graph Hashtbl List Node Op Printf Shape Tensor

@@ -1,0 +1,1 @@
+lib/exec/interp.mli: Echo_ir Echo_tensor Graph Hashtbl Node Op Shape Tensor

@@ -1,0 +1,1 @@
+lib/exec/liveness.ml: Echo_ir Graph Hashtbl List Node Op

@@ -1,0 +1,1 @@
+lib/exec/liveness.mli: Echo_ir Graph Node

@@ -1,0 +1,1 @@
+lib/exec/memplan.ml: Array Category Echo_ir Format Graph Hashtbl List Liveness Node Op Workspace

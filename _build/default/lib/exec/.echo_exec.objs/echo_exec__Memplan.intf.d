@@ -1,0 +1,1 @@
+lib/exec/memplan.mli: Category Echo_ir Format Graph

@@ -1,0 +1,1 @@
+lib/exec/workspace.ml: Array Echo_ir Node Op

@@ -1,0 +1,62 @@
+open Echo_tensor
+open Echo_ir
+
+exception Freed_too_early of string
+
+let run graph ~feeds ~on_step =
+  let liveness = Liveness.analyse graph in
+  let persistent : (int, Tensor.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (node, tensor) ->
+      if not (Shape.equal (Node.shape node) (Tensor.shape tensor)) then
+        invalid_arg
+          (Printf.sprintf "Arena_exec.eval: feed shape mismatch for %s"
+             (Node.name node));
+      Hashtbl.replace persistent (Node.id node) tensor)
+    feeds;
+  let live : (int, Tensor.t) Hashtbl.t = Hashtbl.create 1024 in
+  let outputs : (int, Tensor.t) Hashtbl.t = Hashtbl.create 8 in
+  let lookup consumer n =
+    match Hashtbl.find_opt persistent (Node.id n) with
+    | Some t -> t
+    | None -> (
+      match Hashtbl.find_opt live (Node.id n) with
+      | Some t -> t
+      | None ->
+        raise
+          (Freed_too_early
+             (Printf.sprintf "%s read by %s after its buffer was recycled"
+                (Node.name n) (Node.name consumer))))
+  in
+  List.iteri
+    (fun step node ->
+      if not (Hashtbl.mem persistent (Node.id node)) then begin
+        (match Node.op node with
+        | Op.Placeholder | Op.Variable ->
+          raise (Interp.Missing_feed (Node.name node))
+        | op ->
+          let inputs = List.map (lookup node) (Node.inputs node) in
+          let value = Interp.eval_node op (Node.shape node) inputs in
+          Hashtbl.replace live (Node.id node) value;
+          if Graph.is_output graph (Node.id node) then
+            Hashtbl.replace outputs (Node.id node) value);
+        on_step (Hashtbl.length live);
+        (* Recycle everything whose last read just happened. *)
+        List.iter
+          (fun dying -> Hashtbl.remove live (Node.id dying))
+          (Liveness.dying_at liveness step)
+      end)
+    (Graph.nodes graph);
+  List.map
+    (fun o ->
+      match Hashtbl.find_opt outputs (Node.id o) with
+      | Some t -> t
+      | None -> Hashtbl.find persistent (Node.id o))
+    (Graph.outputs graph)
+
+let eval graph ~feeds = run graph ~feeds ~on_step:(fun _ -> ())
+
+let max_live_values graph ~feeds =
+  let peak = ref 0 in
+  ignore (run graph ~feeds ~on_step:(fun n -> if n > !peak then peak := n));
+  !peak

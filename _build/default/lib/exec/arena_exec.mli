@@ -1,0 +1,25 @@
+(** Liveness-validating executor.
+
+    Evaluates a graph like {!Interp}, but *drops* every transient value at
+    the death step the liveness analysis computed for it — exactly what a
+    real executor's buffer recycling does. If liveness ever frees a buffer
+    that is still needed (a planner bug that would silently corrupt results
+    on a GPU), evaluation fails loudly with {!Freed_too_early} instead.
+
+    Used by tests to certify that the memory plan backing every footprint
+    number in the paper reproduction is actually executable. *)
+
+open Echo_tensor
+open Echo_ir
+
+exception Freed_too_early of string
+(** Names the node whose input was already recycled. *)
+
+val eval : Graph.t -> feeds:Interp.feeds -> Tensor.t list
+(** Outputs in graph-output order; bit-identical to {!Interp.eval} whenever
+    the liveness analysis is sound.
+    @raise Freed_too_early on a liveness violation. *)
+
+val max_live_values : Graph.t -> feeds:Interp.feeds -> int
+(** Peak number of simultaneously retained transient values during the run —
+    a host-side witness of the planner's liveness accounting. *)

@@ -1,0 +1,122 @@
+open Echo_ir
+
+type slot = {
+  node_id : int;
+  offset : int;
+  size : int;
+  def_step : int;
+  last_step : int;
+}
+
+type t = { slots : slot list; arena : int }
+
+(* Free holes as a sorted (offset, size) list; adjacent holes merge. *)
+module Holes = struct
+  let rec insert holes (off, size) =
+    match holes with
+    | [] -> [ (off, size) ]
+    | (o, s) :: rest ->
+      if off + size = o then (off, size + s) :: rest
+      else if o + s = off then insert rest (o, size + s)
+      else if off < o then (off, size) :: holes
+      else (o, s) :: insert rest (off, size)
+
+  (* Best fit: smallest hole that accommodates [size]. *)
+  let take holes size =
+    let best =
+      List.fold_left
+        (fun acc (o, s) ->
+          if s >= size then begin
+            match acc with
+            | Some (_, bs) when bs <= s -> acc
+            | Some _ | None -> Some (o, s)
+          end
+          else acc)
+        None holes
+    in
+    match best with
+    | None -> None
+    | Some (o, s) ->
+      let holes = List.filter (fun (o', _) -> o' <> o) holes in
+      let holes = if s > size then insert holes (o + size, s - size) else holes in
+      Some (o, holes)
+end
+
+let assign graph =
+  let liveness = Liveness.analyse graph in
+  let holes = ref [] in
+  let top = ref 0 in
+  let slots = ref [] in
+  let by_id : (int, slot) Hashtbl.t = Hashtbl.create 1024 in
+  List.iteri
+    (fun step node ->
+      if not (Liveness.is_persistent node) then begin
+        let size = Node.size_bytes node in
+        let itv = Liveness.interval liveness (Node.id node) in
+        let offset =
+          match Holes.take !holes size with
+          | Some (off, rest) ->
+            holes := rest;
+            off
+          | None ->
+            let off = !top in
+            top := !top + size;
+            off
+        in
+        let slot =
+          {
+            node_id = Node.id node;
+            offset;
+            size;
+            def_step = step;
+            last_step = itv.Liveness.last_step;
+          }
+        in
+        slots := slot :: !slots;
+        Hashtbl.replace by_id (Node.id node) slot;
+        (* Return buffers whose last read is this step. *)
+        List.iter
+          (fun dying ->
+            match Hashtbl.find_opt by_id (Node.id dying) with
+            | Some s -> holes := Holes.insert !holes (s.offset, s.size)
+            | None -> ())
+          (Liveness.dying_at liveness step)
+      end)
+    (Graph.nodes graph);
+  { slots = List.rev !slots; arena = !top }
+
+let arena_size t = t.arena
+let slots t = t.slots
+
+let total_with_persistent t graph =
+  let persistent, max_ws =
+    List.fold_left
+      (fun (p, w) n ->
+        let p =
+          match Node.op n with
+          | Op.Variable | Op.Placeholder -> p + Node.size_bytes n
+          | _ -> p
+        in
+        (p, max w (Workspace.bytes n)))
+      (0, 0) (Graph.nodes graph)
+  in
+  t.arena + persistent + max_ws
+
+let validate t =
+  let overlaps a b =
+    a.offset < b.offset + b.size && b.offset < a.offset + a.size
+  in
+  let concurrent a b = a.def_step <= b.last_step && b.def_step <= a.last_step in
+  let arr = Array.of_list t.slots in
+  Array.iteri
+    (fun i a ->
+      if a.offset < 0 || a.offset + a.size > t.arena then
+        failwith (Printf.sprintf "Assign.validate: slot %d escapes arena" a.node_id);
+      for j = i + 1 to Array.length arr - 1 do
+        let b = arr.(j) in
+        if concurrent a b && overlaps a b then
+          failwith
+            (Printf.sprintf "Assign.validate: slots %d and %d overlap" a.node_id
+               b.node_id)
+      done)
+    arr

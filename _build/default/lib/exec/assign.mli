@@ -1,0 +1,38 @@
+(** Static buffer-offset assignment — the artifact MXNet's memory planner
+    actually produces.
+
+    Given the schedule and the liveness intervals, assign every transient
+    buffer a byte offset in one contiguous device arena such that buffers
+    with overlapping lifetimes never overlap in address space. Best-fit over
+    a free-hole list with merging of adjacent holes; the resulting arena
+    size is the {e static plan} footprint — it sits between the
+    ideal-allocator live peak and the exact-size-reuse pool of
+    {!Memplan}. *)
+
+open Echo_ir
+
+type slot = {
+  node_id : int;
+  offset : int;  (** byte offset in the transient arena *)
+  size : int;
+  def_step : int;
+  last_step : int;  (** [max_int] for graph outputs *)
+}
+
+type t
+
+val assign : Graph.t -> t
+
+val arena_size : t -> int
+(** Bytes of the transient arena (persistent weights/inputs are outside). *)
+
+val slots : t -> slot list
+(** In schedule (definition) order. *)
+
+val total_with_persistent : t -> Graph.t -> int
+(** Arena plus weights, inputs and the maximum kernel workspace — directly
+    comparable to {!Memplan}'s metrics. *)
+
+val validate : t -> unit
+(** @raise Failure if two live-overlapping slots overlap in address space or
+    any slot escapes the arena — the planner's soundness condition. *)

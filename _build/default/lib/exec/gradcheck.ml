@@ -1,0 +1,50 @@
+open Echo_tensor
+open Echo_ir
+
+type result = { param : string; max_abs_err : float; max_rel_err : float }
+
+let loss_value loss ~feeds = Interp.eval_scalar (Graph.create [ loss ]) ~feeds
+
+let numeric_grad ~loss ~feeds ~wrt ~eps =
+  let base =
+    match List.assq_opt wrt feeds with
+    | Some t -> t
+    | None -> invalid_arg "Gradcheck.numeric_grad: wrt node is not fed"
+  in
+  let grad = Tensor.zeros (Tensor.shape base) in
+  let perturbed delta i =
+    let t = Tensor.copy base in
+    Tensor.set1 t i (Tensor.get1 t i +. delta);
+    let feeds = List.map (fun (n, v) -> if n == wrt then (n, t) else (n, v)) feeds in
+    loss_value loss ~feeds
+  in
+  for i = 0 to Tensor.numel base - 1 do
+    let up = perturbed eps i and down = perturbed (-.eps) i in
+    Tensor.set1 grad i ((up -. down) /. (2.0 *. eps))
+  done;
+  grad
+
+let compare_grads ~param ~analytic ~numeric =
+  let max_abs = ref 0.0 and max_rel = ref 0.0 in
+  for i = 0 to Tensor.numel numeric - 1 do
+    let a = Tensor.get1 analytic i and n = Tensor.get1 numeric i in
+    let abs_err = Float.abs (a -. n) in
+    let rel_err = abs_err /. Float.max 1.0 (Float.abs n) in
+    if abs_err > !max_abs then max_abs := abs_err;
+    if rel_err > !max_rel then max_rel := rel_err
+  done;
+  { param; max_abs_err = !max_abs; max_rel_err = !max_rel }
+
+let check ?(eps = 1e-5) ?(tol = 1e-5) ~loss ~feeds ~wrt () =
+  let training = Echo_autodiff.Grad.differentiate ~loss ~wrt in
+  let values = Interp.eval_all training.graph ~feeds in
+  let results =
+    List.map
+      (fun (param, grad_node) ->
+        let analytic = Hashtbl.find values (Node.id grad_node) in
+        let numeric = numeric_grad ~loss ~feeds ~wrt:param ~eps in
+        compare_grads ~param:(Node.name param) ~analytic ~numeric)
+      training.grads
+  in
+  let failures = List.filter (fun r -> r.max_rel_err > tol) results in
+  if failures = [] then Ok results else Error failures

@@ -1,0 +1,121 @@
+open Echo_tensor
+open Echo_ir
+
+type feeds = (Node.t * Tensor.t) list
+
+exception Missing_feed of string
+
+let eval_node op out_shape inputs =
+  let one () = match inputs with [ x ] -> x | _ -> invalid_arg "arity" in
+  let two () = match inputs with [ x; y ] -> (x, y) | _ -> invalid_arg "arity" in
+  match op with
+  | Op.Placeholder | Op.Variable ->
+    invalid_arg "Interp.eval_node: inputs have no semantics without a feed"
+  | Op.Zeros -> Tensor.zeros out_shape
+  | Op.ConstFill v -> Tensor.full out_shape v
+  | Op.DropoutMask { p; seed } -> Tensor.dropout_mask ~seed ~p out_shape
+  | Op.Neg -> Tensor.neg (one ())
+  | Op.Scale k -> Tensor.scale k (one ())
+  | Op.AddScalar k -> Tensor.add_scalar k (one ())
+  | Op.PowConst p -> Tensor.pow_const p (one ())
+  | Op.Sigmoid -> Tensor.sigmoid (one ())
+  | Op.Tanh -> Tensor.tanh_ (one ())
+  | Op.Relu -> Tensor.relu (one ())
+  | Op.Exp -> Tensor.exp_ (one ())
+  | Op.Log -> Tensor.log_ (one ())
+  | Op.Sqrt -> Tensor.sqrt_ (one ())
+  | Op.Sq -> Tensor.sq (one ())
+  | Op.Recip -> Tensor.recip (one ())
+  | Op.Sign -> Tensor.sign (one ())
+  | Op.Add ->
+    let x, y = two () in
+    Tensor.add x y
+  | Op.Sub ->
+    let x, y = two () in
+    Tensor.sub x y
+  | Op.Mul ->
+    let x, y = two () in
+    Tensor.mul x y
+  | Op.Div ->
+    let x, y = two () in
+    Tensor.div x y
+  | Op.Matmul { trans_a; trans_b } ->
+    let x, y = two () in
+    Tensor.matmul ~trans_a ~trans_b x y
+  | Op.AddBias ->
+    let m, bias = two () in
+    Tensor.add_bias m bias
+  | Op.ScaleBy ->
+    let x, s = two () in
+    Tensor.scale (Tensor.get1 s 0) x
+  | Op.Slice { axis; lo; hi } -> Tensor.slice ~axis ~lo ~hi (one ())
+  | Op.PadSlice { axis; lo; full } -> Tensor.pad_slice ~axis ~lo ~full (one ())
+  | Op.Concat { axis } -> Tensor.concat ~axis inputs
+  | Op.Reshape s -> Tensor.reshape (one ()) s
+  | Op.Transpose2d -> Tensor.transpose2d (one ())
+  | Op.ReduceSum { axis; keepdims } -> Tensor.reduce_sum ~axis ~keepdims (one ())
+  | Op.ReduceMean { axis; keepdims } -> Tensor.reduce_mean ~axis ~keepdims (one ())
+  | Op.BroadcastAxis { axis; n } -> Tensor.broadcast_axis ~axis ~n (one ())
+  | Op.Softmax -> Tensor.softmax (one ())
+  | Op.LogSoftmax -> Tensor.log_softmax (one ())
+  | Op.CrossEntropy ->
+    let logits, labels = two () in
+    Tensor.scalar (Tensor.cross_entropy ~logits ~labels)
+  | Op.CrossEntropyGrad ->
+    let logits, labels = two () in
+    Tensor.cross_entropy_grad ~logits ~labels
+  | Op.Embedding ->
+    let table, ids = two () in
+    Tensor.embedding ~table ~ids
+  | Op.EmbeddingGrad { vocab = _ } ->
+    let ids, grad_out = two () in
+    Tensor.embedding_grad ~table_shape:out_shape ~ids ~grad_out
+  | Op.Conv2d { stride; pad } ->
+    let input, kernel = two () in
+    Tensor.conv2d ~stride ~pad ~input ~kernel
+  | Op.Conv2dGradInput { stride; pad; input_shape } ->
+    let kernel, grad_out = two () in
+    Tensor.conv2d_grad_input ~stride ~pad ~input_shape ~kernel ~grad_out
+  | Op.Conv2dGradKernel { stride; pad; kernel_shape } ->
+    let input, grad_out = two () in
+    Tensor.conv2d_grad_kernel ~stride ~pad ~input ~kernel_shape ~grad_out
+
+let eval_all graph ~feeds =
+  let values : (int, Tensor.t) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun (node, tensor) ->
+      if not (Shape.equal (Node.shape node) (Tensor.shape tensor)) then
+        invalid_arg
+          (Printf.sprintf "Interp.eval: feed for %s has shape %s, node has %s"
+             (Node.name node)
+             (Shape.to_string (Tensor.shape tensor))
+             (Shape.to_string (Node.shape node)));
+      Hashtbl.replace values (Node.id node) tensor)
+    feeds;
+  List.iter
+    (fun node ->
+      if not (Hashtbl.mem values (Node.id node)) then begin
+        match Node.op node with
+        | Op.Placeholder | Op.Variable ->
+          raise
+            (Missing_feed
+               (Printf.sprintf "%s (#%d)" (Node.name node) (Node.id node)))
+        | op ->
+          let inputs =
+            List.map (fun i -> Hashtbl.find values (Node.id i)) (Node.inputs node)
+          in
+          Hashtbl.replace values (Node.id node)
+            (eval_node op (Node.shape node) inputs)
+      end)
+    (Graph.nodes graph);
+  values
+
+let eval graph ~feeds =
+  let values = eval_all graph ~feeds in
+  List.map (fun o -> Hashtbl.find values (Node.id o)) (Graph.outputs graph)
+
+let eval_scalar graph ~feeds =
+  match eval graph ~feeds with
+  | [ t ] when Shape.rank (Tensor.shape t) = 0 -> Tensor.get1 t 0
+  | [ _ ] -> invalid_arg "Interp.eval_scalar: output is not a scalar"
+  | _ -> invalid_arg "Interp.eval_scalar: graph has multiple outputs"

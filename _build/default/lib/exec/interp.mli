@@ -1,0 +1,30 @@
+(** Reference interpreter: executes a graph on host tensors.
+
+    Deterministic by construction — all stochastic operators are seeded — so
+    evaluating the same graph twice, or evaluating a semantically equivalent
+    rewrite (e.g. after the Echo recomputation pass), yields bitwise
+    identical outputs. *)
+
+open Echo_tensor
+open Echo_ir
+
+type feeds = (Node.t * Tensor.t) list
+(** Values for every [Placeholder] and [Variable] reachable in the graph. *)
+
+exception Missing_feed of string
+
+val eval_node : Op.t -> Shape.t -> Tensor.t list -> Tensor.t
+(** Execute one operator on materialised inputs. [Placeholder]/[Variable]
+    are rejected (they have no semantics without a feed). Exposed for
+    op-level unit tests. *)
+
+val eval : Graph.t -> feeds:feeds -> Tensor.t list
+(** Evaluate and return the graph outputs, in output order.
+    @raise Missing_feed naming the offending node. *)
+
+val eval_all : Graph.t -> feeds:feeds -> (int, Tensor.t) Hashtbl.t
+(** Evaluate and keep every node's value, keyed by node id (tests and
+    debugging; memory-hungry on purpose). *)
+
+val eval_scalar : Graph.t -> feeds:feeds -> float
+(** Convenience: evaluate a graph whose single output is a scalar. *)

@@ -1,0 +1,72 @@
+open Echo_ir
+
+type interval = { node : Node.t; def_step : int; last_step : int }
+
+type t = {
+  by_id : (int, interval) Hashtbl.t;
+  ordered : interval list;
+  deaths : (int, Node.t list) Hashtbl.t;  (* step -> buffers dying there *)
+  steps : int;
+}
+
+let is_persistent node =
+  match Node.op node with
+  | Op.Placeholder | Op.Variable -> true
+  | Op.Zeros | Op.ConstFill _ | Op.DropoutMask _ | Op.Neg | Op.Scale _
+  | Op.AddScalar _ | Op.PowConst _ | Op.Sigmoid | Op.Tanh | Op.Relu | Op.Exp
+  | Op.Log | Op.Sqrt | Op.Sq | Op.Recip | Op.Sign | Op.Add | Op.Sub | Op.Mul
+  | Op.Div | Op.Matmul _ | Op.AddBias | Op.ScaleBy | Op.Slice _ | Op.PadSlice _
+  | Op.Concat _ | Op.Reshape _ | Op.Transpose2d | Op.ReduceSum _
+  | Op.ReduceMean _ | Op.BroadcastAxis _ | Op.Softmax | Op.LogSoftmax
+  | Op.CrossEntropy | Op.CrossEntropyGrad | Op.Embedding | Op.EmbeddingGrad _
+  | Op.Conv2d _ | Op.Conv2dGradInput _ | Op.Conv2dGradKernel _ ->
+    false
+
+let analyse graph =
+  let schedule = Graph.nodes graph in
+  let position = Hashtbl.create 1024 in
+  List.iteri (fun i n -> Hashtbl.replace position (Node.id n) i) schedule;
+  let by_id = Hashtbl.create 1024 in
+  let deaths = Hashtbl.create 1024 in
+  let ordered = ref [] in
+  List.iteri
+    (fun i node ->
+      if not (is_persistent node) then begin
+        let last =
+          if Graph.is_output graph (Node.id node) then max_int
+          else
+            List.fold_left
+              (fun acc c -> max acc (Hashtbl.find position (Node.id c)))
+              i
+              (Graph.consumers graph (Node.id node))
+        in
+        let itv = { node; def_step = i; last_step = last } in
+        Hashtbl.replace by_id (Node.id node) itv;
+        ordered := itv :: !ordered;
+        if last <> max_int then begin
+          let cur = try Hashtbl.find deaths last with Not_found -> [] in
+          Hashtbl.replace deaths last (node :: cur)
+        end
+      end)
+    schedule;
+  { by_id; ordered = List.rev !ordered; deaths; steps = List.length schedule }
+
+let intervals t = t.ordered
+let interval t id = Hashtbl.find t.by_id id
+let step_count t = t.steps
+let dying_at t step = try Hashtbl.find t.deaths step with Not_found -> []
+
+let crosses_into_backward _t graph id =
+  let node = Graph.find graph id in
+  Node.region node = Node.Forward
+  && List.exists
+       (fun c -> Node.region c = Node.Backward)
+       (Graph.consumers graph id)
+
+let stash_bytes t graph =
+  List.fold_left
+    (fun acc itv ->
+      if crosses_into_backward t graph (Node.id itv.node) then
+        acc + Node.size_bytes itv.node
+      else acc)
+    0 t.ordered

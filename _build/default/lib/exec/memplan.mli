@@ -1,0 +1,46 @@
+(** Liveness-based memory planning and footprint measurement.
+
+    Models the two allocator disciplines that matter for reproducing
+    GPU-footprint numbers:
+
+    - the {e live peak}: the best any allocator could do — the maximum over
+      schedule steps of the bytes simultaneously live (persistent buffers +
+      transient buffers + the executing kernel's workspace);
+    - the {e arena size}: what an MXNet-style exact-size-reuse pool actually
+      reserves — freed buffers are recycled only for identically-sized
+      requests, so the arena grows monotonically and its final size is the
+      device footprint an external observer (nvidia-smi) reports.
+
+    Benchmarks report the arena size as "the footprint"; the live peak is the
+    ideal-allocator reference. *)
+
+open Echo_ir
+
+type report = {
+  arena_bytes : int;  (** persistent + transient pool + max workspace *)
+  live_peak_bytes : int;  (** ideal-allocator peak, same inclusions *)
+  peak_step : int;  (** schedule index at which the live peak occurs *)
+  weight_bytes : int;
+  input_bytes : int;
+  stash_bytes : int;  (** forward feature maps consumed by backward nodes *)
+  max_workspace_bytes : int;
+  breakdown : (Category.t * int) list;
+      (** live bytes per category at the live-peak step (all categories
+          present, zeros included) *)
+  node_count : int;
+  step_of_backward_start : int option;
+      (** first schedule index executing a backward-region node *)
+}
+
+val plan : ?reuse:bool -> ?inplace:bool -> Graph.t -> report
+(** [reuse] (default [true]) enables the exact-size pool; with [~reuse:false]
+    every transient allocation is fresh, so [arena_bytes] degenerates to the
+    sum of all transient buffers — the "no memory planning" strawman.
+    [inplace] (default [true]) lets same-shape elementwise operators write
+    into a dying input's buffer (MXNet's in-place optimisation) — gradient
+    accumulation chains then cost one buffer instead of one per step. *)
+
+val reduction_factor : baseline:report -> report -> float
+(** Ratio of arena footprints (baseline / optimised). *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,40 @@
+(* Scratch-space requirements of individual kernels, modelled after the
+   dominant real-world implementations: direct/implicit-GEMM convolution
+   keeps a per-sample im2col (or col2im) panel; everything else runs in
+   place. *)
+
+open Echo_ir
+
+let bytes_per_elt = 4
+
+(* One sample's im2col panel: (Cin*Kh*Kw) x (OH*OW). *)
+let conv_panel ~kernel_shape ~grad_or_out_shape:o =
+  let cin = kernel_shape.(1) and kh = kernel_shape.(2) and kw = kernel_shape.(3) in
+  cin * kh * kw * o.(2) * o.(3) * bytes_per_elt
+
+let second_input node =
+  match Node.inputs node with
+  | [ _; x ] -> Node.shape x
+  | _ -> invalid_arg "Workspace.bytes: malformed convolution node"
+
+let first_input node =
+  match Node.inputs node with
+  | [ x; _ ] -> Node.shape x
+  | _ -> invalid_arg "Workspace.bytes: malformed convolution node"
+
+let bytes node =
+  match Node.op node with
+  | Op.Conv2d _ ->
+    conv_panel ~kernel_shape:(second_input node) ~grad_or_out_shape:(Node.shape node)
+  | Op.Conv2dGradInput _ ->
+    conv_panel ~kernel_shape:(first_input node) ~grad_or_out_shape:(second_input node)
+  | Op.Conv2dGradKernel { kernel_shape; _ } ->
+    conv_panel ~kernel_shape ~grad_or_out_shape:(second_input node)
+  | Op.Placeholder | Op.Variable | Op.Zeros | Op.ConstFill _ | Op.DropoutMask _
+  | Op.Neg | Op.Scale _ | Op.AddScalar _ | Op.PowConst _ | Op.Sigmoid | Op.Tanh
+  | Op.Relu | Op.Exp | Op.Log | Op.Sqrt | Op.Sq | Op.Recip | Op.Sign | Op.Add
+  | Op.Sub | Op.Mul | Op.Div | Op.Matmul _ | Op.AddBias | Op.ScaleBy | Op.Slice _
+  | Op.PadSlice _ | Op.Concat _ | Op.Reshape _ | Op.Transpose2d | Op.ReduceSum _
+  | Op.ReduceMean _ | Op.BroadcastAxis _ | Op.Softmax | Op.LogSoftmax
+  | Op.CrossEntropy | Op.CrossEntropyGrad | Op.Embedding | Op.EmbeddingGrad _ ->
+    0

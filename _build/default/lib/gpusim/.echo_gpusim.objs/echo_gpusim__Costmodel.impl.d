@@ -1,0 +1,1 @@
+lib/gpusim/costmodel.ml: Array Device Echo_ir Echo_tensor Float Graph Hashtbl List Node Op Shape

@@ -1,0 +1,1 @@
+lib/gpusim/costmodel.mli: Device Echo_ir Graph Node Op

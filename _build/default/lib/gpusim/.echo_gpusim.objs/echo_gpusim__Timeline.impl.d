@@ -1,0 +1,1 @@
+lib/gpusim/timeline.ml: Buffer Costmodel Device Echo_ir Float Format Graph Hashtbl List Node Op Printf String

@@ -1,0 +1,1 @@
+lib/gpusim/timeline.mli: Device Echo_ir Format Graph Node Op

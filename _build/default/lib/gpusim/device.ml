@@ -1,0 +1,30 @@
+type t = {
+  name : string;
+  peak_flops : float;
+  bandwidth : float;
+  launch_overhead_s : float;
+  memory_bytes : int;
+}
+
+let gib = 1024 * 1024 * 1024
+
+let titan_xp =
+  {
+    name = "titan-xp";
+    peak_flops = 10.8e12;
+    bandwidth = 547.0e9;
+    launch_overhead_s = 5.0e-6;
+    memory_bytes = 12 * gib;
+  }
+
+let v100 =
+  {
+    name = "v100";
+    peak_flops = 14.0e12;
+    bandwidth = 900.0e9;
+    launch_overhead_s = 5.0e-6;
+    memory_bytes = 16 * gib;
+  }
+
+let all = [ titan_xp; v100 ]
+let by_name name = List.find_opt (fun d -> d.name = name) all

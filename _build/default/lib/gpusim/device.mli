@@ -1,0 +1,26 @@
+(** Analytic device profiles for the simulated-GPU cost model.
+
+    The paper's experiments ran on real NVIDIA GPUs; this repository substitutes
+    a roofline model (see DESIGN.md): a kernel costs
+    [launch + max(flops / peak_flops, bytes / bandwidth)]. Absolute times are
+    approximate, but the ratios the evaluation depends on — GEMM vs
+    elementwise cost, recomputation overhead as a fraction of an iteration —
+    are preserved. *)
+
+type t = {
+  name : string;
+  peak_flops : float;  (** sustained fp32 FLOP/s *)
+  bandwidth : float;  (** global-memory bytes/s *)
+  launch_overhead_s : float;  (** per-kernel CPU-side launch latency *)
+  memory_bytes : int;  (** device memory capacity *)
+}
+
+val titan_xp : t
+(** 10.8 TFLOPS, 547 GB/s, 12 GiB — the card used by the original authors'
+    group. *)
+
+val v100 : t
+(** 14 TFLOPS, 900 GB/s, 16 GiB. *)
+
+val by_name : string -> t option
+val all : t list

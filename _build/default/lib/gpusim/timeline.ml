@@ -1,0 +1,91 @@
+open Echo_ir
+
+type event = {
+  name : string;
+  op : Op.t;
+  region : Node.region;
+  start_s : float;
+  duration_s : float;
+}
+
+type t = { events : event list; total_s : float }
+
+let simulate device graph =
+  let clock = ref 0.0 in
+  let events =
+    List.filter_map
+      (fun node ->
+        let d = Costmodel.node_time device node in
+        if d = 0.0 then None
+        else begin
+          let e =
+            {
+              name = Node.name node;
+              op = Node.op node;
+              region = Node.region node;
+              start_s = !clock;
+              duration_s = d;
+            }
+          in
+          clock := !clock +. d;
+          Some e
+        end)
+      (Graph.nodes graph)
+  in
+  { events; total_s = !clock }
+
+let events t = t.events
+let total_s t = t.total_s
+
+type line = { family : string; time_s : float; calls : int; share : float }
+
+(* Operator family: the constructor name without attributes. *)
+let family_of op =
+  let s = Op.to_string op in
+  match String.index_opt s '(' with Some i -> String.sub s 0 i | None -> s
+
+let summary t =
+  let totals : (string, float * int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      let time, calls =
+        try Hashtbl.find totals (family_of e.op) with Not_found -> (0.0, 0)
+      in
+      Hashtbl.replace totals (family_of e.op) (time +. e.duration_s, calls + 1))
+    t.events;
+  Hashtbl.fold
+    (fun family (time_s, calls) acc ->
+      { family; time_s; calls; share = time_s /. t.total_s } :: acc)
+    totals []
+  |> List.sort (fun a b -> Float.compare b.time_s a.time_s)
+
+let launch_share device t =
+  let launches = float_of_int (List.length t.events) in
+  launches *. device.Device.launch_overhead_s /. t.total_s
+
+let to_chrome_trace t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d}"
+           (String.map (fun c -> if c = '"' then '\'' else c) e.name)
+           (family_of e.op) (1e6 *. e.start_s) (1e6 *. e.duration_s)
+           (match e.region with Node.Forward -> 0 | Node.Backward -> 1)))
+    t.events;
+  Buffer.add_string buf "]";
+  Buffer.contents buf
+
+let pp_profile fmt t =
+  Format.fprintf fmt "%8s %12s %8s %12s  %s@." "time%" "total" "calls" "avg"
+    "kernel family";
+  List.iter
+    (fun l ->
+      Format.fprintf fmt "%7.1f%% %10.3fms %8d %10.2fus  %s@."
+        (100.0 *. l.share) (1000.0 *. l.time_s) l.calls
+        (1e6 *. l.time_s /. float_of_int l.calls)
+        l.family)
+    (summary t)

@@ -1,0 +1,40 @@
+(** Simulated execution timeline — the substitute for the paper's nvprof
+    profiles. Kernels execute back-to-back in schedule order at their
+    roofline cost; the result can be summarised nvprof-style (time share per
+    kernel family) or exported as a Chrome trace for visual inspection. *)
+
+open Echo_ir
+
+type event = {
+  name : string;
+  op : Op.t;
+  region : Node.region;
+  start_s : float;
+  duration_s : float;
+}
+
+type t
+
+val simulate : Device.t -> Graph.t -> t
+val events : t -> event list
+val total_s : t -> float
+
+type line = {
+  family : string;  (** operator family, e.g. ["Matmul"], ["Sigmoid"] *)
+  time_s : float;
+  calls : int;
+  share : float;  (** fraction of total time *)
+}
+
+val summary : t -> line list
+(** Per-operator-family totals, decreasing by time — the paper's "runtime
+    breakdown by GPU kernels" figure. *)
+
+val launch_share : Device.t -> t -> float
+(** Fraction of the iteration spent in kernel-launch overhead. *)
+
+val to_chrome_trace : t -> string
+(** chrome://tracing / Perfetto JSON. *)
+
+val pp_profile : Format.formatter -> t -> unit
+(** nvprof-style table: time%%, time, calls, avg, family. *)

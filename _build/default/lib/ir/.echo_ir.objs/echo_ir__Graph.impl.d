@@ -1,0 +1,1 @@
+lib/ir/graph.ml: Buffer Echo_tensor Format Hashtbl Ids List Node Op Printf Stdlib

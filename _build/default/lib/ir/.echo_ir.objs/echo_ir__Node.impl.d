@@ -1,0 +1,1 @@
+lib/ir/node.ml: Echo_tensor Format Int List Op Option Printf Shape

@@ -1,0 +1,1 @@
+lib/ir/node.mli: Echo_tensor Format Op Shape

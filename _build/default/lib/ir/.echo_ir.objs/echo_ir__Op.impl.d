@@ -1,0 +1,1 @@
+lib/ir/op.ml: Array Echo_tensor Format List Printf Shape

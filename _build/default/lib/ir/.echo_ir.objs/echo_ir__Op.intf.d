@@ -1,0 +1,1 @@
+lib/ir/op.mli: Echo_tensor Format Shape

@@ -1,0 +1,1 @@
+lib/ir/serial.ml: Array Buffer Echo_tensor Graph Hashtbl List Node Op Printf Shape String

@@ -1,0 +1,1 @@
+lib/ir/serial.mli: Graph

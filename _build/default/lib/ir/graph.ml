@@ -1,0 +1,172 @@
+type t = {
+  outputs : Node.t list;
+  schedule : Node.t list;  (* all reachable nodes, deterministic topo order *)
+  by_id : (int, Node.t) Hashtbl.t;
+  consumers : (int, Node.t list) Hashtbl.t;  (* reverse edges, in schedule order *)
+  output_ids : Ids.Set.t;
+}
+
+(* Collect every node reachable from the outputs (iterative: unrolled
+   graphs far exceed the stack limit). *)
+let reachable outputs =
+  let seen = Hashtbl.create 1024 in
+  let acc = ref [] in
+  let stack = ref (List.map (fun n -> `Visit n) outputs) in
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | `Done n :: rest ->
+      stack := rest;
+      acc := n :: !acc;
+      loop ()
+    | `Visit n :: rest ->
+      if Hashtbl.mem seen (Node.id n) then begin
+        stack := rest;
+        loop ()
+      end
+      else begin
+        Hashtbl.add seen (Node.id n) ();
+        stack := List.map (fun i -> `Visit i) (Node.inputs n) @ (`Done n :: rest);
+        loop ()
+      end
+  in
+  loop ();
+  List.rev !acc
+
+(* Program-order schedule: Kahn's algorithm picking the ready node with the
+   smallest (hint, id). Hints default to creation ids, so an unmodified
+   training graph executes exactly in the order the model and the autodiff
+   engine emitted it — per-step gradient aggregation interleaves with the
+   gradient chain instead of piling up at the end. Graph rewrites assign
+   recomputation clones a hint just below their first consumer's, so clones
+   run just-in-time inside the backward pass. *)
+module Ready = Stdlib.Set.Make (struct
+  type t = float * int (* hint, id *)
+
+  let compare = Stdlib.compare
+end)
+
+let hint_schedule members =
+  let pending = Hashtbl.create 1024 in
+  let consumers_of = Hashtbl.create 1024 in
+  let by_id = Hashtbl.create 1024 in
+  List.iter
+    (fun n ->
+      Hashtbl.replace by_id (Node.id n) n;
+      Hashtbl.replace pending (Node.id n) (List.length (Node.inputs n));
+      List.iter
+        (fun i ->
+          let cur = try Hashtbl.find consumers_of (Node.id i) with Not_found -> [] in
+          Hashtbl.replace consumers_of (Node.id i) (n :: cur))
+        (Node.inputs n))
+    members;
+  let ready = ref Ready.empty in
+  List.iter
+    (fun n ->
+      if Node.inputs n = [] then
+        ready := Ready.add (Node.hint n, Node.id n) !ready)
+    members;
+  let out = ref [] in
+  let placed = ref 0 in
+  while not (Ready.is_empty !ready) do
+    let ((_, id) as key) = Ready.min_elt !ready in
+    ready := Ready.remove key !ready;
+    let n = Hashtbl.find by_id id in
+    out := n :: !out;
+    incr placed;
+    List.iter
+      (fun c ->
+        let d = Hashtbl.find pending (Node.id c) - 1 in
+        Hashtbl.replace pending (Node.id c) d;
+        if d = 0 then ready := Ready.add (Node.hint c, Node.id c) !ready)
+      (try Hashtbl.find consumers_of id with Not_found -> [])
+  done;
+  if !placed <> List.length members then failwith "Graph: cycle detected";
+  List.rev !out
+
+let create outputs =
+  if outputs = [] then invalid_arg "Graph.create: empty output list";
+  let members = reachable outputs in
+  let schedule = hint_schedule members in
+  let by_id = Hashtbl.create (List.length schedule) in
+  List.iter (fun n -> Hashtbl.replace by_id (Node.id n) n) schedule;
+  let consumers = Hashtbl.create (List.length schedule) in
+  (* Build reverse edges in schedule order so consumer lists are stable. *)
+  List.iter
+    (fun n ->
+      List.iter
+        (fun i ->
+          let cur = try Hashtbl.find consumers (Node.id i) with Not_found -> [] in
+          Hashtbl.replace consumers (Node.id i) (n :: cur))
+        (Node.inputs n))
+    schedule;
+  Hashtbl.iter (fun k v -> Hashtbl.replace consumers k (List.rev v)) consumers;
+  let output_ids =
+    List.fold_left (fun s n -> Ids.Set.add (Node.id n) s) Ids.Set.empty outputs
+  in
+  { outputs; schedule; by_id; consumers; output_ids }
+
+let outputs g = g.outputs
+let nodes g = g.schedule
+let node_count g = List.length g.schedule
+let mem g id = Hashtbl.mem g.by_id id
+let find g id = Hashtbl.find g.by_id id
+let consumers g id = try Hashtbl.find g.consumers id with Not_found -> []
+let is_output g id = Ids.Set.mem id g.output_ids
+
+let forward_nodes g =
+  List.filter (fun n -> Node.region n = Node.Forward) g.schedule
+
+let backward_nodes g =
+  List.filter (fun n -> Node.region n = Node.Backward) g.schedule
+
+let validate g =
+  let seen = Hashtbl.create 1024 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen (Node.id n) then
+        failwith (Printf.sprintf "Graph.validate: duplicate id %d" (Node.id n));
+      List.iter
+        (fun i ->
+          if not (Hashtbl.mem seen (Node.id i)) then
+            failwith
+              (Printf.sprintf
+                 "Graph.validate: node %d scheduled before its input %d"
+                 (Node.id n) (Node.id i)))
+        (Node.inputs n);
+      Hashtbl.add seen (Node.id n) ())
+    g.schedule;
+  List.iter
+    (fun o ->
+      if not (Hashtbl.mem seen (Node.id o)) then
+        failwith "Graph.validate: output not reachable")
+    g.outputs
+
+let total_output_bytes g =
+  List.fold_left (fun acc n -> acc + Node.size_bytes n) 0 g.schedule
+
+let pp_stats fmt g =
+  let fwd = List.length (forward_nodes g) and bwd = List.length (backward_nodes g) in
+  Format.fprintf fmt "nodes=%d (fwd=%d bwd=%d) outputs=%d total_bytes=%d"
+    (node_count g) fwd bwd (List.length g.outputs) (total_output_bytes g)
+
+let to_dot g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph G {\n  rankdir=TB;\n";
+  List.iter
+    (fun n ->
+      let color = match Node.region n with Node.Forward -> "lightblue" | Node.Backward -> "lightsalmon" in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  n%d [label=\"%s\\n%s %s\", style=filled, fillcolor=%s];\n"
+           (Node.id n) (Node.name n)
+           (Op.to_string (Node.op n))
+           (Echo_tensor.Shape.to_string (Node.shape n))
+           color);
+      List.iter
+        (fun i ->
+          Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" (Node.id i) (Node.id n)))
+        (Node.inputs n))
+    g.schedule;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

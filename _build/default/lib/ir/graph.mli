@@ -1,0 +1,47 @@
+(** Dataflow graphs.
+
+    A graph is its list of output nodes; everything reachable from them
+    through input edges belongs to the graph. Scheduling is deterministic:
+    Kahn's algorithm breaking ties by smallest node id, which reproduces
+    program (creation) order — forward nodes first, backward nodes next, and
+    recomputation clones as late as their consumers allow. *)
+
+type t
+
+val create : Node.t list -> t
+(** @raise Invalid_argument on an empty output list. *)
+
+val outputs : t -> Node.t list
+
+val nodes : t -> Node.t list
+(** All reachable nodes in schedule order (see above). Computed once and
+    cached. *)
+
+val node_count : t -> int
+
+val mem : t -> int -> bool
+(** Is the node with this id part of the graph? *)
+
+val find : t -> int -> Node.t
+(** @raise Not_found if absent. *)
+
+val consumers : t -> int -> Node.t list
+(** Nodes of the graph that take the given node as an input. A consumer that
+    uses the node for several of its input slots appears once per slot. *)
+
+val is_output : t -> int -> bool
+
+val forward_nodes : t -> Node.t list
+val backward_nodes : t -> Node.t list
+
+val validate : t -> unit
+(** Internal consistency check: every input of a member is a member, ids are
+    unique, schedule order is topological. @raise Failure on violation. *)
+
+val total_output_bytes : t -> int
+(** Sum of every member node's output size (an upper bound on transient
+    footprint, before liveness or reuse). *)
+
+val pp_stats : Format.formatter -> t -> unit
+val to_dot : t -> string
+(** Graphviz rendering for debugging (small graphs only). *)

@@ -1,0 +1,4 @@
+(* Integer-keyed sets and maps over node identifiers. *)
+
+module Set = Stdlib.Set.Make (Int)
+module Map = Stdlib.Map.Make (Int)

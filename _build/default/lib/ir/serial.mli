@@ -1,0 +1,17 @@
+(** Graph serialization: a stable, line-oriented text format so compiled
+    (and rewritten) training graphs can be saved, diffed and reloaded by
+    tools. Round-tripping preserves structure, names, regions and scheduling
+    hints — a reloaded graph schedules, plans and evaluates identically
+    (node ids are reassigned; everything order-relevant is written in
+    schedule order so tie-breaking is stable). *)
+
+exception Parse_error of string
+(** Carries the offending line and reason. *)
+
+val to_string : Graph.t -> string
+
+val of_string : string -> Graph.t
+(** @raise Parse_error on malformed input. *)
+
+val to_file : Graph.t -> string -> unit
+val of_file : string -> Graph.t

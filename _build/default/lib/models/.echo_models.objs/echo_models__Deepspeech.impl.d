@@ -1,0 +1,1 @@
+lib/models/deepspeech.ml: Echo_ir Echo_tensor Hashtbl List Model Node Params Printf Recurrent Shape

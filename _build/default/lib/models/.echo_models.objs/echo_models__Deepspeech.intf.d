@@ -1,0 +1,1 @@
+lib/models/deepspeech.mli: Echo_ir Model Node

@@ -1,0 +1,1 @@
+lib/models/language_model.ml: Echo_ir Layer List Model Node Params Printf Recurrent

@@ -1,0 +1,1 @@
+lib/models/language_model.mli: Echo_ir Model Node Recurrent

@@ -1,0 +1,1 @@
+lib/models/layer.ml: Echo_ir Echo_tensor List Node Params Shape

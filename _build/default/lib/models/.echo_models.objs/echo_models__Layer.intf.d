@@ -1,0 +1,1 @@
+lib/models/layer.mli: Echo_ir Node Params

@@ -1,0 +1,1 @@
+lib/models/model.ml: Echo_autodiff Echo_ir Format Graph Node Params

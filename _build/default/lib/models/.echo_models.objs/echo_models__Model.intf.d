@@ -1,0 +1,1 @@
+lib/models/model.mli: Echo_autodiff Echo_ir Format Graph Node Params

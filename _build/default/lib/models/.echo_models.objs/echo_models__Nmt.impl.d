@@ -1,0 +1,1 @@
+lib/models/nmt.ml: Echo_ir List Model Node Params Recurrent

@@ -1,0 +1,1 @@
+lib/models/nmt.mli: Echo_ir Model Node

@@ -1,0 +1,1 @@
+lib/models/params.ml: Echo_ir Echo_tensor List Node Rng Shape Tensor

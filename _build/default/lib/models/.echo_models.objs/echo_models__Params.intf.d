@@ -1,0 +1,1 @@
+lib/models/params.mli: Echo_ir Echo_tensor Node Shape Tensor

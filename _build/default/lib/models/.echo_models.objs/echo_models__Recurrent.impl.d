@@ -1,0 +1,1 @@
+lib/models/recurrent.ml: Array Echo_ir Layer List Node Params Printf

@@ -1,0 +1,1 @@
+lib/models/recurrent.mli: Echo_ir Node Params

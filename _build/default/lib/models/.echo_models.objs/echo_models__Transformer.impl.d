@@ -1,0 +1,1 @@
+lib/models/transformer.ml: Echo_ir Layer List Model Node Params Printf

@@ -1,0 +1,1 @@
+lib/models/transformer.mli: Echo_ir Model Node

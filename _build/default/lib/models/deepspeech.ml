@@ -1,0 +1,129 @@
+open Echo_tensor
+open Echo_ir
+
+type config = {
+  batch : int;
+  time : int;
+  freq : int;
+  conv_channels : int;
+  rnn_hidden : int;
+  rnn_layers : int;
+  bidirectional : bool;
+  classes : int;
+  dropout : float;
+  seed : int;
+}
+
+let ds2_like =
+  {
+    batch = 16;
+    time = 400;
+    freq = 64;
+    conv_channels = 32;
+    rnn_hidden = 800;
+    rnn_layers = 5;
+    bidirectional = true;
+    classes = 29;
+    dropout = 0.1;
+    seed = 11;
+  }
+
+type t = {
+  model : Model.t;
+  spectrogram : Node.t;
+  label_input : Node.t;
+  out_frames : int;
+  cfg : config;
+}
+
+let conv_block params name ~in_channels ~out_channels ~stride ~pad x =
+  let kernel =
+    Params.normal params (name ^ ".kernel") ~std:0.05
+      [| out_channels; in_channels; 5; 5 |]
+  in
+  Node.relu ~name:(name ^ ".relu") (Node.conv2d ~stride ~pad ~input:x ~kernel)
+
+(* One recurrent sweep; [reverse] runs right-to-left over the slices. *)
+let sweep params name cfg ~input_dim ~reverse xs =
+  let rnn_cfg =
+    {
+      Recurrent.kind = Recurrent.Lstm;
+      input_dim;
+      hidden = cfg.rnn_hidden;
+      layers = 1;
+      dropout = cfg.dropout;
+      seed = cfg.seed + Hashtbl.hash name mod 100_000;
+    }
+  in
+  let xs = if reverse then List.rev xs else xs in
+  let outs = Recurrent.unroll params name rnn_cfg ~batch:cfg.batch ~xs in
+  if reverse then List.rev outs else outs
+
+let build cfg =
+  let params = Params.create ~seed:cfg.seed in
+  let spectrogram =
+    Node.placeholder ~name:"spectrogram" [| cfg.batch; 1; cfg.time; cfg.freq |]
+  in
+  let c1 =
+    conv_block params "conv1" ~in_channels:1 ~out_channels:cfg.conv_channels
+      ~stride:2 ~pad:2 spectrogram
+  in
+  let c2 =
+    conv_block params "conv2" ~in_channels:cfg.conv_channels
+      ~out_channels:cfg.conv_channels ~stride:2 ~pad:2 c1
+  in
+  let out_frames = Shape.dim (Node.shape c2) 2 in
+  let freq' = Shape.dim (Node.shape c2) 3 in
+  let feat_dim = cfg.conv_channels * freq' in
+  (* Each time frame becomes a [B x (C * F')] activation. Row-major layout
+     of [B; C; 1; F'] flattens to exactly that matrix. *)
+  let frames =
+    List.init out_frames (fun t ->
+      Node.reshape [| cfg.batch; feat_dim |]
+        (Node.slice ~axis:2 ~lo:t ~hi:(t + 1) c2))
+  in
+  let run_layer l xs ~input_dim =
+    if cfg.bidirectional then begin
+      let fwd =
+        sweep params (Printf.sprintf "birnn%d.f" l) cfg ~input_dim ~reverse:false xs
+      in
+      let bwd =
+        sweep params (Printf.sprintf "birnn%d.b" l) cfg ~input_dim ~reverse:true xs
+      in
+      List.map2 (fun f bk -> Node.concat ~axis:1 [ f; bk ]) fwd bwd
+    end
+    else sweep params (Printf.sprintf "rnn%d" l) cfg ~input_dim ~reverse:false xs
+  in
+  let rec stack l xs ~input_dim =
+    if l >= cfg.rnn_layers then xs
+    else begin
+      let outs = run_layer l xs ~input_dim in
+      let width = if cfg.bidirectional then 2 * cfg.rnn_hidden else cfg.rnn_hidden in
+      stack (l + 1) outs ~input_dim:width
+    end
+  in
+  let tops = stack 0 frames ~input_dim:feat_dim in
+  let top_dim = if cfg.bidirectional then 2 * cfg.rnn_hidden else cfg.rnn_hidden in
+  let w_out = Params.xavier params "classify.w" [| cfg.classes; top_dim |] in
+  let b_out = Params.zeros params "classify.b" [| cfg.classes |] in
+  let label_input =
+    Node.placeholder ~name:"align" [| out_frames * cfg.batch |]
+  in
+  let flat = Node.concat ~name:"tops" ~axis:0 tops in
+  let logits =
+    Node.add_bias ~name:"logits" (Node.matmul ~trans_b:true flat w_out) b_out
+  in
+  let loss = Node.cross_entropy ~logits ~labels:label_input in
+  {
+    model =
+      {
+        Model.name = (if cfg.bidirectional then "deepspeech2" else "deepspeech2-uni");
+        params;
+        placeholders = [ spectrogram; label_input ];
+        loss;
+      };
+    spectrogram;
+    label_input;
+    out_frames;
+    cfg;
+  }

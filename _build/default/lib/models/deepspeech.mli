@@ -1,0 +1,37 @@
+(** DeepSpeech2-shaped speech model: two strided 2-D convolutions over the
+    spectrogram, stacked (optionally bidirectional) recurrent layers on the
+    resulting time slices, and a per-frame classifier.
+
+    Substitution note (see DESIGN.md): the original CTC loss is replaced by
+    per-frame cross-entropy against synthetic alignments — the loss head is a
+    negligible part of the footprint/time profile this repository studies,
+    while the conv + biRNN trunk (what matters) is reproduced faithfully. *)
+
+open Echo_ir
+
+type config = {
+  batch : int;
+  time : int;  (** input spectrogram frames *)
+  freq : int;  (** filterbank bins *)
+  conv_channels : int;
+  rnn_hidden : int;
+  rnn_layers : int;
+  bidirectional : bool;
+  classes : int;  (** output alphabet *)
+  dropout : float;
+  seed : int;
+}
+
+val ds2_like : config
+(** B=16, 400 frames (a 4 s utterance at 10 ms hop) x 64 bins, 32 conv
+    channels, 5 x biLSTM-800, 29-way output (characters). *)
+
+type t = {
+  model : Model.t;
+  spectrogram : Node.t;  (** [B x 1 x time x freq] input *)
+  label_input : Node.t;  (** [(frames*B)] alignment ids, time-major *)
+  out_frames : int;  (** time steps after the strided convolutions *)
+  cfg : config;
+}
+
+val build : config -> t

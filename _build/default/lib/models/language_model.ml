@@ -1,0 +1,88 @@
+open Echo_ir
+
+type config = {
+  vocab : int;
+  embed : int;
+  hidden : int;
+  layers : int;
+  seq_len : int;
+  batch : int;
+  dropout : float;
+  cell : Recurrent.kind;
+  seed : int;
+}
+
+let ptb_default =
+  {
+    vocab = 10_000;
+    embed = 650;
+    hidden = 650;
+    layers = 2;
+    seq_len = 35;
+    batch = 32;
+    dropout = 0.4;
+    cell = Recurrent.Lstm;
+    seed = 42;
+  }
+
+type t = {
+  model : Model.t;
+  token_input : Node.t;
+  label_input : Node.t;
+  logits : Node.t;
+  cfg : config;
+}
+
+(* Like the MXNet word-LM reference model, the whole batch is embedded with
+   one gather and projected with one GEMM: tokens and labels are single
+   [(T*B)] tensors laid out time-major, sliced per step for the unroll. *)
+let build cfg =
+  let params = Params.create ~seed:cfg.seed in
+  let table = Params.normal params "embed" ~std:0.1 [| cfg.vocab; cfg.embed |] in
+  let w_out = Params.xavier params "proj.w" [| cfg.vocab; cfg.hidden |] in
+  let b_out = Params.zeros params "proj.b" [| cfg.vocab |] in
+  let rows = cfg.seq_len * cfg.batch in
+  let token_input = Node.placeholder ~name:"tokens" [| rows |] in
+  let label_input = Node.placeholder ~name:"labels" [| rows |] in
+  let embedded_all =
+    Layer.dropout ~p:cfg.dropout ~seed:(cfg.seed + 31)
+      (Node.embedding ~table ~ids:token_input)
+  in
+  let step_inputs =
+    List.init cfg.seq_len (fun t ->
+      Node.slice
+        ~name:(Printf.sprintf "x.%d" t)
+        ~axis:0 ~lo:(t * cfg.batch)
+        ~hi:((t + 1) * cfg.batch)
+        embedded_all)
+  in
+  let rnn_cfg =
+    {
+      Recurrent.kind = cfg.cell;
+      input_dim = cfg.embed;
+      hidden = cfg.hidden;
+      layers = cfg.layers;
+      dropout = cfg.dropout;
+      seed = cfg.seed + 1000;
+    }
+  in
+  let tops = Recurrent.unroll params "rnn" rnn_cfg ~batch:cfg.batch ~xs:step_inputs in
+  let flat = Node.concat ~name:"tops" ~axis:0 tops in
+  let flat = Layer.dropout ~p:cfg.dropout ~seed:(cfg.seed + 77) flat in
+  let logits =
+    Node.add_bias ~name:"logits" (Node.matmul ~trans_b:true flat w_out) b_out
+  in
+  let loss = Node.cross_entropy ~logits ~labels:label_input in
+  {
+    model =
+      {
+        Model.name = Printf.sprintf "%s-lm" (Recurrent.kind_to_string cfg.cell);
+        params;
+        placeholders = [ token_input; label_input ];
+        loss;
+      };
+    token_input;
+    label_input;
+    logits;
+    cfg;
+  }

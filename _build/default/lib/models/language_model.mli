@@ -1,0 +1,33 @@
+(** Word-level language model (Zaremba et al. style): one embedding gather
+    for the whole time-major batch, stacked LSTM/GRU/RNN with dropout over
+    per-step slices, one shared output projection over the concatenated
+    hidden states, softmax cross-entropy. The PTB-shaped configuration is
+    the paper's primary LSTM training workload. *)
+
+open Echo_ir
+
+type config = {
+  vocab : int;
+  embed : int;
+  hidden : int;
+  layers : int;
+  seq_len : int;
+  batch : int;
+  dropout : float;
+  cell : Recurrent.kind;
+  seed : int;
+}
+
+val ptb_default : config
+(** B=32, T=35, H=650, L=2, p=0.4 — the MXNet word-LM defaults the original
+    evaluation keeps. Vocabulary 10k. *)
+
+type t = {
+  model : Model.t;
+  token_input : Node.t;  (** [(T*B)] ids, time-major *)
+  label_input : Node.t;  (** [(T*B)] next-token targets, time-major *)
+  logits : Node.t;  (** [(T*B) x vocab] *)
+  cfg : config;
+}
+
+val build : config -> t

@@ -1,0 +1,39 @@
+open Echo_tensor
+open Echo_ir
+
+let linear params name ~input_dim ~output_dim x =
+  let w = Params.xavier params (name ^ ".w") [| output_dim; input_dim |] in
+  let bias = Params.zeros params (name ^ ".b") [| output_dim |] in
+  Node.add_bias ~name (Node.matmul ~trans_b:true x w) bias
+
+let dropout ~p ~seed x =
+  if p <= 0.0 then x
+  else begin
+    let mask = Node.dropout_mask ~p ~seed (Node.shape x) in
+    Node.mul x mask
+  end
+
+let layer_norm params name ~dim ~eps x =
+  let gain = Params.ones params (name ^ ".gain") [| dim |] in
+  let bias = Params.zeros params (name ^ ".bias") [| dim |] in
+  let cols = Shape.dim (Node.shape x) 1 in
+  if cols <> dim then invalid_arg "Layer.layer_norm: dimension mismatch";
+  let mean = Node.reduce_mean ~axis:1 ~keepdims:true x in
+  let centred = Node.sub x (Node.broadcast_axis ~axis:1 ~n:cols mean) in
+  let var = Node.reduce_mean ~axis:1 ~keepdims:true (Node.sq centred) in
+  let denom = Node.sqrt_ (Node.add_scalar eps var) in
+  let normalised = Node.div centred (Node.broadcast_axis ~axis:1 ~n:cols denom) in
+  (* Scale rows by the gain vector, then shift: gain/bias broadcast over the
+     batch via AddBias-style row ops. *)
+  let b = Shape.dim (Node.shape x) 0 in
+  let gain_rows =
+    Node.broadcast_axis ~axis:0 ~n:b (Node.reshape [| 1; dim |] gain)
+  in
+  Node.add_bias ~name (Node.mul normalised gain_rows) bias
+
+let mean_of losses =
+  match losses with
+  | [] -> invalid_arg "Layer.mean_of: empty list"
+  | first :: rest ->
+    let total = List.fold_left Node.add first rest in
+    Node.scale (1.0 /. float_of_int (List.length losses)) total

@@ -1,0 +1,20 @@
+(** Reusable layer builders shared by every model in the zoo. *)
+
+open Echo_ir
+
+val linear :
+  Params.t -> string -> input_dim:int -> output_dim:int -> Node.t -> Node.t
+(** Fully-connected layer [x W^T + b] on a [B x input_dim] activation. *)
+
+val dropout : p:float -> seed:int -> Node.t -> Node.t
+(** Inverted dropout: multiply by a seeded mask node. [p = 0] is the
+    identity (no nodes created). *)
+
+val layer_norm : Params.t -> string -> dim:int -> eps:float -> Node.t -> Node.t
+(** Composite layer normalisation over the last axis of a 2-D activation,
+    with learned gain and bias (built from reduce/broadcast/elementwise
+    primitives so its feature maps are visible to the Echo pass). *)
+
+val mean_of : Node.t list -> Node.t
+(** Arithmetic mean of scalar nodes (e.g. per-step losses).
+    @raise Invalid_argument on an empty list. *)

@@ -1,0 +1,18 @@
+open Echo_ir
+
+type t = {
+  name : string;
+  params : Params.t;
+  placeholders : Node.t list;
+  loss : Node.t;
+}
+
+let forward_graph m = Graph.create [ m.loss ]
+
+let training m =
+  Echo_autodiff.Grad.differentiate ~loss:m.loss ~wrt:(Params.variables m.params)
+
+let describe fmt m =
+  Format.fprintf fmt "%s: %d param tensors (%d scalars), %d forward nodes"
+    m.name (Params.count m.params) (Params.scalar_count m.params)
+    (Graph.node_count (forward_graph m))

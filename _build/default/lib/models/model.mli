@@ -1,0 +1,20 @@
+(** Uniform wrapper every model in the zoo builds into: enough structure for
+    the training loop (feeds), the benchmarks (graphs) and the reports
+    (parameter counts). *)
+
+open Echo_ir
+
+type t = {
+  name : string;
+  params : Params.t;
+  placeholders : Node.t list;  (** data and label inputs, in feed order *)
+  loss : Node.t;  (** scalar training loss *)
+}
+
+val forward_graph : t -> Graph.t
+
+val training : t -> Echo_autodiff.Grad.training
+(** Differentiate the loss with respect to every registered parameter. *)
+
+val describe : Format.formatter -> t -> unit
+(** Name, parameter tensors/scalars, forward node count. *)

@@ -1,0 +1,143 @@
+open Echo_ir
+
+type config = {
+  src_vocab : int;
+  tgt_vocab : int;
+  embed : int;
+  hidden : int;
+  enc_layers : int;
+  dec_layers : int;
+  src_len : int;
+  tgt_len : int;
+  batch : int;
+  dropout : float;
+  attention : bool;
+  seed : int;
+}
+
+let gnmt_like =
+  {
+    src_vocab = 30_000;
+    tgt_vocab = 30_000;
+    embed = 512;
+    hidden = 512;
+    enc_layers = 4;
+    dec_layers = 4;
+    src_len = 30;
+    tgt_len = 30;
+    batch = 64;
+    dropout = 0.2;
+    attention = true;
+    seed = 7;
+  }
+
+type t = {
+  model : Model.t;
+  src_input : Node.t;
+  tgt_input : Node.t;
+  label_input : Node.t;
+  attention_weights : Node.t list;
+  cfg : config;
+}
+
+(* Luong dot attention: scores_t[b] = <h_dec[b], enc_t[b]> via an
+   elementwise product and a row reduction per source position. *)
+let attend ~hidden ~batch h_dec enc_states =
+  let scores =
+    List.map
+      (fun enc -> Node.reduce_sum ~axis:1 ~keepdims:true (Node.mul h_dec enc))
+      enc_states
+  in
+  let alpha = Node.softmax ~name:"alpha" (Node.concat ~axis:1 scores) in
+  let context =
+    match
+      List.mapi
+        (fun i enc ->
+          let a_i = Node.slice ~axis:1 ~lo:i ~hi:(i + 1) alpha in
+          Node.mul (Node.broadcast_axis ~axis:1 ~n:hidden a_i) enc)
+        enc_states
+    with
+    | [] -> Node.zeros [| batch; hidden |]
+    | first :: rest -> List.fold_left Node.add first rest
+  in
+  (alpha, context)
+
+(* Embed a whole time-major id tensor at once and slice per step. *)
+let embed_steps table ids ~steps ~batch =
+  let all = Node.embedding ~table ~ids in
+  List.init steps (fun t ->
+    Node.slice ~axis:0 ~lo:(t * batch) ~hi:((t + 1) * batch) all)
+
+let build cfg =
+  let params = Params.create ~seed:cfg.seed in
+  let src_table =
+    Params.normal params "src_embed" ~std:0.1 [| cfg.src_vocab; cfg.embed |]
+  in
+  let tgt_table =
+    Params.normal params "tgt_embed" ~std:0.1 [| cfg.tgt_vocab; cfg.embed |]
+  in
+  let w_ctx =
+    Params.xavier params "attn.w_c" [| cfg.hidden; 2 * cfg.hidden |]
+  in
+  let w_out = Params.xavier params "proj.w" [| cfg.tgt_vocab; cfg.hidden |] in
+  let b_out = Params.zeros params "proj.b" [| cfg.tgt_vocab |] in
+  let src_input = Node.placeholder ~name:"src" [| cfg.src_len * cfg.batch |] in
+  let tgt_input = Node.placeholder ~name:"tgt" [| cfg.tgt_len * cfg.batch |] in
+  let label_input =
+    Node.placeholder ~name:"labels" [| cfg.tgt_len * cfg.batch |]
+  in
+  let enc_xs =
+    embed_steps src_table src_input ~steps:cfg.src_len ~batch:cfg.batch
+  in
+  let enc_cfg =
+    {
+      Recurrent.kind = Recurrent.Lstm;
+      input_dim = cfg.embed;
+      hidden = cfg.hidden;
+      layers = cfg.enc_layers;
+      dropout = cfg.dropout;
+      seed = cfg.seed + 100;
+    }
+  in
+  let enc_states = Recurrent.unroll params "enc" enc_cfg ~batch:cfg.batch ~xs:enc_xs in
+  let dec_xs =
+    embed_steps tgt_table tgt_input ~steps:cfg.tgt_len ~batch:cfg.batch
+  in
+  let dec_cfg =
+    { enc_cfg with layers = cfg.dec_layers; seed = cfg.seed + 200 }
+  in
+  let dec_states = Recurrent.unroll params "dec" dec_cfg ~batch:cfg.batch ~xs:dec_xs in
+  let attention_weights = ref [] in
+  let attn_hidden =
+    List.map
+      (fun h_dec ->
+        if cfg.attention then begin
+          let alpha, context =
+            attend ~hidden:cfg.hidden ~batch:cfg.batch h_dec enc_states
+          in
+          attention_weights := alpha :: !attention_weights;
+          Node.tanh_ ~name:"attn_h"
+            (Node.matmul ~trans_b:true (Node.concat ~axis:1 [ context; h_dec ]) w_ctx)
+        end
+        else h_dec)
+      dec_states
+  in
+  let flat = Node.concat ~name:"dec_tops" ~axis:0 attn_hidden in
+  let logits =
+    Node.add_bias ~name:"logits" (Node.matmul ~trans_b:true flat w_out) b_out
+  in
+  let loss = Node.cross_entropy ~logits ~labels:label_input in
+  {
+    model =
+      {
+        Model.name = (if cfg.attention then "nmt-attn" else "nmt");
+        params;
+        placeholders = [ src_input; tgt_input; label_input ];
+        loss;
+      };
+    src_input;
+    tgt_input;
+    label_input;
+    attention_weights = List.rev !attention_weights;
+    cfg;
+  }

@@ -1,0 +1,39 @@
+(** Sequence-to-sequence neural machine translation with Luong-style dot
+    attention (a Sockeye/GNMT-shaped workload): LSTM encoder, LSTM decoder,
+    per-decoder-step attention over the encoder states, attentional hidden
+    layer, shared output projection, per-step cross-entropy.
+
+    The attention score/weight maps ([B x Tsrc] per decoder step) are
+    computed by elementwise/reduce/softmax chains from hidden states that the
+    backward pass stashes anyway — prime Echo recomputation targets. *)
+
+open Echo_ir
+
+type config = {
+  src_vocab : int;
+  tgt_vocab : int;
+  embed : int;
+  hidden : int;
+  enc_layers : int;
+  dec_layers : int;
+  src_len : int;
+  tgt_len : int;
+  batch : int;
+  dropout : float;
+  attention : bool;
+  seed : int;
+}
+
+val gnmt_like : config
+(** H=512, 4+4 layers, Tsrc=Ttgt=30, B=64, 30k vocabularies. *)
+
+type t = {
+  model : Model.t;
+  src_input : Node.t;  (** [(Tsrc*B)] ids, time-major *)
+  tgt_input : Node.t;  (** [(Ttgt*B)] decoder input ids (shifted target) *)
+  label_input : Node.t;  (** [(Ttgt*B)] target ids *)
+  attention_weights : Node.t list;  (** one [B x Tsrc] softmax per step *)
+  cfg : config;
+}
+
+val build : config -> t

@@ -1,0 +1,27 @@
+open Echo_tensor
+open Echo_ir
+
+type t = { mutable items : (Node.t * Tensor.t) list; rng : Rng.t }
+
+let create ~seed = { items = []; rng = Rng.create seed }
+
+let register t name shape init =
+  let node = Node.variable ~name shape in
+  t.items <- (node, init) :: t.items;
+  node
+
+let xavier t name shape = register t name shape (Tensor.xavier t.rng shape)
+
+let normal t name ~std shape =
+  register t name shape (Tensor.normal t.rng shape ~mean:0.0 ~std)
+
+let zeros t name shape = register t name shape (Tensor.zeros shape)
+let ones t name shape = register t name shape (Tensor.ones shape)
+let bindings t = List.rev t.items
+let variables t = List.rev_map fst t.items
+let count t = List.length t.items
+
+let scalar_count t =
+  List.fold_left (fun acc (n, _) -> acc + Shape.numel (Node.shape n)) 0 t.items
+
+let total_bytes t = 4 * scalar_count t

@@ -1,0 +1,30 @@
+(** Parameter registry: creates [Variable] nodes together with their
+    deterministic initial values, so a model definition yields both the graph
+    and the feed bindings needed to execute it. *)
+
+open Echo_tensor
+open Echo_ir
+
+type t
+
+val create : seed:int -> t
+
+val xavier : t -> string -> Shape.t -> Node.t
+(** Glorot-uniform initialised 2-D weight. *)
+
+val normal : t -> string -> std:float -> Shape.t -> Node.t
+val zeros : t -> string -> Shape.t -> Node.t
+val ones : t -> string -> Shape.t -> Node.t
+
+val bindings : t -> (Node.t * Tensor.t) list
+(** All registered (variable, initial value) pairs, in registration order. *)
+
+val variables : t -> Node.t list
+val count : t -> int
+(** Number of parameter tensors. *)
+
+val scalar_count : t -> int
+(** Total number of scalar parameters. *)
+
+val total_bytes : t -> int
+(** At 4 bytes per scalar (fp32 device accounting). *)

@@ -1,0 +1,163 @@
+open Echo_ir
+
+type kind = Lstm | Peephole | Gru | Vanilla
+
+let kind_to_string = function
+  | Lstm -> "lstm"
+  | Peephole -> "lstm-peephole"
+  | Gru -> "gru"
+  | Vanilla -> "rnn"
+
+let gates = function Lstm | Peephole -> 4 | Gru -> 3 | Vanilla -> 1
+
+type weights = {
+  w_x : Node.t;
+  w_h : Node.t;
+  b : Node.t;
+  peep : (Node.t * Node.t * Node.t) option;  (* p_i, p_f, p_o diagonals *)
+}
+
+let make_weights params name kind ~input_dim ~hidden =
+  let g = gates kind in
+  let peep =
+    match kind with
+    | Peephole ->
+      let vec suffix = Params.normal params (name ^ suffix) ~std:0.1 [| hidden |] in
+      Some (vec ".p_i", vec ".p_f", vec ".p_o")
+    | Lstm | Gru | Vanilla -> None
+  in
+  {
+    w_x = Params.xavier params (name ^ ".w_x") [| g * hidden; input_dim |];
+    w_h = Params.xavier params (name ^ ".w_h") [| g * hidden; hidden |];
+    b = Params.zeros params (name ^ ".b") [| g * hidden |];
+    peep;
+  }
+
+type state = { h : Node.t; c : Node.t option }
+
+let zero_state kind ~batch ~hidden =
+  let h = Node.zeros ~name:"h0" [| batch; hidden |] in
+  match kind with
+  | Lstm | Peephole -> { h; c = Some (Node.zeros ~name:"c0" [| batch; hidden |]) }
+  | Gru | Vanilla -> { h; c = None }
+
+let gate pre ~hidden i = Node.slice ~axis:1 ~lo:(i * hidden) ~hi:((i + 1) * hidden) pre
+
+let lstm_step w ~hidden ~x { h; c } =
+  let c = match c with Some c -> c | None -> invalid_arg "lstm_step: no cell state" in
+  let pre =
+    Node.add_bias ~name:"pre"
+      (Node.add (Node.matmul ~trans_b:true x w.w_x) (Node.matmul ~trans_b:true h w.w_h))
+      w.b
+  in
+  let i = Node.sigmoid ~name:"i" (gate pre ~hidden 0) in
+  let f = Node.sigmoid ~name:"f" (gate pre ~hidden 1) in
+  let g = Node.tanh_ ~name:"g" (gate pre ~hidden 2) in
+  let o = Node.sigmoid ~name:"o" (gate pre ~hidden 3) in
+  let c' = Node.add (Node.mul f c) (Node.mul i g) in
+  let h' = Node.mul o (Node.tanh_ ~name:"tanh_c" c') in
+  { h = h'; c = Some c' }
+
+let gru_step w ~hidden ~x { h; c = _ } =
+  let pre_x = Node.add_bias (Node.matmul ~trans_b:true x w.w_x) w.b in
+  let pre_h = Node.matmul ~trans_b:true h w.w_h in
+  let r =
+    Node.sigmoid ~name:"r" (Node.add (gate pre_x ~hidden 0) (gate pre_h ~hidden 0))
+  in
+  let z =
+    Node.sigmoid ~name:"z" (Node.add (gate pre_x ~hidden 1) (gate pre_h ~hidden 1))
+  in
+  let n =
+    Node.tanh_ ~name:"n"
+      (Node.add (gate pre_x ~hidden 2) (Node.mul r (gate pre_h ~hidden 2)))
+  in
+  (* h' = (1 - z) * n + z * h *)
+  let one_minus_z = Node.add_scalar 1.0 (Node.neg z) in
+  { h = Node.add (Node.mul one_minus_z n) (Node.mul z h); c = None }
+
+let vanilla_step w ~hidden:_ ~x { h; c = _ } =
+  let pre =
+    Node.add_bias
+      (Node.add (Node.matmul ~trans_b:true x w.w_x) (Node.matmul ~trans_b:true h w.w_h))
+      w.b
+  in
+  { h = Node.tanh_ ~name:"h" pre; c = None }
+
+(* Rows of a [H] diagonal vector broadcast over the batch. *)
+let diag_rows ~batch ~hidden p =
+  Node.broadcast_axis ~axis:0 ~n:batch (Node.reshape [| 1; hidden |] p)
+
+(* Gers & Schmidhuber peephole connections: the input and forget gates also
+   see the previous cell state, the output gate sees the new one. The gate
+   structure (4 fused nonlinearities off two GEMMs) is unchanged, which is
+   why the paper's recomputation analysis carries over verbatim. *)
+let peephole_step w ~hidden ~x { h; c } =
+  let c =
+    match c with Some c -> c | None -> invalid_arg "peephole_step: no cell state"
+  in
+  let p_i, p_f, p_o =
+    match w.peep with
+    | Some ps -> ps
+    | None -> invalid_arg "peephole_step: weights lack peepholes"
+  in
+  let batch = (Node.shape h).(0) in
+  let diag p = diag_rows ~batch ~hidden p in
+  let pre =
+    Node.add_bias ~name:"pre"
+      (Node.add (Node.matmul ~trans_b:true x w.w_x) (Node.matmul ~trans_b:true h w.w_h))
+      w.b
+  in
+  let i = Node.sigmoid ~name:"i" (Node.add (gate pre ~hidden 0) (Node.mul (diag p_i) c)) in
+  let f = Node.sigmoid ~name:"f" (Node.add (gate pre ~hidden 1) (Node.mul (diag p_f) c)) in
+  let g = Node.tanh_ ~name:"g" (gate pre ~hidden 2) in
+  let c' = Node.add (Node.mul f c) (Node.mul i g) in
+  let o = Node.sigmoid ~name:"o" (Node.add (gate pre ~hidden 3) (Node.mul (diag p_o) c')) in
+  let h' = Node.mul o (Node.tanh_ ~name:"tanh_c" c') in
+  { h = h'; c = Some c' }
+
+let step w kind ~hidden ~x state =
+  match kind with
+  | Lstm -> lstm_step w ~hidden ~x state
+  | Peephole -> peephole_step w ~hidden ~x state
+  | Gru -> gru_step w ~hidden ~x state
+  | Vanilla -> vanilla_step w ~hidden ~x state
+
+type config = {
+  kind : kind;
+  input_dim : int;
+  hidden : int;
+  layers : int;
+  dropout : float;
+  seed : int;
+}
+
+let unroll params name cfg ~batch ~xs =
+  if cfg.layers < 1 then invalid_arg "Recurrent.unroll: layers < 1";
+  let layer_weights =
+    List.init cfg.layers (fun l ->
+      let input_dim = if l = 0 then cfg.input_dim else cfg.hidden in
+      make_weights params
+        (Printf.sprintf "%s.l%d" name l)
+        cfg.kind ~input_dim ~hidden:cfg.hidden)
+  in
+  let outputs, _ =
+    List.fold_left
+      (fun (inputs, layer) w ->
+        let state = ref (zero_state cfg.kind ~batch ~hidden:cfg.hidden) in
+        let outputs =
+          List.mapi
+            (fun t x ->
+              let x =
+                Layer.dropout ~p:cfg.dropout
+                  ~seed:(cfg.seed + (layer * 7919) + (t * 104729))
+                  x
+              in
+              let next = step w cfg.kind ~hidden:cfg.hidden ~x !state in
+              state := next;
+              next.h)
+            inputs
+        in
+        (outputs, layer + 1))
+      (xs, 0) layer_weights
+  in
+  outputs

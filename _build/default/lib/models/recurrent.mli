@@ -1,0 +1,47 @@
+(** Recurrent cells (LSTM, GRU, vanilla RNN) and stacked unrolling.
+
+    Cells are built from primitive operators — two GEMMs per step feeding a
+    chain of slices, nonlinearities and elementwise updates — exactly the
+    graph structure whose stashed feature maps the Echo paper targets.
+    Weights are shared across time steps; the sequence is fully unrolled. *)
+
+open Echo_ir
+
+type kind =
+  | Lstm
+  | Peephole  (** LSTM with Gers-Schmidhuber peephole connections *)
+  | Gru
+  | Vanilla
+
+val kind_to_string : kind -> string
+
+val gates : kind -> int
+(** Fused gate count: 4 for (peephole) LSTM, 3 for GRU, 1 for vanilla. *)
+
+type weights
+(** One layer's shared parameters. *)
+
+val make_weights :
+  Params.t -> string -> kind -> input_dim:int -> hidden:int -> weights
+
+type state = { h : Node.t; c : Node.t option }
+(** [c] is [Some] only for the LSTM variants. *)
+
+val zero_state : kind -> batch:int -> hidden:int -> state
+
+val step : weights -> kind -> hidden:int -> x:Node.t -> state -> state
+(** One cell application on a [B x input_dim] slice. *)
+
+type config = {
+  kind : kind;
+  input_dim : int;
+  hidden : int;
+  layers : int;
+  dropout : float;  (** applied to each layer's input sequence when > 0 *)
+  seed : int;
+}
+
+val unroll :
+  Params.t -> string -> config -> batch:int -> xs:Node.t list -> Node.t list
+(** Stacked multi-layer unroll over the input sequence; returns the top
+    layer's hidden state at every step. *)

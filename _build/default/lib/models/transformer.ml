@@ -1,0 +1,134 @@
+open Echo_ir
+
+type config = {
+  vocab : int;
+  seq_len : int;
+  batch : int;
+  d_model : int;
+  heads : int;
+  d_ff : int;
+  layers : int;
+  dropout : float;
+  seed : int;
+}
+
+let base_like =
+  {
+    vocab = 30_000;
+    seq_len = 64;
+    batch = 8;
+    d_model = 512;
+    heads = 8;
+    d_ff = 2048;
+    layers = 6;
+    dropout = 0.1;
+    seed = 23;
+  }
+
+type t = {
+  model : Model.t;
+  token_input : Node.t;
+  label_input : Node.t;
+  cfg : config;
+}
+
+(* Multi-head self-attention on a [(B*T) x D] activation: per batch element
+   and head, explicit T x T score and probability maps. *)
+let self_attention params name cfg ~seed x =
+  let d = cfg.d_model in
+  let dk = d / cfg.heads in
+  let proj suffix =
+    Params.xavier params (Printf.sprintf "%s.%s" name suffix) [| d; d |]
+  in
+  let wq = proj "wq" and wk = proj "wk" and wv = proj "wv" and wo = proj "wo" in
+  let q = Node.matmul ~trans_b:true x wq in
+  let k = Node.matmul ~trans_b:true x wk in
+  let v = Node.matmul ~trans_b:true x wv in
+  let t = cfg.seq_len in
+  let batch_rows m b = Node.slice ~axis:0 ~lo:(b * t) ~hi:((b + 1) * t) m in
+  let head_cols m h = Node.slice ~axis:1 ~lo:(h * dk) ~hi:((h + 1) * dk) m in
+  let per_batch =
+    List.init cfg.batch (fun b ->
+      let heads =
+        List.init cfg.heads (fun h ->
+          let qh = head_cols (batch_rows q b) h in
+          let kh = head_cols (batch_rows k b) h in
+          let vh = head_cols (batch_rows v b) h in
+          let scores =
+            Node.scale (1.0 /. sqrt (float_of_int dk)) (Node.matmul ~trans_b:true qh kh)
+          in
+          let probs =
+            Layer.dropout ~p:cfg.dropout
+              ~seed:(seed + (b * 131) + (h * 17))
+              (Node.softmax ~name:(Printf.sprintf "%s.probs.b%d.h%d" name b h) scores)
+          in
+          Node.matmul probs vh)
+      in
+      Node.concat ~axis:1 heads)
+  in
+  let context = Node.concat ~axis:0 per_batch in
+  Node.matmul ~trans_b:true context wo
+
+let feed_forward params name cfg x =
+  let w1 = Params.xavier params (name ^ ".w1") [| cfg.d_ff; cfg.d_model |] in
+  let b1 = Params.zeros params (name ^ ".b1") [| cfg.d_ff |] in
+  let w2 = Params.xavier params (name ^ ".w2") [| cfg.d_model; cfg.d_ff |] in
+  let b2 = Params.zeros params (name ^ ".b2") [| cfg.d_model |] in
+  let hidden = Node.relu (Node.add_bias (Node.matmul ~trans_b:true x w1) b1) in
+  Node.add_bias (Node.matmul ~trans_b:true hidden w2) b2
+
+let encoder_layer params idx cfg x =
+  let name = Printf.sprintf "layer%d" idx in
+  let seed = cfg.seed + (idx * 7907) in
+  let attn = self_attention params (name ^ ".attn") cfg ~seed x in
+  let attn = Layer.dropout ~p:cfg.dropout ~seed:(seed + 1) attn in
+  let x =
+    Layer.layer_norm params (name ^ ".ln1") ~dim:cfg.d_model ~eps:1e-5
+      (Node.add x attn)
+  in
+  let ff = feed_forward params (name ^ ".ffn") cfg x in
+  let ff = Layer.dropout ~p:cfg.dropout ~seed:(seed + 2) ff in
+  Layer.layer_norm params (name ^ ".ln2") ~dim:cfg.d_model ~eps:1e-5
+    (Node.add x ff)
+
+let build cfg =
+  if cfg.d_model mod cfg.heads <> 0 then
+    invalid_arg "Transformer.build: d_model must divide into heads";
+  let params = Params.create ~seed:cfg.seed in
+  let rows = cfg.batch * cfg.seq_len in
+  let table = Params.normal params "embed" ~std:0.1 [| cfg.vocab; cfg.d_model |] in
+  let pos = Params.normal params "pos" ~std:0.1 [| cfg.seq_len; cfg.d_model |] in
+  let token_input = Node.placeholder ~name:"tokens" [| rows |] in
+  let label_input = Node.placeholder ~name:"labels" [| rows |] in
+  let embedded = Node.embedding ~table ~ids:token_input in
+  (* Tile the positional table across the batch: T x D -> (B*T) x D. *)
+  let pos_tiled =
+    Node.reshape [| rows; cfg.d_model |]
+      (Node.broadcast_axis ~axis:0 ~n:cfg.batch
+         (Node.reshape [| 1; cfg.seq_len * cfg.d_model |] pos))
+  in
+  let x0 =
+    Layer.dropout ~p:cfg.dropout ~seed:(cfg.seed + 5) (Node.add embedded pos_tiled)
+  in
+  let encoded =
+    List.fold_left
+      (fun x idx -> encoder_layer params idx cfg x)
+      x0
+      (List.init cfg.layers (fun i -> i))
+  in
+  let w_out = Params.xavier params "proj.w" [| cfg.vocab; cfg.d_model |] in
+  let b_out = Params.zeros params "proj.b" [| cfg.vocab |] in
+  let logits = Node.add_bias (Node.matmul ~trans_b:true encoded w_out) b_out in
+  let loss = Node.cross_entropy ~logits ~labels:label_input in
+  {
+    model =
+      {
+        Model.name = "transformer-enc";
+        params;
+        placeholders = [ token_input; label_input ];
+        loss;
+      };
+    token_input;
+    label_input;
+    cfg;
+  }

@@ -1,0 +1,33 @@
+(** Transformer encoder for language modelling — the paper's "beyond RNNs"
+    generality workload. Activations are [(B*T) x d_model] matrices;
+    attention is materialised per (batch element, head) as explicit [T x T]
+    score/probability maps, so the quadratic feature maps that dominate
+    Transformer training footprints are visible to the planner and the Echo
+    pass. *)
+
+open Echo_ir
+
+type config = {
+  vocab : int;
+  seq_len : int;
+  batch : int;
+  d_model : int;
+  heads : int;
+  d_ff : int;
+  layers : int;
+  dropout : float;
+  seed : int;
+}
+
+val base_like : config
+(** Transformer-base shapes scaled to a single-GPU LM: d_model=512, 8 heads,
+    d_ff=2048, 6 layers, T=64, B=8. *)
+
+type t = {
+  model : Model.t;
+  token_input : Node.t;  (** [(B*T)] ids *)
+  label_input : Node.t;
+  cfg : config;
+}
+
+val build : config -> t

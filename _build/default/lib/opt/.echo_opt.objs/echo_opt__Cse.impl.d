@@ -1,0 +1,1 @@
+lib/opt/cse.ml: Echo_ir Graph Hashtbl List Node Op

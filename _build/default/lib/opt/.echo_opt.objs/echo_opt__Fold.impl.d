@@ -1,0 +1,1 @@
+lib/opt/fold.ml: Echo_ir Echo_tensor Graph Hashtbl List Node Op Shape

@@ -1,0 +1,1 @@
+lib/opt/fold.mli: Echo_ir Graph

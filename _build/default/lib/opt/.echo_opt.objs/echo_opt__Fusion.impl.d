@@ -1,0 +1,1 @@
+lib/opt/fusion.ml: Costmodel Device Echo_gpusim Echo_ir Echo_tensor Float Graph Hashtbl List Node Op Shape

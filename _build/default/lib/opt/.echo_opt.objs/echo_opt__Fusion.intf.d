@@ -1,0 +1,1 @@
+lib/opt/fusion.mli: Device Echo_gpusim Echo_ir Graph

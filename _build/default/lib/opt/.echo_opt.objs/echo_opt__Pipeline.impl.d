@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Cse Echo_ir Fold Format Graph

@@ -1,0 +1,1 @@
+lib/opt/pipeline.mli: Echo_ir Format Graph

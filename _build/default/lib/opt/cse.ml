@@ -1,0 +1,48 @@
+open Echo_ir
+
+(* Structural key: operator (with attributes), exact input identities, and
+   region. [Op.to_string] includes every attribute, so it is a faithful
+   fingerprint of the operator. *)
+let key op inputs region =
+  ( Op.to_string op,
+    List.map Node.id inputs,
+    match region with Node.Forward -> 0 | Node.Backward -> 1 )
+
+let can_unify op =
+  match op with
+  | Op.Placeholder | Op.Variable -> false  (* distinct external values *)
+  | _ -> Op.is_pure op
+
+let rebuild graph =
+  let repr : (int, Node.t) Hashtbl.t = Hashtbl.create 1024 in
+  let seen : (string * int list * int, Node.t) Hashtbl.t = Hashtbl.create 1024 in
+  let removed = ref 0 in
+  let resolve n =
+    match Hashtbl.find_opt repr (Node.id n) with Some r -> r | None -> n
+  in
+  List.iter
+    (fun n ->
+      let inputs = List.map resolve (Node.inputs n) in
+      let changed =
+        List.exists2 (fun a b -> not (Node.equal a b)) (Node.inputs n) inputs
+      in
+      let node = if changed then Node.clone_with_inputs n inputs else n in
+      let final =
+        if can_unify (Node.op n) then begin
+          let k = key (Node.op node) inputs (Node.region node) in
+          match Hashtbl.find_opt seen k with
+          | Some existing ->
+            incr removed;
+            existing
+          | None ->
+            Hashtbl.replace seen k node;
+            node
+        end
+        else node
+      in
+      if not (Node.equal final n) then Hashtbl.replace repr (Node.id n) final)
+    (Graph.nodes graph);
+  (Graph.create (List.map resolve (Graph.outputs graph)), !removed)
+
+let run graph = fst (rebuild graph)
+let count_redundant graph = snd (rebuild graph)

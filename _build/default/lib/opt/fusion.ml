@@ -1,0 +1,91 @@
+open Echo_tensor
+open Echo_ir
+open Echo_gpusim
+
+type stats = { groups : int; fused_nodes : int; launches_saved : int }
+
+let elementwise node =
+  match Node.op node with
+  | Op.Neg | Op.Scale _ | Op.AddScalar _ | Op.PowConst _ | Op.Sigmoid | Op.Tanh
+  | Op.Relu | Op.Exp | Op.Log | Op.Sqrt | Op.Sq | Op.Recip | Op.Sign | Op.Add
+  | Op.Sub | Op.Mul | Op.Div | Op.ScaleBy ->
+    true
+  | Op.Placeholder | Op.Variable | Op.Zeros | Op.ConstFill _ | Op.DropoutMask _
+  | Op.Matmul _ | Op.AddBias | Op.Slice _ | Op.PadSlice _ | Op.Concat _
+  | Op.Reshape _ | Op.Transpose2d | Op.ReduceSum _ | Op.ReduceMean _
+  | Op.BroadcastAxis _ | Op.Softmax | Op.LogSoftmax | Op.CrossEntropy
+  | Op.CrossEntropyGrad | Op.Embedding | Op.EmbeddingGrad _ | Op.Conv2d _
+  | Op.Conv2dGradInput _ | Op.Conv2dGradKernel _ ->
+    false
+
+(* A node joins its producer's group when it is elementwise, same-shaped as
+   the producer, the producer is elementwise, and it is the producer's only
+   consumer (single-consumer chains keep the analysis conservative: no
+   recomputation or extra liveness is introduced by fusing them). *)
+let member_of graph node =
+  if not (elementwise node) then None
+  else begin
+    match Node.inputs node with
+    | [] -> None
+    | producer :: _ ->
+      if
+        elementwise producer
+        && Shape.equal (Node.shape producer) (Node.shape node)
+        && Node.region producer = Node.region node
+        && List.length (Graph.consumers graph (Node.id producer)) = 1
+      then Some producer
+      else None
+  end
+
+let analyse graph =
+  (* head id -> member count; nodes attach to their producer's group. *)
+  let group_of : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let sizes : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun node ->
+      match member_of graph node with
+      | None -> ()
+      | Some producer ->
+        let head =
+          match Hashtbl.find_opt group_of (Node.id producer) with
+          | Some h -> h
+          | None -> Node.id producer
+        in
+        Hashtbl.replace group_of (Node.id node) head;
+        Hashtbl.replace sizes head
+          (1 + try Hashtbl.find sizes head with Not_found -> 1))
+    (Graph.nodes graph);
+  let groups = ref 0 and fused = ref 0 and saved = ref 0 in
+  Hashtbl.iter
+    (fun _ size ->
+      if size >= 2 then begin
+        incr groups;
+        fused := !fused + size;
+        saved := !saved + (size - 1)
+      end)
+    sizes;
+  { groups = !groups; fused_nodes = !fused; launches_saved = !saved }
+
+let fused_graph_time device graph =
+  let group_of : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun node ->
+      match member_of graph node with
+      | None -> ()
+      | Some producer ->
+        let head =
+          match Hashtbl.find_opt group_of (Node.id producer) with
+          | Some h -> h
+          | None -> Node.id producer
+        in
+        Hashtbl.replace group_of (Node.id node) head)
+    (Graph.nodes graph);
+  List.fold_left
+    (fun acc node ->
+      let t = Costmodel.node_time device node in
+      if t = 0.0 then acc
+      else if Hashtbl.mem group_of (Node.id node) then
+        (* group member: keep the roofline part, drop the launch *)
+        acc +. Float.max 0.0 (t -. device.Device.launch_overhead_s)
+      else acc +. t)
+    0.0 (Graph.nodes graph)

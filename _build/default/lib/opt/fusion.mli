@@ -1,0 +1,28 @@
+(** Elementwise-fusion analysis.
+
+    Chains of cheap elementwise operators that real compilers (XLA, TVM)
+    fuse into single kernels are identified as {e fusion groups}: maximal
+    single-consumer chains of same-shape elementwise nodes. The analysis
+    does not rewrite the graph — the IR stays one-op-per-node so the memory
+    planner and the Echo pass see every buffer — instead it informs the cost
+    model: a fused group pays one kernel launch instead of one per member.
+
+    This quantifies how much of the launch-bound recomputation overhead a
+    fusing backend would erase — the cross-cutting optimisation the paper's
+    discussion positions Echo alongside. *)
+
+open Echo_ir
+open Echo_gpusim
+
+type stats = {
+  groups : int;  (** fusion groups with at least 2 members *)
+  fused_nodes : int;  (** elementwise nodes inside those groups *)
+  launches_saved : int;  (** kernel launches a fusing backend avoids *)
+}
+
+val analyse : Graph.t -> stats
+
+val fused_graph_time : Device.t -> Graph.t -> float
+(** Simulated iteration time assuming every fusion group launches once:
+    member kernels keep their roofline cost, but only the group head pays
+    the launch overhead. *)

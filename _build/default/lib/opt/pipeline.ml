@@ -1,0 +1,20 @@
+open Echo_ir
+
+type stats = { folded : int; cse_removed : int; nodes_before : int; nodes_after : int }
+
+let run graph =
+  let nodes_before = Graph.node_count graph in
+  let rec fold_fixpoint g total =
+    let g' = Fold.run g in
+    let n = Graph.node_count g and n' = Graph.node_count g' in
+    if n' < n then fold_fixpoint g' (total + (n - n')) else (g', total)
+  in
+  let g, folded = fold_fixpoint graph 0 in
+  let before_cse = Graph.node_count g in
+  let g = Cse.run g in
+  let nodes_after = Graph.node_count g in
+  (g, { folded; cse_removed = before_cse - nodes_after; nodes_before; nodes_after })
+
+let pp_stats fmt s =
+  Format.fprintf fmt "%d nodes -> %d (folded %d, cse removed %d)" s.nodes_before
+    s.nodes_after s.folded s.cse_removed

@@ -1,0 +1,12 @@
+(** The standard pre-planning optimisation pipeline: constant folding /
+    algebraic simplification to a fixed point, then common-subexpression
+    elimination. Run it on a training graph before the Echo pass, the way a
+    framework's graph optimiser runs before its memory planner. *)
+
+open Echo_ir
+
+type stats = { folded : int; cse_removed : int; nodes_before : int; nodes_after : int }
+
+val run : Graph.t -> Graph.t * stats
+
+val pp_stats : Format.formatter -> stats -> unit

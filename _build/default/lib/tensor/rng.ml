@@ -1,0 +1,53 @@
+(* SplitMix64: tiny, fast, and good enough statistical quality for
+   initialization and dropout masks. State advances by the golden-gamma
+   constant; outputs are a bijective mix of the state. *)
+
+type t = { mutable state : int64; mutable cached_normal : float option }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed =
+  { state = Int64.of_int seed; cached_normal = None }
+
+let copy t = { state = t.state; cached_normal = t.cached_normal }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = int64 t; cached_normal = None }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* Keep 62 bits: OCaml's native int is 63-bit signed, so a 63-bit value
+     would wrap negative. *)
+  let raw = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  raw mod bound
+
+let float t =
+  (* 53 high bits -> [0,1) *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let normal t =
+  match t.cached_normal with
+  | Some v ->
+    t.cached_normal <- None;
+    v
+  | None ->
+    let rec nonzero () =
+      let u = float t in
+      if u > 0.0 then u else nonzero ()
+    in
+    let u1 = nonzero () and u2 = float t in
+    let r = sqrt (-2.0 *. log u1) in
+    let theta = 2.0 *. Float.pi *. u2 in
+    t.cached_normal <- Some (r *. sin theta);
+    r *. cos theta

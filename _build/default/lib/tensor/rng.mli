@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every source of randomness in the repository flows through this module so
+    that runs are reproducible and recomputation of graph nodes that sample
+    (e.g. dropout masks) replays bit-identical values. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a seed. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy with the same future stream. *)
+
+val split : t -> t
+(** Draw a new, statistically independent generator from [t]'s stream. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val normal : t -> float
+(** Standard normal via Box-Muller. *)

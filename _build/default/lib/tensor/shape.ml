@@ -1,0 +1,80 @@
+type t = int array
+
+let scalar : t = [||]
+
+let validate s =
+  Array.iter
+    (fun d ->
+      if d < 1 then
+        invalid_arg (Printf.sprintf "Shape.validate: dimension %d < 1" d))
+    s
+
+let of_list dims =
+  let s = Array.of_list dims in
+  validate s;
+  s
+
+let numel s = Array.fold_left ( * ) 1 s
+let rank s = Array.length s
+
+let equal a b =
+  Array.length a = Array.length b
+  &&
+  let rec loop i = i >= Array.length a || (a.(i) = b.(i) && loop (i + 1)) in
+  loop 0
+
+let dim s i =
+  if i < 0 || i >= Array.length s then
+    invalid_arg (Printf.sprintf "Shape.dim: axis %d out of bounds for rank %d" i (Array.length s));
+  s.(i)
+
+let concat_result ~axis a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Shape.concat_result: rank mismatch";
+  if axis < 0 || axis >= Array.length a then
+    invalid_arg "Shape.concat_result: axis out of bounds";
+  Array.iteri
+    (fun i d ->
+      if i <> axis && d <> b.(i) then
+        invalid_arg "Shape.concat_result: off-axis dimension mismatch")
+    a;
+  Array.mapi (fun i d -> if i = axis then d + b.(i) else d) a
+
+let slice_result ~axis ~lo ~hi s =
+  if axis < 0 || axis >= Array.length s then
+    invalid_arg "Shape.slice_result: axis out of bounds";
+  if lo < 0 || hi > s.(axis) || lo >= hi then
+    invalid_arg
+      (Printf.sprintf "Shape.slice_result: bad range [%d,%d) for dim %d" lo hi s.(axis));
+  Array.mapi (fun i d -> if i = axis then hi - lo else d) s
+
+let strides s =
+  let n = Array.length s in
+  let st = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    st.(i) <- st.(i + 1) * s.(i + 1)
+  done;
+  st
+
+let ravel s idx =
+  let st = strides s in
+  let off = ref 0 in
+  Array.iteri (fun i k -> off := !off + (k * st.(i))) idx;
+  !off
+
+let unravel s off =
+  let st = strides s in
+  let idx = Array.make (Array.length s) 0 in
+  let rem = ref off in
+  Array.iteri
+    (fun i stride ->
+      idx.(i) <- !rem / stride;
+      rem := !rem mod stride)
+    st;
+  idx
+
+let to_string s =
+  if Array.length s = 0 then "[]"
+  else "[" ^ String.concat "x" (Array.to_list (Array.map string_of_int s)) ^ "]"
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)

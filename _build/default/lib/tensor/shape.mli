@@ -1,0 +1,51 @@
+(** Tensor shapes.
+
+    A shape is a non-empty array of strictly positive dimension sizes. Rank-0
+    scalars are represented as [ [||] ]. Shapes are immutable by convention:
+    functions never mutate their argument and callers must not mutate a shape
+    obtained from this module. *)
+
+type t = int array
+
+val scalar : t
+(** The rank-0 shape. *)
+
+val of_list : int list -> t
+(** [of_list dims] builds a shape, validating every dimension.
+    @raise Invalid_argument if any dimension is [< 1]. *)
+
+val numel : t -> int
+(** Number of elements: the product of all dimensions ([1] for scalars). *)
+
+val rank : t -> int
+
+val equal : t -> t -> bool
+
+val dim : t -> int -> int
+(** [dim s i] is the [i]-th dimension.
+    @raise Invalid_argument if [i] is out of bounds. *)
+
+val concat_result : axis:int -> t -> t -> t
+(** Shape of concatenating two tensors along [axis].
+    @raise Invalid_argument if shapes disagree off-axis. *)
+
+val slice_result : axis:int -> lo:int -> hi:int -> t -> t
+(** Shape of slicing [lo, hi) along [axis].
+    @raise Invalid_argument if the range is empty or out of bounds. *)
+
+val strides : t -> int array
+(** Row-major strides. The stride of the last axis is [1]. *)
+
+val ravel : t -> int array -> int
+(** [ravel s idx] is the linear row-major offset of multi-index [idx]. *)
+
+val unravel : t -> int -> int array
+(** Inverse of {!ravel}. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument if any dimension is [< 1]. *)
+
+val to_string : t -> string
+(** E.g. ["[2x3x4]"]; ["[]"] for scalars. *)
+
+val pp : Format.formatter -> t -> unit

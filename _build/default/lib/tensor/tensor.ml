@@ -1,0 +1,528 @@
+type t = { shape : Shape.t; data : float array }
+
+(* {1 Construction} *)
+
+let create shape data =
+  Shape.validate shape;
+  if Array.length data <> Shape.numel shape then
+    invalid_arg
+      (Printf.sprintf "Tensor.create: %d elements for shape %s"
+         (Array.length data) (Shape.to_string shape));
+  { shape; data }
+
+let full shape v = create shape (Array.make (Shape.numel shape) v)
+let zeros shape = full shape 0.0
+let ones shape = full shape 1.0
+let scalar v = create Shape.scalar [| v |]
+
+let init shape f =
+  let n = Shape.numel shape in
+  let data = Array.init n (fun off -> f (Shape.unravel shape off)) in
+  create shape data
+
+let of_list1 xs = create [| List.length xs |] (Array.of_list xs)
+
+let of_list2 rows =
+  match rows with
+  | [] -> invalid_arg "Tensor.of_list2: empty"
+  | first :: _ ->
+    let m = List.length rows and n = List.length first in
+    List.iter
+      (fun r -> if List.length r <> n then invalid_arg "Tensor.of_list2: ragged rows")
+      rows;
+    create [| m; n |] (Array.of_list (List.concat rows))
+
+let uniform rng shape ~lo ~hi =
+  create shape (Array.init (Shape.numel shape) (fun _ -> Rng.uniform rng ~lo ~hi))
+
+let normal rng shape ~mean ~std =
+  create shape (Array.init (Shape.numel shape) (fun _ -> mean +. (std *. Rng.normal rng)))
+
+let xavier rng shape =
+  if Shape.rank shape <> 2 then invalid_arg "Tensor.xavier: expects a 2-D shape";
+  let fan_out = shape.(0) and fan_in = shape.(1) in
+  let bound = sqrt (6.0 /. float_of_int (fan_in + fan_out)) in
+  uniform rng shape ~lo:(-.bound) ~hi:bound
+
+(* {1 Access} *)
+
+let shape t = t.shape
+let numel t = Array.length t.data
+let get t idx = t.data.(Shape.ravel t.shape idx)
+let set t idx v = t.data.(Shape.ravel t.shape idx) <- v
+let get1 t i = t.data.(i)
+let set1 t i v = t.data.(i) <- v
+let to_array t = Array.copy t.data
+let copy t = { shape = t.shape; data = Array.copy t.data }
+
+(* {1 Elementwise} *)
+
+let map f t = { shape = t.shape; data = Array.map f t.data }
+
+let map2 f a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg
+      (Printf.sprintf "Tensor.map2: shape mismatch %s vs %s"
+         (Shape.to_string a.shape) (Shape.to_string b.shape));
+  { shape = a.shape; data = Array.init (Array.length a.data) (fun i -> f a.data.(i) b.data.(i)) }
+
+let add = map2 ( +. )
+let sub = map2 ( -. )
+let mul = map2 ( *. )
+let div = map2 ( /. )
+let neg = map (fun x -> -.x)
+let scale k = map (fun x -> k *. x)
+let add_scalar k = map (fun x -> k +. x)
+let sigmoid = map (fun x -> 1.0 /. (1.0 +. exp (-.x)))
+let tanh_ = map tanh
+let relu = map (fun x -> if x > 0.0 then x else 0.0)
+let exp_ = map exp
+let log_ = map log
+let sqrt_ = map sqrt
+let sq = map (fun x -> x *. x)
+let pow_const p = map (fun x -> Float.pow x p)
+let recip = map (fun x -> 1.0 /. x)
+let sign = map (fun x -> if x > 0.0 then 1.0 else if x < 0.0 then -1.0 else 0.0)
+
+(* {1 Linear algebra} *)
+
+let matmul ?(trans_a = false) ?(trans_b = false) a b =
+  if Shape.rank a.shape <> 2 || Shape.rank b.shape <> 2 then
+    invalid_arg "Tensor.matmul: operands must be 2-D";
+  let am = a.shape.(0) and an = a.shape.(1) in
+  let bm = b.shape.(0) and bn = b.shape.(1) in
+  let m, k = if trans_a then (an, am) else (am, an) in
+  let k', n = if trans_b then (bn, bm) else (bm, bn) in
+  if k <> k' then
+    invalid_arg
+      (Printf.sprintf "Tensor.matmul: inner dims %d vs %d (%s%s x %s%s)" k k'
+         (Shape.to_string a.shape)
+         (if trans_a then "^T" else "")
+         (Shape.to_string b.shape)
+         (if trans_b then "^T" else ""));
+  let out = Array.make (m * n) 0.0 in
+  let ad = a.data and bd = b.data in
+  (* Index helpers honouring the logical transposes. *)
+  let a_at i l = if trans_a then ad.((l * an) + i) else ad.((i * an) + l) in
+  let b_at l j = if trans_b then bd.((j * bn) + l) else bd.((l * bn) + j) in
+  for i = 0 to m - 1 do
+    for l = 0 to k - 1 do
+      let ail = a_at i l in
+      if ail <> 0.0 then begin
+        let row = i * n in
+        for j = 0 to n - 1 do
+          out.(row + j) <- out.(row + j) +. (ail *. b_at l j)
+        done
+      end
+    done
+  done;
+  create [| m; n |] out
+
+let add_bias m b =
+  if Shape.rank m.shape <> 2 || Shape.rank b.shape <> 1 then
+    invalid_arg "Tensor.add_bias: expects 2-D matrix and 1-D bias";
+  let rows = m.shape.(0) and cols = m.shape.(1) in
+  if b.shape.(0) <> cols then invalid_arg "Tensor.add_bias: bias length mismatch";
+  let out = Array.make (rows * cols) 0.0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      out.((i * cols) + j) <- m.data.((i * cols) + j) +. b.data.(j)
+    done
+  done;
+  create m.shape out
+
+let outer a b =
+  if Shape.rank a.shape <> 1 || Shape.rank b.shape <> 1 then
+    invalid_arg "Tensor.outer: expects 1-D operands";
+  let m = a.shape.(0) and n = b.shape.(0) in
+  init [| m; n |] (fun idx -> a.data.(idx.(0)) *. b.data.(idx.(1)))
+
+(* {1 Shape manipulation} *)
+
+let reshape t shape =
+  if Shape.numel shape <> numel t then
+    invalid_arg
+      (Printf.sprintf "Tensor.reshape: %s -> %s" (Shape.to_string t.shape)
+         (Shape.to_string shape));
+  { shape; data = Array.copy t.data }
+
+let transpose2d t =
+  if Shape.rank t.shape <> 2 then invalid_arg "Tensor.transpose2d: expects 2-D";
+  let m = t.shape.(0) and n = t.shape.(1) in
+  init [| n; m |] (fun idx -> t.data.((idx.(1) * n) + idx.(0)))
+
+(* Iterate over the cartesian product of [outer] positions before [axis],
+   the axis range, and [inner] positions after it. Row-major layout means a
+   tensor decomposes as outer * axis_dim * inner contiguous blocks. *)
+let axis_blocks shape axis =
+  let outer = ref 1 and inner = ref 1 in
+  Array.iteri
+    (fun i d -> if i < axis then outer := !outer * d else if i > axis then inner := !inner * d)
+    shape;
+  (!outer, !inner)
+
+let slice ~axis ~lo ~hi t =
+  let out_shape = Shape.slice_result ~axis ~lo ~hi t.shape in
+  let d = t.shape.(axis) in
+  let outer, inner = axis_blocks t.shape axis in
+  let width = hi - lo in
+  let out = Array.make (outer * width * inner) 0.0 in
+  for o = 0 to outer - 1 do
+    for a = 0 to width - 1 do
+      Array.blit t.data
+        (((o * d) + lo + a) * inner)
+        out
+        (((o * width) + a) * inner)
+        inner
+    done
+  done;
+  create out_shape out
+
+let concat ~axis ts =
+  match ts with
+  | [] -> invalid_arg "Tensor.concat: empty list"
+  | first :: rest ->
+    let out_shape =
+      List.fold_left (fun acc t -> Shape.concat_result ~axis acc t.shape) first.shape rest
+    in
+    let outer, inner = axis_blocks first.shape axis in
+    let total = out_shape.(axis) in
+    let out = Array.make (Shape.numel out_shape) 0.0 in
+    let offset = ref 0 in
+    List.iter
+      (fun t ->
+        let d = t.shape.(axis) in
+        for o = 0 to outer - 1 do
+          Array.blit t.data
+            (o * d * inner)
+            out
+            (((o * total) + !offset) * inner)
+            (d * inner)
+        done;
+        offset := !offset + d)
+      ts;
+    create out_shape out
+
+let pad_slice ~axis ~lo ~full t =
+  if axis < 0 || axis >= Shape.rank t.shape then invalid_arg "Tensor.pad_slice: bad axis";
+  let d = t.shape.(axis) in
+  if lo < 0 || lo + d > full then invalid_arg "Tensor.pad_slice: slice does not fit";
+  let out_shape = Array.mapi (fun i k -> if i = axis then full else k) t.shape in
+  let outer, inner = axis_blocks t.shape axis in
+  let out = Array.make (Shape.numel out_shape) 0.0 in
+  for o = 0 to outer - 1 do
+    Array.blit t.data (o * d * inner) out (((o * full) + lo) * inner) (d * inner)
+  done;
+  create out_shape out
+
+(* {1 Reductions} *)
+
+let sum t = Array.fold_left ( +. ) 0.0 t.data
+let mean t = sum t /. float_of_int (numel t)
+let max_elt t = Array.fold_left Float.max neg_infinity t.data
+
+let reduce_shape ~axis ~keepdims shape =
+  if keepdims then Array.mapi (fun i d -> if i = axis then 1 else d) shape
+  else begin
+    match Array.length shape with
+    | 1 -> Shape.scalar
+    | n ->
+      let out = Array.make (n - 1) 0 in
+      let j = ref 0 in
+      Array.iteri
+        (fun i d ->
+          if i <> axis then begin
+            out.(!j) <- d;
+            incr j
+          end)
+        shape;
+      out
+  end
+
+let reduce_sum ~axis ~keepdims t =
+  if axis < 0 || axis >= Shape.rank t.shape then invalid_arg "Tensor.reduce_sum: bad axis";
+  let d = t.shape.(axis) in
+  let outer, inner = axis_blocks t.shape axis in
+  let out = Array.make (outer * inner) 0.0 in
+  for o = 0 to outer - 1 do
+    for a = 0 to d - 1 do
+      let src = ((o * d) + a) * inner in
+      let dst = o * inner in
+      for k = 0 to inner - 1 do
+        out.(dst + k) <- out.(dst + k) +. t.data.(src + k)
+      done
+    done
+  done;
+  create (reduce_shape ~axis ~keepdims t.shape) out
+
+let reduce_mean ~axis ~keepdims t =
+  let d = float_of_int t.shape.(axis) in
+  scale (1.0 /. d) (reduce_sum ~axis ~keepdims t)
+
+let broadcast_axis ~axis ~n t =
+  if axis < 0 || axis >= Shape.rank t.shape then invalid_arg "Tensor.broadcast_axis: bad axis";
+  if t.shape.(axis) <> 1 then invalid_arg "Tensor.broadcast_axis: axis dim must be 1";
+  let outer, inner = axis_blocks t.shape axis in
+  let out_shape = Array.mapi (fun i d -> if i = axis then n else d) t.shape in
+  let out = Array.make (outer * n * inner) 0.0 in
+  for o = 0 to outer - 1 do
+    for a = 0 to n - 1 do
+      Array.blit t.data (o * inner) out (((o * n) + a) * inner) inner
+    done
+  done;
+  create out_shape out
+
+let frobenius t = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 t.data)
+
+(* {1 Neural-network kernels} *)
+
+(* Softmax over the last axis, shared by softmax / log_softmax / xent. *)
+let rows_of t =
+  let r = Shape.rank t.shape in
+  if r = 0 then invalid_arg "Tensor: scalar has no softmax axis";
+  let cols = t.shape.(r - 1) in
+  (numel t / cols, cols)
+
+let softmax t =
+  let rows, cols = rows_of t in
+  let out = Array.make (numel t) 0.0 in
+  for r = 0 to rows - 1 do
+    let base = r * cols in
+    let m = ref neg_infinity in
+    for j = 0 to cols - 1 do
+      if t.data.(base + j) > !m then m := t.data.(base + j)
+    done;
+    let z = ref 0.0 in
+    for j = 0 to cols - 1 do
+      let e = exp (t.data.(base + j) -. !m) in
+      out.(base + j) <- e;
+      z := !z +. e
+    done;
+    for j = 0 to cols - 1 do
+      out.(base + j) <- out.(base + j) /. !z
+    done
+  done;
+  create t.shape out
+
+let log_softmax t =
+  let rows, cols = rows_of t in
+  let out = Array.make (numel t) 0.0 in
+  for r = 0 to rows - 1 do
+    let base = r * cols in
+    let m = ref neg_infinity in
+    for j = 0 to cols - 1 do
+      if t.data.(base + j) > !m then m := t.data.(base + j)
+    done;
+    let z = ref 0.0 in
+    for j = 0 to cols - 1 do
+      z := !z +. exp (t.data.(base + j) -. !m)
+    done;
+    let lz = !m +. log !z in
+    for j = 0 to cols - 1 do
+      out.(base + j) <- t.data.(base + j) -. lz
+    done
+  done;
+  create t.shape out
+
+let check_labels ~logits ~labels =
+  if Shape.rank (shape logits) <> 2 then invalid_arg "cross_entropy: logits must be 2-D";
+  if Shape.rank (shape labels) <> 1 then invalid_arg "cross_entropy: labels must be 1-D";
+  let b = (shape logits).(0) in
+  if (shape labels).(0) <> b then invalid_arg "cross_entropy: batch mismatch";
+  b
+
+let cross_entropy ~logits ~labels =
+  let b = check_labels ~logits ~labels in
+  let v = (shape logits).(1) in
+  let lsm = log_softmax logits in
+  let acc = ref 0.0 in
+  for i = 0 to b - 1 do
+    let cls = int_of_float labels.data.(i) in
+    if cls < 0 || cls >= v then invalid_arg "cross_entropy: label out of range";
+    acc := !acc -. lsm.data.((i * v) + cls)
+  done;
+  !acc /. float_of_int b
+
+let cross_entropy_grad ~logits ~labels =
+  let b = check_labels ~logits ~labels in
+  let v = (shape logits).(1) in
+  let sm = softmax logits in
+  let out = to_array sm in
+  let inv_b = 1.0 /. float_of_int b in
+  for i = 0 to b - 1 do
+    let cls = int_of_float labels.data.(i) in
+    out.((i * v) + cls) <- out.((i * v) + cls) -. 1.0
+  done;
+  for i = 0 to Array.length out - 1 do
+    out.(i) <- out.(i) *. inv_b
+  done;
+  create (shape logits) out
+
+let dropout_mask ~seed ~p shape =
+  if p < 0.0 || p >= 1.0 then invalid_arg "Tensor.dropout_mask: p must be in [0,1)";
+  let rng = Rng.create seed in
+  let keep = 1.0 /. (1.0 -. p) in
+  create shape
+    (Array.init (Shape.numel shape) (fun _ -> if Rng.float rng < p then 0.0 else keep))
+
+let embedding ~table ~ids =
+  if Shape.rank (shape table) <> 2 then invalid_arg "Tensor.embedding: table must be 2-D";
+  if Shape.rank (shape ids) <> 1 then invalid_arg "Tensor.embedding: ids must be 1-D";
+  let v = (shape table).(0) and d = (shape table).(1) in
+  let b = (shape ids).(0) in
+  let out = Array.make (b * d) 0.0 in
+  for i = 0 to b - 1 do
+    let id = int_of_float ids.data.(i) in
+    if id < 0 || id >= v then invalid_arg "Tensor.embedding: id out of range";
+    Array.blit table.data (id * d) out (i * d) d
+  done;
+  create [| b; d |] out
+
+let embedding_grad ~table_shape ~ids ~grad_out =
+  if Shape.rank table_shape <> 2 then invalid_arg "Tensor.embedding_grad: table must be 2-D";
+  let d = table_shape.(1) in
+  let b = (shape ids).(0) in
+  if not (Shape.equal (shape grad_out) [| b; d |]) then
+    invalid_arg "Tensor.embedding_grad: grad_out shape mismatch";
+  let out = Array.make (Shape.numel table_shape) 0.0 in
+  for i = 0 to b - 1 do
+    let id = int_of_float ids.data.(i) in
+    for j = 0 to d - 1 do
+      out.((id * d) + j) <- out.((id * d) + j) +. grad_out.data.((i * d) + j)
+    done
+  done;
+  create table_shape out
+
+(* {1 Convolution (naive direct)} *)
+
+let conv_out_dim ~stride ~pad ~k dim = ((dim + (2 * pad) - k) / stride) + 1
+
+let conv2d ~stride ~pad ~input ~kernel =
+  if Shape.rank (shape input) <> 4 || Shape.rank (shape kernel) <> 4 then
+    invalid_arg "Tensor.conv2d: expects 4-D input and kernel";
+  let b = (shape input).(0) and cin = (shape input).(1) in
+  let h = (shape input).(2) and w = (shape input).(3) in
+  let cout = (shape kernel).(0) and cin' = (shape kernel).(1) in
+  let kh = (shape kernel).(2) and kw = (shape kernel).(3) in
+  if cin <> cin' then invalid_arg "Tensor.conv2d: channel mismatch";
+  let oh = conv_out_dim ~stride ~pad ~k:kh h and ow = conv_out_dim ~stride ~pad ~k:kw w in
+  if oh < 1 || ow < 1 then invalid_arg "Tensor.conv2d: output collapses to zero";
+  let out = zeros [| b; cout; oh; ow |] in
+  for n = 0 to b - 1 do
+    for co = 0 to cout - 1 do
+      for oy = 0 to oh - 1 do
+        for ox = 0 to ow - 1 do
+          let acc = ref 0.0 in
+          for ci = 0 to cin - 1 do
+            for ky = 0 to kh - 1 do
+              let iy = (oy * stride) + ky - pad in
+              if iy >= 0 && iy < h then
+                for kx = 0 to kw - 1 do
+                  let ix = (ox * stride) + kx - pad in
+                  if ix >= 0 && ix < w then
+                    acc :=
+                      !acc
+                      +. get input [| n; ci; iy; ix |] *. get kernel [| co; ci; ky; kx |]
+                done
+            done
+          done;
+          set out [| n; co; oy; ox |] !acc
+        done
+      done
+    done
+  done;
+  out
+
+let conv2d_grad_input ~stride ~pad ~input_shape ~kernel ~grad_out =
+  let b = input_shape.(0) and cin = input_shape.(1) in
+  let h = input_shape.(2) and w = input_shape.(3) in
+  let cout = (shape kernel).(0) in
+  let kh = (shape kernel).(2) and kw = (shape kernel).(3) in
+  let oh = (shape grad_out).(2) and ow = (shape grad_out).(3) in
+  let out = zeros input_shape in
+  for n = 0 to b - 1 do
+    for co = 0 to cout - 1 do
+      for oy = 0 to oh - 1 do
+        for ox = 0 to ow - 1 do
+          let g = get grad_out [| n; co; oy; ox |] in
+          if g <> 0.0 then
+            for ci = 0 to cin - 1 do
+              for ky = 0 to kh - 1 do
+                let iy = (oy * stride) + ky - pad in
+                if iy >= 0 && iy < h then
+                  for kx = 0 to kw - 1 do
+                    let ix = (ox * stride) + kx - pad in
+                    if ix >= 0 && ix < w then
+                      set out [| n; ci; iy; ix |]
+                        (get out [| n; ci; iy; ix |]
+                        +. (g *. get kernel [| co; ci; ky; kx |]))
+                  done
+              done
+            done
+        done
+      done
+    done
+  done;
+  out
+
+let conv2d_grad_kernel ~stride ~pad ~input ~kernel_shape ~grad_out =
+  let b = (shape input).(0) and cin = (shape input).(1) in
+  let h = (shape input).(2) and w = (shape input).(3) in
+  let cout = kernel_shape.(0) in
+  let kh = kernel_shape.(2) and kw = kernel_shape.(3) in
+  let oh = (shape grad_out).(2) and ow = (shape grad_out).(3) in
+  let out = zeros kernel_shape in
+  for n = 0 to b - 1 do
+    for co = 0 to cout - 1 do
+      for oy = 0 to oh - 1 do
+        for ox = 0 to ow - 1 do
+          let g = get grad_out [| n; co; oy; ox |] in
+          if g <> 0.0 then
+            for ci = 0 to cin - 1 do
+              for ky = 0 to kh - 1 do
+                let iy = (oy * stride) + ky - pad in
+                if iy >= 0 && iy < h then
+                  for kx = 0 to kw - 1 do
+                    let ix = (ox * stride) + kx - pad in
+                    if ix >= 0 && ix < w then
+                      set out [| co; ci; ky; kx |]
+                        (get out [| co; ci; ky; kx |]
+                        +. (g *. get input [| n; ci; iy; ix |]))
+                  done
+              done
+            done
+        done
+      done
+    done
+  done;
+  out
+
+(* {1 Comparison and printing} *)
+
+let equal a b = Shape.equal a.shape b.shape && a.data = b.data
+
+let max_abs_diff a b =
+  if not (Shape.equal a.shape b.shape) then infinity
+  else begin
+    let m = ref 0.0 in
+    Array.iteri
+      (fun i x ->
+        let d = Float.abs (x -. b.data.(i)) in
+        if d > !m then m := d)
+      a.data;
+    !m
+  end
+
+let approx_equal ?(tol = 1e-9) a b = max_abs_diff a b <= tol
+
+let pp fmt t =
+  Format.fprintf fmt "%s{" (Shape.to_string t.shape);
+  let n = min (numel t) 16 in
+  for i = 0 to n - 1 do
+    if i > 0 then Format.pp_print_string fmt ", ";
+    Format.fprintf fmt "%g" t.data.(i)
+  done;
+  if numel t > n then Format.pp_print_string fmt ", ...";
+  Format.pp_print_string fmt "}"
+
+let to_string t = Format.asprintf "%a" pp t

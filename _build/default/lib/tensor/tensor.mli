@@ -1,0 +1,157 @@
+(** Dense row-major float tensors.
+
+    The host representation is [float array] (double precision, which keeps
+    numerical gradient checking accurate); the simulated GPU footprint model
+    in [echo_exec] accounts tensors at 4 bytes/element, i.e. fp32 on device.
+
+    All operations allocate fresh result tensors; nothing aliases unless the
+    documentation says so. Shape errors raise [Invalid_argument]. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create : Shape.t -> float array -> t
+(** @raise Invalid_argument if the data length differs from [Shape.numel]. *)
+
+val zeros : Shape.t -> t
+val ones : Shape.t -> t
+val full : Shape.t -> float -> t
+val scalar : float -> t
+
+val init : Shape.t -> (int array -> float) -> t
+(** [init s f] fills by multi-index. *)
+
+val of_list1 : float list -> t
+(** 1-D tensor from a list. *)
+
+val of_list2 : float list list -> t
+(** 2-D tensor from rows. @raise Invalid_argument on ragged input. *)
+
+val uniform : Rng.t -> Shape.t -> lo:float -> hi:float -> t
+val normal : Rng.t -> Shape.t -> mean:float -> std:float -> t
+
+val xavier : Rng.t -> Shape.t -> t
+(** Glorot-uniform initialisation for a 2-D weight [ [|fan_out; fan_in|] ]. *)
+
+(** {1 Access} *)
+
+val shape : t -> Shape.t
+val numel : t -> int
+val get : t -> int array -> float
+val set : t -> int array -> float -> unit
+val get1 : t -> int -> float
+(** Linear (row-major) element access. *)
+
+val set1 : t -> int -> float -> unit
+val to_array : t -> float array
+(** A fresh copy of the underlying buffer. *)
+
+val copy : t -> t
+
+(** {1 Elementwise} *)
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+(** @raise Invalid_argument on shape mismatch. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val add_scalar : float -> t -> t
+val sigmoid : t -> t
+val tanh_ : t -> t
+val relu : t -> t
+val exp_ : t -> t
+val log_ : t -> t
+val sqrt_ : t -> t
+val sq : t -> t
+val pow_const : float -> t -> t
+val recip : t -> t
+val sign : t -> t
+
+(** {1 Linear algebra} *)
+
+val matmul : ?trans_a:bool -> ?trans_b:bool -> t -> t -> t
+(** 2-D GEMM; transposes are logical (no materialisation).
+    @raise Invalid_argument if operands are not 2-D or inner dims differ. *)
+
+val add_bias : t -> t -> t
+(** [add_bias m b] adds 1-D [b] to every row of 2-D [m]. *)
+
+val outer : t -> t -> t
+(** Outer product of two 1-D tensors. *)
+
+(** {1 Shape manipulation} *)
+
+val reshape : t -> Shape.t -> t
+(** Shares no storage with the argument. @raise Invalid_argument if element
+    counts differ. *)
+
+val transpose2d : t -> t
+val slice : axis:int -> lo:int -> hi:int -> t -> t
+val concat : axis:int -> t list -> t
+(** @raise Invalid_argument on an empty list or mismatched off-axis dims. *)
+
+val pad_slice : axis:int -> lo:int -> full:int -> t -> t
+(** Inverse of {!slice} for gradients: embed [t] into a zero tensor whose
+    [axis] dimension is [full], starting at offset [lo]. *)
+
+(** {1 Reductions} *)
+
+val sum : t -> float
+val mean : t -> float
+val max_elt : t -> float
+val reduce_sum : axis:int -> keepdims:bool -> t -> t
+val reduce_mean : axis:int -> keepdims:bool -> t -> t
+val broadcast_axis : axis:int -> n:int -> t -> t
+(** Repeat a size-1 axis [n] times (gradient of [reduce_* ~keepdims:true]).
+    @raise Invalid_argument if [dim t axis <> 1]. *)
+
+val frobenius : t -> float
+
+(** {1 Neural-network kernels} *)
+
+val softmax : t -> t
+(** Softmax over the last axis, numerically stabilised. *)
+
+val log_softmax : t -> t
+
+val cross_entropy : logits:t -> labels:t -> float
+(** Mean negative log-likelihood. [logits] is [B x V]; [labels] is a length-B
+    tensor of class indices stored as floats. *)
+
+val cross_entropy_grad : logits:t -> labels:t -> t
+(** d(mean NLL)/d(logits) = (softmax - onehot) / B. *)
+
+val dropout_mask : seed:int -> p:float -> Shape.t -> t
+(** Inverted-dropout mask: each element is [0] with probability [p], else
+    [1/(1-p)]. Deterministic in [seed]. *)
+
+val embedding : table:t -> ids:t -> t
+(** [table] is [V x D]; [ids] is length-B; result is [B x D]. *)
+
+val embedding_grad : table_shape:Shape.t -> ids:t -> grad_out:t -> t
+(** Scatter-add of [grad_out] rows into a zero [V x D] table. *)
+
+val conv2d : stride:int -> pad:int -> input:t -> kernel:t -> t
+(** [input]: [B x Cin x H x W]; [kernel]: [Cout x Cin x Kh x Kw]. Naive
+    direct convolution. *)
+
+val conv2d_grad_input : stride:int -> pad:int -> input_shape:Shape.t -> kernel:t -> grad_out:t -> t
+val conv2d_grad_kernel : stride:int -> pad:int -> input:t -> kernel_shape:Shape.t -> grad_out:t -> t
+
+(** {1 Comparison and printing} *)
+
+val equal : t -> t -> bool
+(** Exact (bitwise float) equality of shape and contents. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Max-absolute-difference comparison; default [tol = 1e-9]. *)
+
+val max_abs_diff : t -> t -> float
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

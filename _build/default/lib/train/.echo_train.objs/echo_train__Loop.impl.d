@@ -1,0 +1,1 @@
+lib/train/loop.ml: Echo_exec Echo_ir Echo_tensor List Node Optimizer Tensor

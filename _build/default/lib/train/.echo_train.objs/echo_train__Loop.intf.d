@@ -1,0 +1,1 @@
+lib/train/loop.mli: Echo_ir Echo_tensor Graph Node Optimizer Tensor

@@ -1,0 +1,1 @@
+lib/train/optimizer.ml: Echo_exec Echo_ir Echo_tensor Float Hashtbl List Node Printf Tensor

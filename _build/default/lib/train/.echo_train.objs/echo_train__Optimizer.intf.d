@@ -1,0 +1,1 @@
+lib/train/optimizer.mli: Echo_exec Echo_ir Echo_tensor Node Tensor

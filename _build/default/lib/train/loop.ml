@@ -1,0 +1,41 @@
+open Echo_tensor
+open Echo_ir
+
+type batch = (Node.t * Tensor.t) list
+type step_stats = { step : int; loss : float; grad_norm : float }
+type result = { losses : float list; params : (Node.t * Tensor.t) list }
+
+let global_norm grads =
+  sqrt
+    (List.fold_left
+       (fun acc (_, g) ->
+         let n = Tensor.frobenius g in
+         acc +. (n *. n))
+       0.0 grads)
+
+let train ~graph ~params ~optimizer ?clip_norm ?on_step ~batches () =
+  let param_nodes = List.map fst params in
+  let run_step (step, params, losses) batch =
+    let feeds = batch @ params in
+    match Echo_exec.Interp.eval graph ~feeds with
+    | [] -> invalid_arg "Loop.train: graph has no outputs"
+    | loss_t :: grad_ts ->
+      if List.length grad_ts <> List.length param_nodes then
+        invalid_arg "Loop.train: gradient outputs do not match parameters";
+      let loss = Tensor.get1 loss_t 0 in
+      let grads = List.combine param_nodes grad_ts in
+      let grads =
+        match clip_norm with
+        | None -> grads
+        | Some max_norm -> Optimizer.clip_by_global_norm ~max_norm grads
+      in
+      (match on_step with
+      | Some f -> f { step; loss; grad_norm = global_norm grads }
+      | None -> ());
+      let params = Optimizer.step optimizer ~params ~grads in
+      (step + 1, params, loss :: losses)
+  in
+  let _, params, losses = List.fold_left run_step (0, params, []) batches in
+  { losses = List.rev losses; params }
+
+let perplexity loss = exp loss

@@ -1,0 +1,35 @@
+(** The training loop: drives the interpreter over a (possibly rewritten)
+    training graph, one mini-batch per step.
+
+    The loop is graph-agnostic: give it any graph whose outputs are the loss
+    followed by the gradients in parameter order — the stash-all baseline
+    and every Echo/checkpoint rewrite of it train identically (and, being
+    deterministic, bit-identically when the rewrite preserves semantics). *)
+
+open Echo_tensor
+open Echo_ir
+
+type batch = (Node.t * Tensor.t) list
+(** Placeholder feeds for one step. *)
+
+type step_stats = { step : int; loss : float; grad_norm : float }
+
+type result = {
+  losses : float list;  (** per-step training loss, in step order *)
+  params : (Node.t * Tensor.t) list;  (** final parameter values *)
+}
+
+val train :
+  graph:Graph.t ->
+  params:(Node.t * Tensor.t) list ->
+  optimizer:Optimizer.t ->
+  ?clip_norm:float ->
+  ?on_step:(step_stats -> unit) ->
+  batches:batch list ->
+  unit ->
+  result
+(** [graph]'s outputs must be [loss :: grads] aligned with [params]. Applies
+    optional global-norm clipping before each update. *)
+
+val perplexity : float -> float
+(** [exp loss], the language-modelling quality metric. *)

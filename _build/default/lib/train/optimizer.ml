@@ -1,0 +1,85 @@
+open Echo_tensor
+open Echo_ir
+
+type spec =
+  | Sgd of { lr : float }
+  | Momentum of { lr : float; momentum : float }
+  | Adam of { lr : float; beta1 : float; beta2 : float; eps : float }
+
+type t = {
+  spec : spec;
+  velocity : (int, Tensor.t) Hashtbl.t;  (* momentum / Adam first moment *)
+  second : (int, Tensor.t) Hashtbl.t;  (* Adam second moment *)
+  mutable steps : int;
+}
+
+let create spec = { spec; velocity = Hashtbl.create 16; second = Hashtbl.create 16; steps = 0 }
+
+let footprint_kind t =
+  match t.spec with
+  | Sgd _ -> Echo_exec.Footprint.Sgd
+  | Momentum _ -> Echo_exec.Footprint.Momentum
+  | Adam _ -> Echo_exec.Footprint.Adam
+
+let state tbl node shape =
+  match Hashtbl.find_opt tbl (Node.id node) with
+  | Some t -> t
+  | None ->
+    let t = Tensor.zeros shape in
+    Hashtbl.replace tbl (Node.id node) t;
+    t
+
+let step t ~params ~grads =
+  t.steps <- t.steps + 1;
+  let grad_of node =
+    match
+      List.find_opt (fun (p, _) -> Node.id p = Node.id node) grads
+    with
+    | Some (_, g) -> g
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Optimizer.step: no gradient for %s" (Node.name node))
+  in
+  List.map
+    (fun (node, value) ->
+      let g = grad_of node in
+      let updated =
+        match t.spec with
+        | Sgd { lr } -> Tensor.sub value (Tensor.scale lr g)
+        | Momentum { lr; momentum } ->
+          let v = state t.velocity node (Tensor.shape value) in
+          let v' = Tensor.add (Tensor.scale momentum v) g in
+          Hashtbl.replace t.velocity (Node.id node) v';
+          Tensor.sub value (Tensor.scale lr v')
+        | Adam { lr; beta1; beta2; eps } ->
+          let m = state t.velocity node (Tensor.shape value) in
+          let v = state t.second node (Tensor.shape value) in
+          let m' = Tensor.add (Tensor.scale beta1 m) (Tensor.scale (1.0 -. beta1) g) in
+          let v' =
+            Tensor.add (Tensor.scale beta2 v) (Tensor.scale (1.0 -. beta2) (Tensor.sq g))
+          in
+          Hashtbl.replace t.velocity (Node.id node) m';
+          Hashtbl.replace t.second (Node.id node) v';
+          let steps = float_of_int t.steps in
+          let m_hat = Tensor.scale (1.0 /. (1.0 -. Float.pow beta1 steps)) m' in
+          let v_hat = Tensor.scale (1.0 /. (1.0 -. Float.pow beta2 steps)) v' in
+          Tensor.sub value
+            (Tensor.div (Tensor.scale lr m_hat) (Tensor.add_scalar eps (Tensor.sqrt_ v_hat)))
+      in
+      (node, updated))
+    params
+
+let clip_by_global_norm ~max_norm grads =
+  let total_sq =
+    List.fold_left
+      (fun acc (_, g) ->
+        let n = Tensor.frobenius g in
+        acc +. (n *. n))
+      0.0 grads
+  in
+  let norm = sqrt total_sq in
+  if norm <= max_norm then grads
+  else begin
+    let k = max_norm /. norm in
+    List.map (fun (p, g) -> (p, Tensor.scale k g)) grads
+  end

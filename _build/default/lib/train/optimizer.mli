@@ -1,0 +1,29 @@
+(** First-order optimizers over (parameter, gradient) tensor pairs.
+
+    State is keyed by parameter node id and updated functionally on the host;
+    the simulated-GPU footprint of the state is accounted analytically by
+    [Echo_exec.Footprint]. *)
+
+open Echo_tensor
+open Echo_ir
+
+type t
+
+type spec =
+  | Sgd of { lr : float }
+  | Momentum of { lr : float; momentum : float }
+  | Adam of { lr : float; beta1 : float; beta2 : float; eps : float }
+
+val create : spec -> t
+
+val footprint_kind : t -> Echo_exec.Footprint.optimizer
+
+val step : t -> params:(Node.t * Tensor.t) list -> grads:(Node.t * Tensor.t) list
+  -> (Node.t * Tensor.t) list
+(** One update; returns the new parameter values in [params] order.
+    [grads] must cover every parameter (match by node id).
+    @raise Invalid_argument on a missing gradient. *)
+
+val clip_by_global_norm : max_norm:float -> (Node.t * Tensor.t) list
+  -> (Node.t * Tensor.t) list
+(** Standard RNN-training gradient clipping. *)

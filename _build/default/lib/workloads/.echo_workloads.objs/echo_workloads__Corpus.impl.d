@@ -1,0 +1,1 @@
+lib/workloads/corpus.ml: Array Echo_tensor List Rng Tensor

@@ -1,0 +1,1 @@
+lib/workloads/corpus.mli: Echo_tensor Tensor

@@ -1,0 +1,47 @@
+(** Synthetic corpora (DESIGN.md substitution for PTB / WikiText-2 / WMT /
+    LibriSpeech).
+
+    Token streams follow a Zipfian unigram law with first-order Markov
+    structure, so a language model genuinely has something to learn —
+    training-quality experiments need the loss to fall, not to match a real
+    dataset's perplexity. Footprint/time experiments only need shapes. *)
+
+open Echo_tensor
+
+type t
+
+val generate : seed:int -> vocab:int -> length:int -> t
+(** A Zipf-Markov token stream. *)
+
+val vocab : t -> int
+val length : t -> int
+val token : t -> int -> int
+
+val lm_batches :
+  t -> batch:int -> seq_len:int -> steps:int -> (Tensor.t * Tensor.t) list
+(** Mini-batches for the language model: (tokens, labels) pairs, each
+    [(seq_len * batch)] time-major, labels shifted by one position.
+    Consecutive steps advance through the stream (truncated BPTT style).
+    @raise Invalid_argument if the stream is too short. *)
+
+val pair_batches :
+  src:t ->
+  tgt:t ->
+  batch:int ->
+  src_len:int ->
+  tgt_len:int ->
+  steps:int ->
+  (Tensor.t * Tensor.t * Tensor.t) list
+(** Synthetic parallel corpus for NMT: (src, tgt_in, labels). *)
+
+val spectrogram_batches :
+  seed:int ->
+  batch:int ->
+  time:int ->
+  freq:int ->
+  classes:int ->
+  frames:int ->
+  steps:int ->
+  (Tensor.t * Tensor.t) list
+(** Synthetic filterbank utterances and frame alignments for DeepSpeech2:
+    (spectrogram [B x 1 x time x freq], alignment [(frames*batch)]). *)

@@ -1,0 +1,1 @@
+test/test_autodiff.ml: Alcotest Echo_autodiff Echo_exec Echo_ir Echo_models Echo_tensor Gradcheck Graph Hashtbl Interp Layer List Node Params Printf Recurrent Rng Shape Tensor

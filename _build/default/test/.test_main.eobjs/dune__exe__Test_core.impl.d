@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Echo_autodiff Echo_core Echo_exec Echo_gpusim Echo_ir Echo_tensor Graph Ids Interp List Memplan Node Op Pass QCheck QCheck_alcotest Rewrite Rng Select Stash Tensor

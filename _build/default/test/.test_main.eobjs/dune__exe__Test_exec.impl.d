@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Category Echo_autodiff Echo_exec Echo_ir Echo_tensor Footprint Graph Interp List Liveness Memplan Node QCheck QCheck_alcotest Rng String Tensor

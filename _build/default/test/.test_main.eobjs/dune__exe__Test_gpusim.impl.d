@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Costmodel Device Echo_gpusim Echo_ir Float Graph List Node Op

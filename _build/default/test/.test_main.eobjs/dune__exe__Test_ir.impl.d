@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Echo_ir Echo_tensor Graph List Node Op QCheck QCheck_alcotest Rng Shape String

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Deepspeech Echo_exec Echo_ir Echo_models Echo_tensor Float Graph Language_model Layer List Model Nmt Node Option Params Recurrent Rng Shape String Tensor Transformer

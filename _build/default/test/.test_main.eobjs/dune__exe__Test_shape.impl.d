@@ -1,0 +1,1 @@
+test/test_shape.ml: Alcotest Array Echo_tensor Float Printf QCheck QCheck_alcotest Rng Shape

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Echo_tensor Float QCheck QCheck_alcotest Rng Tensor

@@ -1,0 +1,1 @@
+test/test_train.ml: Alcotest Corpus Echo_autodiff Echo_exec Echo_ir Echo_tensor Echo_train Echo_workloads Float List Loop Node Optimizer Shape Tensor

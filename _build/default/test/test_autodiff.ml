@@ -1,0 +1,320 @@
+(* Gradient correctness: every operator's symbolic rule is checked against
+   central finite differences, plus composite blocks (LSTM cell, attention,
+   layer norm) and structural properties of the generated training graph. *)
+
+open Echo_tensor
+open Echo_ir
+open Echo_exec
+
+let check_bool = Alcotest.(check bool)
+
+let gradcheck ?(eps = 1e-5) ?(tol = 1e-5) ~loss ~feeds ~wrt name =
+  match Gradcheck.check ~eps ~tol ~loss ~feeds ~wrt () with
+  | Ok _ -> ()
+  | Error failures ->
+    let worst = List.hd failures in
+    Alcotest.failf "%s: gradient mismatch on %s (max rel err %g)" name
+      worst.Gradcheck.param worst.Gradcheck.max_rel_err
+
+let rng = Rng.create 20_24
+
+let var name shape = (Node.variable ~name shape, Tensor.uniform rng shape ~lo:(-0.9) ~hi:0.9)
+
+(* Reduce any tensor node to a scalar loss with nontrivial weights, so the
+   adjoint reaching the tested op varies per element. *)
+let weighted_loss node =
+  let shape = Node.shape node in
+  let weights = Node.variable ~name:"loss_weights" shape in
+  let weights_value =
+    Tensor.init shape (fun idx ->
+      1.0 +. (0.1 *. float_of_int (Shape.ravel shape idx)))
+  in
+  let prod = Node.mul node weights in
+  let rec collapse n =
+    if Shape.rank (Node.shape n) = 0 then n
+    else collapse (Node.reduce_sum ~axis:0 ~keepdims:false n)
+  in
+  (collapse prod, (weights, weights_value))
+
+let unary_case name build =
+  Alcotest.test_case name `Quick (fun () ->
+    let x, xv = var "x" [| 2; 3 |] in
+    let loss, wfeed = weighted_loss (build x) in
+    gradcheck ~loss ~feeds:[ (x, xv); wfeed ] ~wrt:[ x ] name)
+
+let test_binary name build =
+  Alcotest.test_case name `Quick (fun () ->
+    let a, av = var "a" [| 2; 3 |] in
+    let b, bv0 = var "b" [| 2; 3 |] in
+    (* keep divisors away from zero *)
+    let bv = Tensor.add_scalar 2.0 (Tensor.relu bv0) in
+    let loss, wfeed = weighted_loss (build a b) in
+    gradcheck ~loss ~feeds:[ (a, av); (b, bv); wfeed ] ~wrt:[ a; b ] name)
+
+let matmul_case trans_a trans_b =
+  let name = Printf.sprintf "matmul %b/%b" trans_a trans_b in
+  Alcotest.test_case name `Quick (fun () ->
+    let sa = if trans_a then [| 4; 2 |] else [| 2; 4 |] in
+    let sb = if trans_b then [| 3; 4 |] else [| 4; 3 |] in
+    let a, av = var "a" sa and b, bv = var "b" sb in
+    let loss, wfeed = weighted_loss (Node.matmul ~trans_a ~trans_b a b) in
+    gradcheck ~loss ~feeds:[ (a, av); (b, bv); wfeed ] ~wrt:[ a; b ] name)
+
+let test_add_bias () =
+  let m, mv = var "m" [| 3; 4 |] and b, bv = var "b" [| 4 |] in
+  let loss, wfeed = weighted_loss (Node.add_bias m b) in
+  gradcheck ~loss ~feeds:[ (m, mv); (b, bv); wfeed ] ~wrt:[ m; b ] "add_bias"
+
+let test_slice_concat () =
+  let x, xv = var "x" [| 4; 3 |] in
+  let parts =
+    [ Node.slice ~axis:0 ~lo:0 ~hi:1 x;
+      Node.slice ~axis:0 ~lo:1 ~hi:3 x;
+      Node.slice ~axis:0 ~lo:3 ~hi:4 x ]
+  in
+  let y = Node.concat ~axis:0 (List.rev parts) in
+  let loss, wfeed = weighted_loss y in
+  gradcheck ~loss ~feeds:[ (x, xv); wfeed ] ~wrt:[ x ] "slice+concat"
+
+let test_pad_slice_grad () =
+  let x, xv = var "x" [| 2; 3 |] in
+  let loss, wfeed = weighted_loss (Node.pad_slice ~axis:0 ~lo:1 ~full:5 x) in
+  gradcheck ~loss ~feeds:[ (x, xv); wfeed ] ~wrt:[ x ] "pad_slice"
+
+let test_reshape_transpose () =
+  let x, xv = var "x" [| 2; 6 |] in
+  let y = Node.transpose2d (Node.reshape [| 4; 3 |] x) in
+  let loss, wfeed = weighted_loss y in
+  gradcheck ~loss ~feeds:[ (x, xv); wfeed ] ~wrt:[ x ] "reshape+transpose"
+
+let reduce_case name build =
+  Alcotest.test_case name `Quick (fun () ->
+    let x, xv = var "x" [| 3; 4 |] in
+    let loss, wfeed = weighted_loss (build x) in
+    gradcheck ~loss ~feeds:[ (x, xv); wfeed ] ~wrt:[ x ] name)
+
+let test_softmax_grad () =
+  let x, xv = var "x" [| 3; 5 |] in
+  let loss, wfeed = weighted_loss (Node.softmax x) in
+  gradcheck ~loss ~feeds:[ (x, xv); wfeed ] ~wrt:[ x ] "softmax"
+
+let test_log_softmax_grad () =
+  let x, xv = var "x" [| 3; 5 |] in
+  let loss, wfeed = weighted_loss (Node.log_softmax x) in
+  gradcheck ~loss ~feeds:[ (x, xv); wfeed ] ~wrt:[ x ] "log_softmax"
+
+let test_cross_entropy_grad () =
+  let x, xv = var "logits" [| 4; 6 |] in
+  let labels = Node.placeholder ~name:"labels" [| 4 |] in
+  let labels_v = Tensor.of_list1 [ 0.; 3.; 5.; 2. ] in
+  let loss = Node.cross_entropy ~logits:x ~labels in
+  gradcheck ~loss ~feeds:[ (x, xv); (labels, labels_v) ] ~wrt:[ x ] "cross_entropy"
+
+let test_scaled_cross_entropy_grad () =
+  (* Exercises the ScaleBy path: the loss adjoint reaching CE is not 1. *)
+  let x, xv = var "logits" [| 3; 4 |] in
+  let labels = Node.placeholder ~name:"labels" [| 3 |] in
+  let labels_v = Tensor.of_list1 [ 1.; 0.; 3. ] in
+  let ce = Node.cross_entropy ~logits:x ~labels in
+  let loss = Node.scale 2.5 (Node.sq ce) in
+  gradcheck ~loss ~feeds:[ (x, xv); (labels, labels_v) ] ~wrt:[ x ]
+    "scaled cross_entropy"
+
+let test_embedding_grad () =
+  let table, tv = var "table" [| 7; 3 |] in
+  let ids = Node.placeholder ~name:"ids" [| 5 |] in
+  let ids_v = Tensor.of_list1 [ 0.; 6.; 3.; 6.; 1. ] in
+  let loss, wfeed = weighted_loss (Node.embedding ~table ~ids) in
+  gradcheck ~loss ~feeds:[ (table, tv); (ids, ids_v); wfeed ] ~wrt:[ table ]
+    "embedding (with repeated ids)"
+
+let test_conv2d_grad () =
+  let input, iv = var "input" [| 2; 2; 5; 5 |] in
+  let kernel, kv = var "kernel" [| 3; 2; 3; 3 |] in
+  let y = Node.conv2d ~stride:2 ~pad:1 ~input ~kernel in
+  let loss, wfeed = weighted_loss y in
+  gradcheck ~tol:1e-4 ~loss ~feeds:[ (input, iv); (kernel, kv); wfeed ]
+    ~wrt:[ input; kernel ] "conv2d"
+
+let test_dropout_path_grad () =
+  let x, xv = var "x" [| 3; 4 |] in
+  let mask = Node.dropout_mask ~p:0.4 ~seed:17 [| 3; 4 |] in
+  let loss, wfeed = weighted_loss (Node.mul x mask) in
+  gradcheck ~loss ~feeds:[ (x, xv); wfeed ] ~wrt:[ x ] "dropout path"
+
+let test_fan_out_accumulation () =
+  (* x used three ways: adjoint accumulation must sum all paths. *)
+  let x, xv = var "x" [| 2; 2 |] in
+  let y = Node.add (Node.mul x x) (Node.add (Node.sigmoid x) (Node.matmul x x)) in
+  let loss, wfeed = weighted_loss y in
+  gradcheck ~loss ~feeds:[ (x, xv); wfeed ] ~wrt:[ x ] "fan-out accumulation"
+
+let test_unused_param_zero_grad () =
+  let x, xv = var "x" [| 2 |] in
+  let unused = Node.variable ~name:"unused" [| 3 |] in
+  let loss = Node.reduce_sum ~axis:0 ~keepdims:false (Node.sq x) in
+  let training = Echo_autodiff.Grad.differentiate ~loss ~wrt:[ x; unused ] in
+  let values =
+    Interp.eval_all training.Echo_autodiff.Grad.graph
+      ~feeds:[ (x, xv); (unused, Tensor.zeros [| 3 |]) ]
+  in
+  let _, unused_grad_node =
+    List.find (fun (p, _) -> Node.equal p unused) training.Echo_autodiff.Grad.grads
+  in
+  let g = Hashtbl.find values (Node.id unused_grad_node) in
+  check_bool "zeros" true (Tensor.equal g (Tensor.zeros [| 3 |]))
+
+let test_loss_must_be_scalar () =
+  let x = Node.variable [| 2 |] in
+  check_bool "raises" true
+    (try
+       ignore (Echo_autodiff.Grad.differentiate ~loss:x ~wrt:[ x ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_non_differentiable_raises () =
+  let logits = Node.variable [| 2; 3 |] in
+  let labels = Node.placeholder [| 2 |] in
+  let g = Node.cross_entropy_grad ~logits ~labels in
+  let fake_loss = Node.reduce_sum ~axis:0 ~keepdims:false (Node.reduce_sum ~axis:1 ~keepdims:false g) in
+  check_bool "raises" true
+    (try
+       ignore (Echo_autodiff.Grad.differentiate ~loss:fake_loss ~wrt:[ logits ]);
+       false
+     with Echo_autodiff.Grad.Non_differentiable _ -> true)
+
+let test_backward_region_tagging () =
+  let x, _ = var "x" [| 2; 2 |] in
+  let loss = Node.reduce_sum ~axis:0 ~keepdims:false
+      (Node.reduce_sum ~axis:1 ~keepdims:false (Node.sq x))
+  in
+  let training = Echo_autodiff.Grad.differentiate ~loss ~wrt:[ x ] in
+  let graph = training.Echo_autodiff.Grad.graph in
+  List.iter
+    (fun (_, g) ->
+      check_bool "grad is backward" true (Node.region g = Node.Backward))
+    training.Echo_autodiff.Grad.grads;
+  (* every forward node created before differentiation keeps its region *)
+  check_bool "loss forward" true (Node.region loss = Node.Forward);
+  Graph.validate graph
+
+let test_lstm_cell_gradcheck () =
+  let open Echo_models in
+  let params = Params.create ~seed:5 in
+  let w = Recurrent.make_weights params "cell" Recurrent.Lstm ~input_dim:3 ~hidden:4 in
+  let x, xv = var "x" [| 2; 3 |] in
+  let h0 = Recurrent.zero_state Recurrent.Lstm ~batch:2 ~hidden:4 in
+  let s1 = Recurrent.step w Recurrent.Lstm ~hidden:4 ~x h0 in
+  let s2 = Recurrent.step w Recurrent.Lstm ~hidden:4 ~x s1 in
+  let loss, wfeed = weighted_loss s2.Recurrent.h in
+  let feeds = ((x, xv) :: wfeed :: Params.bindings params) in
+  gradcheck ~tol:1e-4 ~loss ~feeds ~wrt:(x :: Params.variables params)
+    "two-step LSTM cell"
+
+let test_peephole_cell_gradcheck () =
+  let open Echo_models in
+  let params = Params.create ~seed:15 in
+  let w =
+    Recurrent.make_weights params "cell" Recurrent.Peephole ~input_dim:3 ~hidden:4
+  in
+  let x, xv = var "x" [| 2; 3 |] in
+  let s0 = Recurrent.zero_state Recurrent.Peephole ~batch:2 ~hidden:4 in
+  let s1 = Recurrent.step w Recurrent.Peephole ~hidden:4 ~x s0 in
+  let s2 = Recurrent.step w Recurrent.Peephole ~hidden:4 ~x s1 in
+  let loss, wfeed = weighted_loss s2.Recurrent.h in
+  gradcheck ~tol:1e-4 ~loss ~feeds:((x, xv) :: wfeed :: Params.bindings params)
+    ~wrt:(x :: Params.variables params) "two-step peephole LSTM cell"
+
+let test_gru_cell_gradcheck () =
+  let open Echo_models in
+  let params = Params.create ~seed:6 in
+  let w = Recurrent.make_weights params "cell" Recurrent.Gru ~input_dim:3 ~hidden:4 in
+  let x, xv = var "x" [| 2; 3 |] in
+  let s0 = Recurrent.zero_state Recurrent.Gru ~batch:2 ~hidden:4 in
+  let s1 = Recurrent.step w Recurrent.Gru ~hidden:4 ~x s0 in
+  let loss, wfeed = weighted_loss s1.Recurrent.h in
+  gradcheck ~tol:1e-4 ~loss ~feeds:((x, xv) :: wfeed :: Params.bindings params)
+    ~wrt:(x :: Params.variables params) "GRU cell"
+
+let test_layer_norm_gradcheck () =
+  let open Echo_models in
+  let params = Params.create ~seed:7 in
+  let x, xv = var "x" [| 3; 5 |] in
+  let y = Layer.layer_norm params "ln" ~dim:5 ~eps:1e-5 x in
+  let loss, wfeed = weighted_loss y in
+  gradcheck ~tol:1e-4 ~loss ~feeds:((x, xv) :: wfeed :: Params.bindings params)
+    ~wrt:(x :: Params.variables params) "layer norm"
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "grad.unary",
+      [
+        unary_case "neg" Node.neg;
+        unary_case "scale" (Node.scale 3.0);
+        unary_case "add_scalar" (Node.add_scalar (-1.5));
+        unary_case "sigmoid" (fun x -> Node.sigmoid x);
+        unary_case "tanh" (fun x -> Node.tanh_ x);
+        unary_case "relu" (fun x -> Node.relu (Node.add_scalar 0.1 x));
+        unary_case "exp" Node.exp_;
+        unary_case "log" (fun x -> Node.log_ (Node.add_scalar 3.0 x));
+        unary_case "sqrt" (fun x -> Node.sqrt_ (Node.add_scalar 3.0 x));
+        unary_case "sq" Node.sq;
+        unary_case "recip" (fun x -> Node.recip (Node.add_scalar 3.0 x));
+        unary_case "pow_const" (fun x -> Node.pow_const 3.0 (Node.add_scalar 2.0 x));
+      ] );
+    ( "grad.binary",
+      [
+        test_binary "add" Node.add;
+        test_binary "sub" Node.sub;
+        test_binary "mul" Node.mul;
+        test_binary "div" Node.div;
+      ] );
+    ( "grad.linalg",
+      [
+        matmul_case false false;
+        matmul_case false true;
+        matmul_case true false;
+        matmul_case true true;
+        t "add_bias" test_add_bias;
+      ] );
+    ( "grad.shape",
+      [
+        t "slice+concat" test_slice_concat;
+        t "pad_slice" test_pad_slice_grad;
+        t "reshape+transpose" test_reshape_transpose;
+      ] );
+    ( "grad.reduce",
+      [
+        reduce_case "reduce_sum axis0" (Node.reduce_sum ~axis:0 ~keepdims:false);
+        reduce_case "reduce_sum keep" (Node.reduce_sum ~axis:1 ~keepdims:true);
+        reduce_case "reduce_mean" (Node.reduce_mean ~axis:1 ~keepdims:false);
+        reduce_case "broadcast" (fun x ->
+          Node.broadcast_axis ~axis:1 ~n:4 (Node.reduce_sum ~axis:1 ~keepdims:true x));
+      ] );
+    ( "grad.nn",
+      [
+        t "softmax" test_softmax_grad;
+        t "log_softmax" test_log_softmax_grad;
+        t "cross_entropy" test_cross_entropy_grad;
+        t "scaled cross_entropy" test_scaled_cross_entropy_grad;
+        t "embedding" test_embedding_grad;
+        t "conv2d" test_conv2d_grad;
+        t "dropout path" test_dropout_path_grad;
+      ] );
+    ( "grad.structure",
+      [
+        t "fan-out accumulation" test_fan_out_accumulation;
+        t "unused param zero grad" test_unused_param_zero_grad;
+        t "loss must be scalar" test_loss_must_be_scalar;
+        t "non-differentiable raises" test_non_differentiable_raises;
+        t "backward region tagging" test_backward_region_tagging;
+      ] );
+    ( "grad.composite",
+      [
+        t "LSTM cell" test_lstm_cell_gradcheck;
+        t "peephole LSTM cell" test_peephole_cell_gradcheck;
+        t "GRU cell" test_gru_cell_gradcheck;
+        t "layer norm" test_layer_norm_gradcheck;
+      ] );
+  ]

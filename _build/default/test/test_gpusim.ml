@@ -1,0 +1,144 @@
+(* Cost-model tests: FLOP formulas, roofline behaviour, kernel classes. *)
+
+open Echo_ir
+open Echo_gpusim
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let dev = Device.titan_xp
+
+let test_device_lookup () =
+  check_bool "titan-xp" true (Device.by_name "titan-xp" = Some Device.titan_xp);
+  check_bool "v100" true (Device.by_name "v100" = Some Device.v100);
+  check_bool "unknown" true (Device.by_name "tpu" = None)
+
+let test_matmul_flops () =
+  let a = Node.placeholder [| 8; 16 |] and b = Node.placeholder [| 16; 4 |] in
+  let m = Node.matmul a b in
+  check_float "2mnk" (2.0 *. 8.0 *. 4.0 *. 16.0) (Costmodel.node_flops m)
+
+let test_matmul_flops_trans () =
+  let a = Node.placeholder [| 16; 8 |] and b = Node.placeholder [| 4; 16 |] in
+  let m = Node.matmul ~trans_a:true ~trans_b:true a b in
+  check_float "transposes same flops" (2.0 *. 8.0 *. 4.0 *. 16.0) (Costmodel.node_flops m)
+
+let test_conv_flops () =
+  let input = Node.placeholder [| 2; 3; 8; 8 |] in
+  let kernel = Node.variable [| 5; 3; 3; 3 |] in
+  let c = Node.conv2d ~stride:1 ~pad:1 ~input ~kernel in
+  (* out 2x5x8x8, macs per out = 3*3*3 *)
+  check_float "2 * out * cin*kh*kw" (2.0 *. (2.0 *. 5.0 *. 64.0) *. 27.0)
+    (Costmodel.node_flops c)
+
+let test_data_movement_zero_flops () =
+  let x = Node.placeholder [| 4; 4 |] in
+  check_float "slice" 0.0 (Costmodel.node_flops (Node.slice ~axis:0 ~lo:0 ~hi:2 x));
+  check_float "reshape" 0.0 (Costmodel.node_flops (Node.reshape [| 16 |] x));
+  check_float "transpose" 0.0 (Costmodel.node_flops (Node.transpose2d x))
+
+let test_leaves_free () =
+  let x = Node.placeholder [| 1024; 1024 |] in
+  check_float "placeholder costs nothing" 0.0 (Costmodel.node_time dev x);
+  let v = Node.variable [| 1024; 1024 |] in
+  check_float "variable costs nothing" 0.0 (Costmodel.node_time dev v)
+
+let test_launch_overhead_floor () =
+  let x = Node.placeholder [| 1 |] in
+  let y = Node.neg x in
+  check_bool "tiny kernel ~ launch" true
+    (Costmodel.node_time dev y >= dev.Device.launch_overhead_s)
+
+let test_roofline_bandwidth_bound () =
+  (* A big elementwise op moves bytes but does few flops: memory-bound. *)
+  let x = Node.placeholder [| 4096; 4096 |] in
+  let y = Node.neg x in
+  let expected = dev.Device.launch_overhead_s +. (Costmodel.node_bytes y /. dev.Device.bandwidth) in
+  check_bool "memory bound" true
+    (Float.abs (Costmodel.node_time dev y -. expected) < 1e-9)
+
+let test_roofline_compute_bound () =
+  (* A large square GEMM is compute-bound. *)
+  let a = Node.placeholder [| 2048; 2048 |] in
+  let m = Node.matmul a a in
+  let expected =
+    dev.Device.launch_overhead_s +. (Costmodel.node_flops m /. dev.Device.peak_flops)
+  in
+  check_bool "compute bound" true
+    (Float.abs (Costmodel.node_time dev m -. expected) < 1e-9)
+
+let test_time_monotone_in_size () =
+  let small = Node.neg (Node.placeholder [| 128 |]) in
+  let big = Node.neg (Node.placeholder [| 1_048_576 |]) in
+  check_bool "bigger is slower" true
+    (Costmodel.node_time dev big > Costmodel.node_time dev small)
+
+let test_graph_time_additive () =
+  let x = Node.placeholder [| 64 |] in
+  let a = Node.neg x in
+  let b = Node.sq a in
+  let g = Graph.create [ b ] in
+  check_bool "sum of kernels" true
+    (Float.abs
+       (Costmodel.graph_time dev g
+       -. (Costmodel.node_time dev a +. Costmodel.node_time dev b))
+    < 1e-12)
+
+let test_phase_times () =
+  let x = Node.placeholder [| 64 |] in
+  let f = Node.sigmoid x in
+  let b = Node.mul ~region:Node.Backward f f in
+  let g = Graph.create [ b ] in
+  let pt = Costmodel.phase_times dev g in
+  check_bool "split adds up" true
+    (Float.abs (pt.Costmodel.total_s -. (pt.Costmodel.forward_s +. pt.Costmodel.backward_s))
+    < 1e-12);
+  check_bool "both nonzero" true
+    (pt.Costmodel.forward_s > 0.0 && pt.Costmodel.backward_s > 0.0)
+
+let test_classify () =
+  check_bool "gemm" true
+    (Costmodel.classify (Op.Matmul { trans_a = false; trans_b = false }) = Costmodel.Gemm);
+  check_bool "conv" true
+    (Costmodel.classify (Op.Conv2d { stride = 1; pad = 0 }) = Costmodel.Conv);
+  check_bool "elementwise" true (Costmodel.classify Op.Sigmoid = Costmodel.Elementwise);
+  check_bool "movement" true
+    (Costmodel.classify (Op.Slice { axis = 0; lo = 0; hi = 1 }) = Costmodel.DataMovement);
+  check_bool "reduction" true (Costmodel.classify Op.Softmax = Costmodel.Reduction)
+
+let test_time_by_class () =
+  let x = Node.placeholder [| 32; 32 |] in
+  let m = Node.matmul x x in
+  let s = Node.sigmoid m in
+  let g = Graph.create [ s ] in
+  let classes = Costmodel.time_by_class dev g in
+  check_bool "has gemm and elementwise" true
+    (List.mem_assoc Costmodel.Gemm classes && List.mem_assoc Costmodel.Elementwise classes)
+
+let test_optimizer_update_time () =
+  let t0 = Costmodel.optimizer_update_time dev ~weight_bytes:1_000_000 ~param_count:10 ~state_tensors:0 in
+  let t2 = Costmodel.optimizer_update_time dev ~weight_bytes:1_000_000 ~param_count:10 ~state_tensors:2 in
+  check_bool "state costs bandwidth" true (t2 > t0);
+  check_bool "positive" true (t0 > 0.0)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "costmodel",
+      [
+        t "device lookup" test_device_lookup;
+        t "matmul flops" test_matmul_flops;
+        t "matmul flops transposed" test_matmul_flops_trans;
+        t "conv flops" test_conv_flops;
+        t "data movement zero flops" test_data_movement_zero_flops;
+        t "leaves free" test_leaves_free;
+        t "launch overhead floor" test_launch_overhead_floor;
+        t "roofline bandwidth bound" test_roofline_bandwidth_bound;
+        t "roofline compute bound" test_roofline_compute_bound;
+        t "monotone in size" test_time_monotone_in_size;
+        t "graph time additive" test_graph_time_additive;
+        t "phase times" test_phase_times;
+        t "classify" test_classify;
+        t "time by class" test_time_by_class;
+        t "optimizer update" test_optimizer_update_time;
+      ] );
+  ]

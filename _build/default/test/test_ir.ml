@@ -1,0 +1,292 @@
+(* Tests for the IR: operator shape inference, node construction, graph
+   scheduling and validation. *)
+
+open Echo_tensor
+open Echo_ir
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let shape = Alcotest.testable Shape.pp Shape.equal
+
+let infer op ins = Op.infer_shape op ins None
+
+let raises f = try f (); false with Invalid_argument _ -> true
+
+(* Op.infer_shape *)
+
+let test_infer_leaves () =
+  Alcotest.check shape "placeholder" [| 2; 3 |]
+    (Op.infer_shape Op.Placeholder [] (Some [| 2; 3 |]));
+  check_bool "leaf without shape" true (raises (fun () -> ignore (infer Op.Variable [])));
+  check_bool "non-leaf with shape" true
+    (raises (fun () -> ignore (Op.infer_shape Op.Add [ [| 2 |]; [| 2 |] ] (Some [| 2 |]))))
+
+let test_infer_elementwise () =
+  Alcotest.check shape "unary keeps shape" [| 2; 3 |] (infer Op.Sigmoid [ [| 2; 3 |] ]);
+  Alcotest.check shape "binary" [| 4 |] (infer Op.Mul [ [| 4 |]; [| 4 |] ]);
+  check_bool "binary mismatch" true
+    (raises (fun () -> ignore (infer Op.Add [ [| 2 |]; [| 3 |] ])));
+  check_bool "wrong arity" true (raises (fun () -> ignore (infer Op.Neg [ [| 2 |]; [| 2 |] ])))
+
+let test_infer_matmul () =
+  Alcotest.check shape "nn" [| 2; 5 |]
+    (infer (Op.Matmul { trans_a = false; trans_b = false }) [ [| 2; 3 |]; [| 3; 5 |] ]);
+  Alcotest.check shape "nt" [| 2; 5 |]
+    (infer (Op.Matmul { trans_a = false; trans_b = true }) [ [| 2; 3 |]; [| 5; 3 |] ]);
+  Alcotest.check shape "tn" [| 3; 5 |]
+    (infer (Op.Matmul { trans_a = true; trans_b = false }) [ [| 2; 3 |]; [| 2; 5 |] ]);
+  Alcotest.check shape "tt" [| 3; 5 |]
+    (infer (Op.Matmul { trans_a = true; trans_b = true }) [ [| 2; 3 |]; [| 5; 2 |] ]);
+  check_bool "inner mismatch" true
+    (raises (fun () ->
+       ignore (infer (Op.Matmul { trans_a = false; trans_b = false }) [ [| 2; 3 |]; [| 4; 5 |] ])))
+
+let test_infer_shape_ops () =
+  Alcotest.check shape "slice" [| 2; 2 |]
+    (infer (Op.Slice { axis = 1; lo = 1; hi = 3 }) [ [| 2; 5 |] ]);
+  Alcotest.check shape "pad" [| 6; 3 |]
+    (infer (Op.PadSlice { axis = 0; lo = 2; full = 6 }) [ [| 2; 3 |] ]);
+  check_bool "pad does not fit" true
+    (raises (fun () ->
+       ignore (infer (Op.PadSlice { axis = 0; lo = 5; full = 6 }) [ [| 2; 3 |] ])));
+  Alcotest.check shape "concat" [| 2; 7 |]
+    (infer (Op.Concat { axis = 1 }) [ [| 2; 3 |]; [| 2; 4 |] ]);
+  check_bool "concat empty" true
+    (raises (fun () -> ignore (infer (Op.Concat { axis = 0 }) [])));
+  Alcotest.check shape "reshape" [| 6 |] (infer (Op.Reshape [| 6 |]) [ [| 2; 3 |] ]);
+  check_bool "reshape bad" true
+    (raises (fun () -> ignore (infer (Op.Reshape [| 7 |]) [ [| 2; 3 |] ])));
+  Alcotest.check shape "transpose" [| 3; 2 |] (infer Op.Transpose2d [ [| 2; 3 |] ])
+
+let test_infer_reduce () =
+  Alcotest.check shape "sum keep" [| 2; 1 |]
+    (infer (Op.ReduceSum { axis = 1; keepdims = true }) [ [| 2; 5 |] ]);
+  Alcotest.check shape "sum drop" [| 5 |]
+    (infer (Op.ReduceSum { axis = 0; keepdims = false }) [ [| 2; 5 |] ]);
+  Alcotest.check shape "1-D drops to scalar" Shape.scalar
+    (infer (Op.ReduceMean { axis = 0; keepdims = false }) [ [| 4 |] ]);
+  Alcotest.check shape "broadcast" [| 2; 5 |]
+    (infer (Op.BroadcastAxis { axis = 1; n = 5 }) [ [| 2; 1 |] ]);
+  check_bool "broadcast needs dim 1" true
+    (raises (fun () -> ignore (infer (Op.BroadcastAxis { axis = 1; n = 5 }) [ [| 2; 3 |] ])))
+
+let test_infer_nn () =
+  Alcotest.check shape "xent scalar" Shape.scalar
+    (infer Op.CrossEntropy [ [| 4; 10 |]; [| 4 |] ]);
+  Alcotest.check shape "xent grad" [| 4; 10 |]
+    (infer Op.CrossEntropyGrad [ [| 4; 10 |]; [| 4 |] ]);
+  check_bool "xent batch mismatch" true
+    (raises (fun () -> ignore (infer Op.CrossEntropy [ [| 4; 10 |]; [| 5 |] ])));
+  Alcotest.check shape "embedding" [| 6; 8 |]
+    (infer Op.Embedding [ [| 100; 8 |]; [| 6 |] ]);
+  Alcotest.check shape "embedding grad" [| 100; 8 |]
+    (infer (Op.EmbeddingGrad { vocab = 100 }) [ [| 6 |]; [| 6; 8 |] ]);
+  Alcotest.check shape "conv" [| 2; 8; 3; 3 |]
+    (infer (Op.Conv2d { stride = 2; pad = 1 }) [ [| 2; 4; 5; 5 |]; [| 8; 4; 3; 3 |] ]);
+  check_bool "conv channels" true
+    (raises (fun () ->
+       ignore (infer (Op.Conv2d { stride = 1; pad = 0 }) [ [| 1; 2; 5; 5 |]; [| 8; 3; 3; 3 |] ])))
+
+let test_op_classification () =
+  check_bool "matmul not cheap" true (not (Op.is_cheap (Op.Matmul { trans_a = false; trans_b = false })));
+  check_bool "sigmoid cheap" true (Op.is_cheap Op.Sigmoid);
+  check_bool "conv not cheap" true (not (Op.is_cheap (Op.Conv2d { stride = 1; pad = 0 })));
+  check_bool "placeholder not recomputable" true (not (Op.is_recomputable Op.Placeholder));
+  check_bool "variable not recomputable" true (not (Op.is_recomputable Op.Variable));
+  check_bool "dropout mask recomputable" true
+    (Op.is_recomputable (Op.DropoutMask { p = 0.5; seed = 1 }));
+  check_bool "matmul recomputable" true
+    (Op.is_recomputable (Op.Matmul { trans_a = false; trans_b = false }));
+  check_bool "leaves" true (Op.is_leaf Op.Zeros && not (Op.is_leaf Op.Add))
+
+(* Node *)
+
+let test_node_ids_increase () =
+  let a = Node.placeholder [| 2 |] in
+  let b = Node.placeholder [| 2 |] in
+  check_bool "fresh increasing ids" true (Node.id b > Node.id a)
+
+let test_node_shape_inferred () =
+  let a = Node.placeholder [| 2; 3 |] and b = Node.variable [| 4; 3 |] in
+  let m = Node.matmul ~trans_b:true a b in
+  Alcotest.check shape "inferred" [| 2; 4 |] (Node.shape m)
+
+let test_node_regions () =
+  let a = Node.placeholder [| 2 |] in
+  check_bool "default forward" true (Node.region a = Node.Forward);
+  let b = Node.neg ~region:Node.Backward a in
+  check_bool "backward" true (Node.region b = Node.Backward)
+
+let test_node_size_bytes () =
+  check_int "fp32 accounting" (4 * 6) (Node.size_bytes (Node.placeholder [| 2; 3 |]))
+
+let test_clone_with_inputs () =
+  let a = Node.placeholder [| 2 |] and b = Node.placeholder [| 2 |] in
+  let s = Node.add a a in
+  let s' = Node.clone_with_inputs ~region:Node.Backward s [ a; b ] in
+  check_bool "fresh id" true (Node.id s' <> Node.id s);
+  check_bool "same op" true (Node.op s' = Node.op s);
+  check_bool "new inputs" true (List.exists (fun i -> Node.equal i b) (Node.inputs s'))
+
+let test_node_hint_defaults () =
+  let a = Node.placeholder [| 1 |] in
+  Alcotest.(check (float 0.0)) "hint = id" (float_of_int (Node.id a)) (Node.hint a);
+  let c = Node.create ~hint:3.5 ~shape:[| 1 |] Op.Zeros [] in
+  Alcotest.(check (float 0.0)) "explicit hint" 3.5 (Node.hint c)
+
+(* Graph *)
+
+let chain n =
+  let x = Node.placeholder ~name:"x" [| 2 |] in
+  let rec extend acc k = if k = 0 then acc else extend (Node.neg acc) (k - 1) in
+  (x, extend x n)
+
+let test_graph_schedule_topological () =
+  let _, out = chain 20 in
+  let g = Graph.create [ out ] in
+  Graph.validate g;
+  check_int "node count" 21 (Graph.node_count g)
+
+let test_graph_program_order () =
+  (* With default hints the schedule is exactly creation order. *)
+  let x = Node.placeholder [| 2 |] in
+  let a = Node.neg x in
+  let b = Node.sq x in
+  let c = Node.add a b in
+  let g = Graph.create [ c ] in
+  Alcotest.(check (list int))
+    "creation order"
+    [ Node.id x; Node.id a; Node.id b; Node.id c ]
+    (List.map Node.id (Graph.nodes g))
+
+let test_graph_hint_overrides_order () =
+  let x = Node.placeholder [| 2 |] in
+  let a = Node.neg x in
+  let b = Node.create ~hint:(Node.hint a -. 0.5) Op.Sq [ x ] in
+  let c = Node.add a b in
+  let g = Graph.create [ c ] in
+  Alcotest.(check (list int))
+    "b jumps before a"
+    [ Node.id x; Node.id b; Node.id a; Node.id c ]
+    (List.map Node.id (Graph.nodes g))
+
+let test_graph_consumers () =
+  let x = Node.placeholder [| 2 |] in
+  let a = Node.neg x and b = Node.sq x in
+  let c = Node.add a b in
+  let g = Graph.create [ c ] in
+  check_int "x has two consumers" 2 (List.length (Graph.consumers g (Node.id x)));
+  check_int "c has none" 0 (List.length (Graph.consumers g (Node.id c)));
+  check_bool "is_output" true (Graph.is_output g (Node.id c));
+  check_bool "non-output" true (not (Graph.is_output g (Node.id x)))
+
+let test_graph_reachability_only () =
+  let x = Node.placeholder [| 2 |] in
+  let used = Node.neg x in
+  let _dead = Node.sq x in
+  let g = Graph.create [ used ] in
+  check_int "dead node excluded" 2 (Graph.node_count g)
+
+let test_graph_duplicate_input_edges () =
+  let x = Node.placeholder [| 2 |] in
+  let m = Node.mul x x in
+  let g = Graph.create [ m ] in
+  Graph.validate g;
+  check_int "consumer appears per slot" 2 (List.length (Graph.consumers g (Node.id x)))
+
+let test_graph_regions_split () =
+  let x = Node.placeholder [| 2 |] in
+  let f = Node.neg x in
+  let b = Node.sq ~region:Node.Backward f in
+  let g = Graph.create [ b ] in
+  check_int "fwd" 2 (List.length (Graph.forward_nodes g));
+  check_int "bwd" 1 (List.length (Graph.backward_nodes g))
+
+let test_graph_total_bytes () =
+  let x = Node.placeholder [| 2; 2 |] in
+  let y = Node.neg x in
+  let g = Graph.create [ y ] in
+  check_int "sum of outputs" 32 (Graph.total_output_bytes g)
+
+let test_graph_empty_outputs () =
+  check_bool "raises" true (raises (fun () -> ignore (Graph.create [])))
+
+let test_graph_to_dot () =
+  let x = Node.placeholder ~name:"input" [| 2 |] in
+  let g = Graph.create [ Node.neg x ] in
+  let dot = Graph.to_dot g in
+  let contains haystack needle =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  check_bool "mentions node" true (contains dot "input");
+  check_bool "has edges" true (contains dot "->")
+
+(* Random-DAG property: schedules are always topological. *)
+let random_dag_gen =
+  QCheck.make ~print:(fun seed -> string_of_int seed)
+    QCheck.Gen.(int_range 0 100_000)
+
+let build_random_dag seed =
+  let rng = Rng.create seed in
+  let pool = ref [ Node.placeholder [| 2; 2 |]; Node.variable [| 2; 2 |] ] in
+  for _ = 1 to 30 do
+    let pick () = List.nth !pool (Rng.int rng (List.length !pool)) in
+    let n =
+      match Rng.int rng 5 with
+      | 0 -> Node.add (pick ()) (pick ())
+      | 1 -> Node.mul (pick ()) (pick ())
+      | 2 -> Node.sigmoid (pick ())
+      | 3 -> Node.matmul (pick ()) (pick ())
+      | _ -> Node.tanh_ (pick ())
+    in
+    pool := n :: !pool
+  done;
+  List.hd !pool
+
+let prop_random_dag_schedules =
+  QCheck.Test.make ~name:"random DAG schedules validate" ~count:60 random_dag_gen
+    (fun seed ->
+      let out = build_random_dag seed in
+      let g = Graph.create [ out ] in
+      Graph.validate g;
+      true)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "op.infer",
+      [
+        t "leaves" test_infer_leaves;
+        t "elementwise" test_infer_elementwise;
+        t "matmul" test_infer_matmul;
+        t "shape ops" test_infer_shape_ops;
+        t "reductions" test_infer_reduce;
+        t "nn kernels" test_infer_nn;
+        t "classification" test_op_classification;
+      ] );
+    ( "node",
+      [
+        t "ids increase" test_node_ids_increase;
+        t "shape inferred" test_node_shape_inferred;
+        t "regions" test_node_regions;
+        t "size bytes" test_node_size_bytes;
+        t "clone with inputs" test_clone_with_inputs;
+        t "hints" test_node_hint_defaults;
+      ] );
+    ( "graph",
+      [
+        t "schedule topological" test_graph_schedule_topological;
+        t "program order" test_graph_program_order;
+        t "hint overrides order" test_graph_hint_overrides_order;
+        t "consumers" test_graph_consumers;
+        t "reachability only" test_graph_reachability_only;
+        t "duplicate input edges" test_graph_duplicate_input_edges;
+        t "regions split" test_graph_regions_split;
+        t "total bytes" test_graph_total_bytes;
+        t "empty outputs" test_graph_empty_outputs;
+        t "dot output" test_graph_to_dot;
+        QCheck_alcotest.to_alcotest prop_random_dag_schedules;
+      ] );
+  ]

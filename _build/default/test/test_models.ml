@@ -1,0 +1,412 @@
+(* Model zoo tests: shapes, parameter counts, hand-computed cells, and
+   forward execution on tiny configurations. *)
+
+open Echo_tensor
+open Echo_ir
+open Echo_models
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* Recurrent cells *)
+
+let test_gate_counts () =
+  check_int "lstm" 4 (Recurrent.gates Recurrent.Lstm);
+  check_int "peephole" 4 (Recurrent.gates Recurrent.Peephole);
+  check_int "gru" 3 (Recurrent.gates Recurrent.Gru);
+  check_int "vanilla" 1 (Recurrent.gates Recurrent.Vanilla)
+
+let test_lstm_weights_shapes () =
+  let params = Params.create ~seed:1 in
+  let w = Recurrent.make_weights params "l" Recurrent.Lstm ~input_dim:10 ~hidden:16 in
+  ignore w;
+  check_int "three tensors" 3 (Params.count params);
+  check_int "scalars" ((64 * 10) + (64 * 16) + 64) (Params.scalar_count params)
+
+let test_peephole_weights () =
+  let params = Params.create ~seed:21 in
+  ignore (Recurrent.make_weights params "p" Recurrent.Peephole ~input_dim:3 ~hidden:4);
+  (* three peephole diagonals on top of the usual three tensors *)
+  check_int "six tensors" 6 (Params.count params)
+
+let test_peephole_zero_weights_match_lstm () =
+  (* With all-zero peephole diagonals the cell degenerates to a plain LSTM. *)
+  let hidden = 3 in
+  let params_p = Params.create ~seed:22 in
+  let wp = Recurrent.make_weights params_p "c" Recurrent.Peephole ~input_dim:2 ~hidden in
+  let params_l = Params.create ~seed:22 in
+  let wl = Recurrent.make_weights params_l "c" Recurrent.Lstm ~input_dim:2 ~hidden in
+  let x = Node.placeholder [| 1; 2 |] in
+  let sp =
+    Recurrent.step wp Recurrent.Peephole ~hidden ~x
+      (Recurrent.zero_state Recurrent.Peephole ~batch:1 ~hidden)
+  in
+  let sl =
+    Recurrent.step wl Recurrent.Lstm ~hidden ~x
+      (Recurrent.zero_state Recurrent.Lstm ~batch:1 ~hidden)
+  in
+  let rng = Rng.create 23 in
+  let xv = Tensor.uniform rng [| 1; 2 |] ~lo:(-1.0) ~hi:1.0 in
+  let value weights_params state =
+    let feeds =
+      (x, xv)
+      :: List.map
+           (fun (n, v) ->
+             let name = Node.name n in
+             let is_peep =
+               String.length name >= 2
+               && String.sub name (String.length name - 2) 2 <> "_x"
+               && (let l = String.length name in
+                   l >= 4 && String.sub name (l - 4) 4 = ".p_i"
+                   || (l >= 4 && String.sub name (l - 4) 4 = ".p_f")
+                   || (l >= 4 && String.sub name (l - 4) 4 = ".p_o"))
+             in
+             if is_peep then (n, Tensor.zeros (Node.shape n)) else (n, v))
+           (Params.bindings weights_params)
+    in
+    List.hd (Echo_exec.Interp.eval (Graph.create [ state.Recurrent.h ]) ~feeds)
+  in
+  check_bool "same hidden state" true
+    (Tensor.approx_equal ~tol:1e-12 (value params_p sp) (value params_l sl))
+
+(* Hand-computed single LSTM step with deterministic weights:
+   all weights zero, bias b set so that gates are known constants. *)
+let test_lstm_cell_hand () =
+  let params = Params.create ~seed:2 in
+  let hidden = 2 in
+  let w = Recurrent.make_weights params "cell" Recurrent.Lstm ~input_dim:2 ~hidden in
+  let x = Node.placeholder [| 1; 2 |] in
+  let state = Recurrent.zero_state Recurrent.Lstm ~batch:1 ~hidden in
+  let next = Recurrent.step w Recurrent.Lstm ~hidden ~x state in
+  let c1 = Option.get next.Recurrent.c in
+  let g = Graph.create [ next.Recurrent.h; c1 ] in
+  (* Zero weights, bias = 0 everywhere: i=f=o=0.5, g~=tanh(0)=0 ->
+     c' = 0.5*0 + 0.5*0 = 0, h' = 0.5*tanh(0) = 0. *)
+  let zero_feeds =
+    List.map (fun (n, _) -> (n, Tensor.zeros (Node.shape n))) (Params.bindings params)
+  in
+  let outs = Echo_exec.Interp.eval g ~feeds:((x, Tensor.ones [| 1; 2 |]) :: zero_feeds) in
+  List.iter
+    (fun t -> check_bool "all zero" true (Tensor.equal t (Tensor.zeros [| 1; 2 |])))
+    outs
+
+let test_lstm_cell_saturated_input_gate () =
+  (* Bias drives i -> 1, f -> 0, g~ -> tanh(1), o -> 1:
+     c' = tanh(bg), h' = tanh(c'). Uses bias layout [i; f; g; o]. *)
+  let params = Params.create ~seed:3 in
+  let hidden = 1 in
+  let w = Recurrent.make_weights params "cell" Recurrent.Lstm ~input_dim:1 ~hidden in
+  let x = Node.placeholder [| 1; 1 |] in
+  let state = Recurrent.zero_state Recurrent.Lstm ~batch:1 ~hidden in
+  let next = Recurrent.step w Recurrent.Lstm ~hidden ~x state in
+  let g = Graph.create [ next.Recurrent.h ] in
+  let big = 50.0 in
+  let feeds =
+    List.map
+      (fun (n, _) ->
+        if Node.name n = "cell.b" then
+          (n, Tensor.of_list1 [ big; -.big; 1.0; big ])
+        else (n, Tensor.zeros (Node.shape n)))
+      (Params.bindings params)
+  in
+  let out = List.hd (Echo_exec.Interp.eval g ~feeds:((x, Tensor.zeros [| 1; 1 |]) :: feeds)) in
+  check_float "h = tanh(tanh 1)" (tanh (tanh 1.0)) (Tensor.get1 out 0)
+
+let test_unroll_shapes () =
+  let params = Params.create ~seed:4 in
+  let cfg =
+    {
+      Recurrent.kind = Recurrent.Lstm;
+      input_dim = 6;
+      hidden = 5;
+      layers = 3;
+      dropout = 0.0;
+      seed = 0;
+    }
+  in
+  let xs = List.init 4 (fun _ -> Node.placeholder [| 2; 6 |]) in
+  let tops = Recurrent.unroll params "rnn" cfg ~batch:2 ~xs in
+  check_int "one output per step" 4 (List.length tops);
+  List.iter
+    (fun h -> check_bool "B x H" true (Shape.equal (Node.shape h) [| 2; 5 |]))
+    tops;
+  (* 3 layers x 3 tensors *)
+  check_int "params" 9 (Params.count params)
+
+let test_unroll_weight_sharing () =
+  (* Two steps, one layer: only three parameter tensors regardless of T. *)
+  let params = Params.create ~seed:5 in
+  let cfg =
+    { Recurrent.kind = Recurrent.Gru; input_dim = 3; hidden = 3; layers = 1;
+      dropout = 0.0; seed = 0 }
+  in
+  let xs = List.init 7 (fun _ -> Node.placeholder [| 1; 3 |]) in
+  ignore (Recurrent.unroll params "rnn" cfg ~batch:1 ~xs);
+  check_int "shared weights" 3 (Params.count params)
+
+let test_dropout_layer_identity_when_zero () =
+  let x = Node.placeholder [| 2; 2 |] in
+  let y = Layer.dropout ~p:0.0 ~seed:1 x in
+  check_bool "no node added" true (Node.equal x y)
+
+let test_mean_of () =
+  let a = Node.const_fill 2.0 Shape.scalar and b = Node.const_fill 4.0 Shape.scalar in
+  let m = Layer.mean_of [ a; b ] in
+  let v = Echo_exec.Interp.eval_scalar (Graph.create [ m ]) ~feeds:[] in
+  check_float "mean" 3.0 v
+
+(* Language model *)
+
+let small_lm () =
+  Language_model.build
+    {
+      Language_model.ptb_default with
+      vocab = 50;
+      embed = 8;
+      hidden = 8;
+      layers = 2;
+      seq_len = 5;
+      batch = 3;
+      dropout = 0.1;
+    }
+
+let test_lm_structure () =
+  let lm = small_lm () in
+  check_bool "logits shape" true
+    (Shape.equal (Node.shape lm.Language_model.logits) [| 15; 50 |]);
+  check_bool "loss scalar" true
+    (Shape.rank (Node.shape lm.Language_model.model.Model.loss) = 0);
+  (* embed + proj.w + proj.b + 2 layers x 3 *)
+  check_int "param tensors" 9 (Params.count lm.Language_model.model.Model.params)
+
+let test_lm_forward_finite () =
+  let lm = small_lm () in
+  let rng = Rng.create 6 in
+  let ids n = Tensor.init (Node.shape n) (fun _ -> float_of_int (Rng.int rng 50)) in
+  let feeds =
+    (lm.Language_model.token_input, ids lm.Language_model.token_input)
+    :: (lm.Language_model.label_input, ids lm.Language_model.label_input)
+    :: Params.bindings lm.Language_model.model.Model.params
+  in
+  let loss = Echo_exec.Interp.eval_scalar (Model.forward_graph lm.Language_model.model) ~feeds in
+  check_bool "finite" true (Float.is_finite loss);
+  (* fresh model ~ uniform predictions: loss near log vocab *)
+  check_bool "near log V" true (Float.abs (loss -. log 50.0) < 1.0)
+
+let test_lm_param_count_formula () =
+  let lm = small_lm () in
+  let v = 50 and e = 8 and h = 8 in
+  let lstm_layer input_dim = (4 * h * input_dim) + (4 * h * h) + (4 * h) in
+  let expected = (v * e) + (v * h) + v + lstm_layer e + lstm_layer h in
+  check_int "scalar count" expected
+    (Params.scalar_count lm.Language_model.model.Model.params)
+
+(* NMT *)
+
+let small_nmt attention =
+  Nmt.build
+    {
+      Nmt.gnmt_like with
+      src_vocab = 30;
+      tgt_vocab = 40;
+      embed = 6;
+      hidden = 6;
+      enc_layers = 2;
+      dec_layers = 2;
+      src_len = 4;
+      tgt_len = 3;
+      batch = 2;
+      dropout = 0.0;
+      attention;
+    }
+
+let test_nmt_structure () =
+  let nmt = small_nmt true in
+  check_int "one alpha per decoder step" 3 (List.length nmt.Nmt.attention_weights);
+  List.iter
+    (fun alpha ->
+      check_bool "B x Tsrc" true (Shape.equal (Node.shape alpha) [| 2; 4 |]))
+    nmt.Nmt.attention_weights;
+  check_bool "loss scalar" true (Shape.rank (Node.shape nmt.Nmt.model.Model.loss) = 0)
+
+let test_nmt_forward_and_alpha_rows () =
+  let nmt = small_nmt true in
+  let rng = Rng.create 7 in
+  let ids bound n = Tensor.init (Node.shape n) (fun _ -> float_of_int (Rng.int rng bound)) in
+  let feeds =
+    (nmt.Nmt.src_input, ids 30 nmt.Nmt.src_input)
+    :: (nmt.Nmt.tgt_input, ids 40 nmt.Nmt.tgt_input)
+    :: (nmt.Nmt.label_input, ids 40 nmt.Nmt.label_input)
+    :: Params.bindings nmt.Nmt.model.Model.params
+  in
+  let g = Graph.create (nmt.Nmt.model.Model.loss :: nmt.Nmt.attention_weights) in
+  match Echo_exec.Interp.eval g ~feeds with
+  | [] -> Alcotest.fail "no outputs"
+  | loss :: alphas ->
+    check_bool "loss finite" true (Float.is_finite (Tensor.get1 loss 0));
+    List.iter
+      (fun alpha ->
+        for r = 0 to 1 do
+          check_float "attention rows sum to 1" 1.0
+            (Tensor.sum (Tensor.slice ~axis:0 ~lo:r ~hi:(r + 1) alpha))
+        done)
+      alphas
+
+let test_nmt_no_attention_smaller () =
+  let with_attn = small_nmt true and without = small_nmt false in
+  let n1 = Graph.node_count (Model.forward_graph with_attn.Nmt.model) in
+  let n2 = Graph.node_count (Model.forward_graph without.Nmt.model) in
+  check_bool "attention adds nodes" true (n1 > n2);
+  check_int "no alphas" 0 (List.length without.Nmt.attention_weights)
+
+(* DeepSpeech2 *)
+
+let small_ds2 =
+  {
+    Deepspeech.ds2_like with
+    batch = 2;
+    time = 16;
+    freq = 12;
+    conv_channels = 3;
+    rnn_hidden = 5;
+    rnn_layers = 2;
+    classes = 7;
+    dropout = 0.0;
+  }
+
+let test_ds2_structure () =
+  let ds2 = Deepspeech.build small_ds2 in
+  (* two stride-2 convs with k=5,p=2: 16 -> 8 -> 4 *)
+  check_int "frames" 4 ds2.Deepspeech.out_frames;
+  check_bool "label input shape" true
+    (Shape.equal (Node.shape ds2.Deepspeech.label_input) [| 4 * 2 |])
+
+let test_ds2_forward_finite () =
+  let ds2 = Deepspeech.build small_ds2 in
+  let rng = Rng.create 8 in
+  let spec = Tensor.normal rng [| 2; 1; 16; 12 |] ~mean:0.0 ~std:1.0 in
+  let labels =
+    Tensor.init [| 8 |] (fun _ -> float_of_int (Rng.int rng 7))
+  in
+  let feeds =
+    (ds2.Deepspeech.spectrogram, spec)
+    :: (ds2.Deepspeech.label_input, labels)
+    :: Params.bindings ds2.Deepspeech.model.Model.params
+  in
+  let loss = Echo_exec.Interp.eval_scalar (Model.forward_graph ds2.Deepspeech.model) ~feeds in
+  check_bool "finite" true (Float.is_finite loss)
+
+let test_ds2_unidirectional_fewer_params () =
+  let bi = Deepspeech.build small_ds2 in
+  let uni = Deepspeech.build { small_ds2 with Deepspeech.bidirectional = false } in
+  check_bool "bi has more params" true
+    (Params.scalar_count bi.Deepspeech.model.Model.params
+    > Params.scalar_count uni.Deepspeech.model.Model.params)
+
+(* Transformer *)
+
+let small_transformer =
+  {
+    Transformer.base_like with
+    vocab = 40;
+    seq_len = 6;
+    batch = 2;
+    d_model = 8;
+    heads = 2;
+    d_ff = 16;
+    layers = 2;
+    dropout = 0.0;
+  }
+
+let test_transformer_structure () =
+  let tr = Transformer.build small_transformer in
+  check_bool "token input (B*T)" true
+    (Shape.equal (Node.shape tr.Transformer.token_input) [| 12 |]);
+  check_bool "loss scalar" true
+    (Shape.rank (Node.shape tr.Transformer.model.Model.loss) = 0)
+
+let test_transformer_heads_divide () =
+  check_bool "raises" true
+    (try
+       ignore (Transformer.build { small_transformer with Transformer.heads = 3 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_transformer_forward_finite () =
+  let tr = Transformer.build small_transformer in
+  let rng = Rng.create 9 in
+  let ids n = Tensor.init (Node.shape n) (fun _ -> float_of_int (Rng.int rng 40)) in
+  let feeds =
+    (tr.Transformer.token_input, ids tr.Transformer.token_input)
+    :: (tr.Transformer.label_input, ids tr.Transformer.label_input)
+    :: Params.bindings tr.Transformer.model.Model.params
+  in
+  let loss = Echo_exec.Interp.eval_scalar (Model.forward_graph tr.Transformer.model) ~feeds in
+  check_bool "finite" true (Float.is_finite loss)
+
+(* Params registry *)
+
+let test_params_bindings_order () =
+  let params = Params.create ~seed:10 in
+  let a = Params.zeros params "a" [| 1 |] in
+  let b = Params.ones params "b" [| 2 |] in
+  let names = List.map (fun (n, _) -> Node.name n) (Params.bindings params) in
+  Alcotest.(check (list string)) "registration order" [ "a"; "b" ] names;
+  check_bool "variables order" true
+    (List.map Node.id (Params.variables params) = [ Node.id a; Node.id b ])
+
+let test_params_xavier_bounds () =
+  let params = Params.create ~seed:11 in
+  let w = Params.xavier params "w" [| 10; 30 |] in
+  let _, init = List.hd (Params.bindings params) in
+  ignore w;
+  let bound = sqrt (6.0 /. 40.0) in
+  for i = 0 to Tensor.numel init - 1 do
+    check_bool "within bound" true (Float.abs (Tensor.get1 init i) <= bound)
+  done
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "recurrent",
+      [
+        t "gate counts" test_gate_counts;
+        t "lstm weight shapes" test_lstm_weights_shapes;
+        t "lstm zero-weight step" test_lstm_cell_hand;
+        t "lstm saturated gates" test_lstm_cell_saturated_input_gate;
+        t "unroll shapes" test_unroll_shapes;
+        t "unroll weight sharing" test_unroll_weight_sharing;
+        t "dropout p=0 identity" test_dropout_layer_identity_when_zero;
+        t "mean_of" test_mean_of;
+      ] );
+    ( "language_model",
+      [
+        t "structure" test_lm_structure;
+        t "forward finite" test_lm_forward_finite;
+        t "param count formula" test_lm_param_count_formula;
+      ] );
+    ( "nmt",
+      [
+        t "structure" test_nmt_structure;
+        t "forward + attention rows" test_nmt_forward_and_alpha_rows;
+        t "no-attention variant" test_nmt_no_attention_smaller;
+      ] );
+    ( "deepspeech",
+      [
+        t "structure" test_ds2_structure;
+        t "forward finite" test_ds2_forward_finite;
+        t "unidirectional smaller" test_ds2_unidirectional_fewer_params;
+      ] );
+    ( "transformer",
+      [
+        t "structure" test_transformer_structure;
+        t "heads must divide" test_transformer_heads_divide;
+        t "forward finite" test_transformer_forward_finite;
+      ] );
+    ( "params",
+      [
+        t "bindings order" test_params_bindings_order;
+        t "xavier bounds" test_params_xavier_bounds;
+      ] );
+  ]

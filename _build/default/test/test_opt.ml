@@ -1,0 +1,325 @@
+(* Graph optimisation passes (CSE, folding, fusion analysis), the simulated
+   profiler, and the policy autotuner. *)
+
+open Echo_tensor
+open Echo_ir
+open Echo_opt
+open Echo_exec
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let dev = Echo_gpusim.Device.titan_xp
+
+let outputs_equal g1 g2 ~feeds =
+  List.for_all2 Tensor.equal (Interp.eval g1 ~feeds) (Interp.eval g2 ~feeds)
+
+(* CSE *)
+
+let test_cse_unifies_duplicates () =
+  let x = Node.placeholder [| 4 |] in
+  let a = Node.sigmoid x and b = Node.sigmoid x in
+  let out = Node.add a b in
+  let g = Graph.create [ out ] in
+  let g' = Cse.run g in
+  check_int "one sigmoid survives" 3 (Graph.node_count g');
+  check_int "counted" 1 (Cse.count_redundant g)
+
+let test_cse_respects_distinct_attrs () =
+  let x = Node.placeholder [| 4 |] in
+  let a = Node.scale 2.0 x and b = Node.scale 3.0 x in
+  let g = Graph.create [ Node.add a b ] in
+  check_int "no unification" 0 (Cse.count_redundant g)
+
+let test_cse_keeps_placeholders () =
+  let a = Node.placeholder [| 2 |] and b = Node.placeholder [| 2 |] in
+  let g = Graph.create [ Node.add a b ] in
+  check_int "placeholders distinct" 0 (Cse.count_redundant g);
+  check_int "three nodes" 3 (Graph.node_count (Cse.run g))
+
+let test_cse_region_barrier () =
+  let x = Node.placeholder [| 4 |] in
+  let f = Node.sigmoid x in
+  let bwd = Node.sigmoid ~region:Node.Backward x in
+  let g = Graph.create [ Node.add ~region:Node.Backward f bwd ] in
+  (* same op, same input, different region: must not unify *)
+  check_int "no cross-region unification" 0 (Cse.count_redundant g)
+
+let test_cse_semantics_preserved () =
+  let x = Node.placeholder [| 3; 3 |] in
+  let y = Node.tanh_ (Node.matmul x x) in
+  let z = Node.tanh_ (Node.matmul x x) in
+  let g = Graph.create [ Node.mul y z ] in
+  let g' = Cse.run g in
+  let rng = Rng.create 1 in
+  let feeds = [ (x, Tensor.uniform rng [| 3; 3 |] ~lo:(-1.0) ~hi:1.0) ] in
+  check_bool "equal outputs" true (outputs_equal g g' ~feeds);
+  check_bool "fewer nodes" true (Graph.node_count g' < Graph.node_count g)
+
+let test_cse_chain_cascade () =
+  (* duplicates of duplicates collapse transitively *)
+  let x = Node.placeholder [| 2 |] in
+  let mk () = Node.sq (Node.neg x) in
+  let g = Graph.create [ Node.add (mk ()) (mk ()) ] in
+  check_int "collapsed to single chain" 4 (Graph.node_count (Cse.run g))
+
+(* Folding *)
+
+let feeds_for x = [ (x, Tensor.of_list1 [ 1.5; -2.0 ]) ]
+
+let test_fold_identities () =
+  let x = Node.placeholder [| 2 |] in
+  let y = Node.scale 1.0 (Node.add_scalar 0.0 (Node.pow_const 1.0 x)) in
+  let g = Graph.create [ Node.neg y ] in
+  let g' = Fold.run g in
+  check_int "identities removed" 2 (Graph.node_count g');
+  check_bool "semantics" true (outputs_equal g g' ~feeds:(feeds_for x))
+
+let test_fold_zero_propagation () =
+  let x = Node.placeholder [| 2 |] in
+  let z = Node.mul x (Node.zeros [| 2 |]) in
+  let out = Node.add x z in
+  let g = Graph.create [ out ] in
+  let g' = Fold.run (Fold.run g) in
+  (* x * 0 -> zeros; x + zeros -> x *)
+  check_bool "semantics" true (outputs_equal g g' ~feeds:(feeds_for x));
+  check_int "only the placeholder remains" 1 (Graph.node_count g')
+
+let test_fold_double_negation () =
+  let x = Node.placeholder [| 2 |] in
+  let g = Graph.create [ Node.sq (Node.neg (Node.neg x)) ] in
+  let g' = Fold.run g in
+  check_int "neg pair removed" 2 (Graph.node_count g');
+  check_bool "semantics" true (outputs_equal g g' ~feeds:(feeds_for x))
+
+let test_fold_scale_fusion () =
+  let x = Node.placeholder [| 2 |] in
+  let g = Graph.create [ Node.scale 2.0 (Node.scale 3.0 x) ] in
+  let g' = Fold.run g in
+  check_int "one scale" 2 (Graph.node_count g');
+  check_bool "semantics" true (outputs_equal g g' ~feeds:(feeds_for x))
+
+let test_fold_shape_noops () =
+  let x = Node.placeholder [| 2; 3 |] in
+  let y = Node.reshape [| 2; 3 |] x in
+  let z = Node.transpose2d (Node.transpose2d y) in
+  let g = Graph.create [ Node.sq z ] in
+  let g' = Fold.run (Fold.run g) in
+  check_int "noops removed" 2 (Graph.node_count g')
+
+let test_fold_keeps_region () =
+  let x = Node.placeholder [| 2 |] in
+  let b = Node.scale ~region:Node.Backward 0.0 x in
+  let out = Node.sq ~region:Node.Backward b in
+  let g = Graph.create [ out ] in
+  let g' = Fold.run g in
+  List.iter
+    (fun n ->
+      if Node.op n = Op.Zeros then
+        check_bool "replacement stays backward" true (Node.region n = Node.Backward))
+    (Graph.nodes g')
+
+(* Pipeline on a real training graph *)
+
+let lm_graph () =
+  let open Echo_models in
+  let lm =
+    Language_model.build
+      {
+        Language_model.ptb_default with
+        vocab = 60;
+        embed = 12;
+        hidden = 12;
+        layers = 2;
+        seq_len = 6;
+        batch = 3;
+        dropout = 0.2;
+      }
+  in
+  let training = Model.training lm.Language_model.model in
+  let feeds =
+    let rng = Rng.create 9 in
+    let ids n = Tensor.init (Node.shape n) (fun _ -> float_of_int (Rng.int rng 60)) in
+    (lm.Language_model.token_input, ids lm.Language_model.token_input)
+    :: (lm.Language_model.label_input, ids lm.Language_model.label_input)
+    :: Params.bindings lm.Language_model.model.Model.params
+  in
+  (training.Echo_autodiff.Grad.graph, feeds)
+
+let test_pipeline_on_training_graph () =
+  let g, feeds = lm_graph () in
+  let g', stats = Pipeline.run g in
+  check_bool "removes something" true (stats.Pipeline.nodes_after < stats.Pipeline.nodes_before);
+  check_bool "semantics preserved" true (outputs_equal g g' ~feeds);
+  Graph.validate g'
+
+let test_pipeline_composes_with_echo () =
+  let g, feeds = lm_graph () in
+  let g', _ = Pipeline.run g in
+  let rewritten, report =
+    Echo_core.Pass.run ~device:dev (Echo_core.Pass.Echo { overhead_budget = 0.1 }) g'
+  in
+  check_bool "echo after pipeline still sound" true (outputs_equal g' rewritten ~feeds);
+  check_bool "no regression" true (Echo_core.Pass.reduction report >= 1.0)
+
+(* Fusion analysis *)
+
+let test_fusion_chain_detected () =
+  let x = Node.placeholder [| 64 |] in
+  let y = Node.sq (Node.tanh_ (Node.sigmoid (Node.neg x))) in
+  let g = Graph.create [ y ] in
+  let s = Fusion.analyse g in
+  check_int "one group" 1 s.Fusion.groups;
+  check_int "four members" 4 s.Fusion.fused_nodes;
+  check_int "three launches saved" 3 s.Fusion.launches_saved
+
+let test_fusion_breaks_at_gemm () =
+  let x = Node.placeholder [| 8; 8 |] in
+  let y = Node.sigmoid (Node.matmul (Node.tanh_ x) x) in
+  let g = Graph.create [ y ] in
+  let s = Fusion.analyse g in
+  (* tanh alone (single, no group) and sigmoid alone: no group of >= 2 *)
+  check_int "no groups across gemm" 0 s.Fusion.groups
+
+let test_fusion_breaks_at_fanout () =
+  let x = Node.placeholder [| 8 |] in
+  let a = Node.sigmoid x in
+  let b = Node.sq a and c = Node.neg a in
+  let g = Graph.create [ Node.add b c ] in
+  (* a has two consumers: b and c cannot join through it... but the Add can
+     join its first input chain. Conservative single-consumer rule. *)
+  let s = Fusion.analyse g in
+  check_bool "limited fusion" true (s.Fusion.fused_nodes <= 3)
+
+let test_fusion_time_saves_launches () =
+  let x = Node.placeholder [| 64 |] in
+  let y = Node.sq (Node.tanh_ (Node.sigmoid (Node.neg x))) in
+  let g = Graph.create [ y ] in
+  let t_unfused = Echo_gpusim.Costmodel.graph_time dev g in
+  let t_fused = Fusion.fused_graph_time dev g in
+  let saved = t_unfused -. t_fused in
+  check_bool "saves ~3 launches" true
+    (Float.abs (saved -. (3.0 *. dev.Echo_gpusim.Device.launch_overhead_s)) < 1e-9)
+
+(* Timeline / profiler *)
+
+let test_timeline_events_contiguous () =
+  let x = Node.placeholder [| 16 |] in
+  let y = Node.sq (Node.sigmoid x) in
+  let tl = Echo_gpusim.Timeline.simulate dev (Graph.create [ y ]) in
+  let evs = Echo_gpusim.Timeline.events tl in
+  check_int "two kernels" 2 (List.length evs);
+  let e1 = List.nth evs 0 and e2 = List.nth evs 1 in
+  check_bool "back to back" true
+    (Float.abs (e2.Echo_gpusim.Timeline.start_s
+                -. (e1.Echo_gpusim.Timeline.start_s +. e1.Echo_gpusim.Timeline.duration_s))
+    < 1e-15);
+  check_bool "total matches" true
+    (Float.abs (Echo_gpusim.Timeline.total_s tl
+                -. Echo_gpusim.Costmodel.graph_time dev (Graph.create [ y ]))
+    < 1e-15)
+
+let test_timeline_summary_shares () =
+  let x = Node.placeholder [| 32; 32 |] in
+  let y = Node.sigmoid (Node.matmul x x) in
+  let tl = Echo_gpusim.Timeline.simulate dev (Graph.create [ y ]) in
+  let lines = Echo_gpusim.Timeline.summary tl in
+  let total_share = List.fold_left (fun acc l -> acc +. l.Echo_gpusim.Timeline.share) 0.0 lines in
+  check_bool "shares sum to 1" true (Float.abs (total_share -. 1.0) < 1e-9);
+  check_bool "matmul present" true
+    (List.exists (fun l -> l.Echo_gpusim.Timeline.family = "Matmul") lines)
+
+let test_timeline_chrome_trace_json () =
+  let x = Node.placeholder [| 4 |] in
+  let tl = Echo_gpusim.Timeline.simulate dev (Graph.create [ Node.neg x ]) in
+  let json = Echo_gpusim.Timeline.to_chrome_trace tl in
+  check_bool "bracketed" true
+    (String.length json >= 2 && json.[0] = '[' && json.[String.length json - 1] = ']');
+  check_bool "has event" true (String.length json > 10)
+
+let test_timeline_launch_share () =
+  let x = Node.placeholder [| 2 |] in
+  (* tiny kernels: launch-dominated *)
+  let y = Node.sq (Node.neg x) in
+  let tl = Echo_gpusim.Timeline.simulate dev (Graph.create [ y ]) in
+  check_bool "launch dominated" true (Echo_gpusim.Timeline.launch_share dev tl > 0.9)
+
+(* Autotune *)
+
+let test_autotune_memory_target () =
+  let g, _ = lm_graph () in
+  let base = (Memplan.plan g).Memplan.live_peak_bytes in
+  (* baseline fits a generous target *)
+  (match Echo_core.Autotune.for_memory_target ~device:dev g ~target_bytes:(2 * base) with
+  | Some o -> check_bool "baseline chosen" true (o.Echo_core.Autotune.policy = Echo_core.Pass.Stash_all)
+  | None -> Alcotest.fail "generous target must fit");
+  (* a slightly tight target forces recomputation *)
+  (match Echo_core.Autotune.for_memory_target ~device:dev g ~target_bytes:(base - 1) with
+  | Some o ->
+    check_bool "fits" true
+      (o.Echo_core.Autotune.report.Echo_core.Pass.optimised_mem.Memplan.live_peak_bytes
+      < base)
+  | None -> check_bool "acceptable if infeasible" true true);
+  (* an impossible target *)
+  check_bool "impossible target" true
+    (Echo_core.Autotune.for_memory_target ~device:dev g ~target_bytes:1 = None)
+
+let test_autotune_best_throughput () =
+  let g, _ = lm_graph () in
+  let base = (Memplan.plan g).Memplan.live_peak_bytes in
+  match
+    Echo_core.Autotune.best_throughput ~device:dev g ~budget_bytes:(2 * base)
+      ~candidates:
+        [ Echo_core.Pass.Stash_all; Echo_core.Pass.Checkpoint_sqrt;
+          Echo_core.Pass.Echo { overhead_budget = 0.3 } ]
+  with
+  | Some o ->
+    check_bool "fastest fitting = baseline" true
+      (o.Echo_core.Autotune.policy = Echo_core.Pass.Stash_all)
+  | None -> Alcotest.fail "budget was generous"
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "opt.cse",
+      [
+        t "unifies duplicates" test_cse_unifies_duplicates;
+        t "distinct attrs" test_cse_respects_distinct_attrs;
+        t "keeps placeholders" test_cse_keeps_placeholders;
+        t "region barrier" test_cse_region_barrier;
+        t "semantics preserved" test_cse_semantics_preserved;
+        t "chain cascade" test_cse_chain_cascade;
+      ] );
+    ( "opt.fold",
+      [
+        t "identities" test_fold_identities;
+        t "zero propagation" test_fold_zero_propagation;
+        t "double negation" test_fold_double_negation;
+        t "scale fusion" test_fold_scale_fusion;
+        t "shape noops" test_fold_shape_noops;
+        t "keeps region" test_fold_keeps_region;
+      ] );
+    ( "opt.pipeline",
+      [
+        t "on training graph" test_pipeline_on_training_graph;
+        t "composes with echo" test_pipeline_composes_with_echo;
+      ] );
+    ( "opt.fusion",
+      [
+        t "chain detected" test_fusion_chain_detected;
+        t "breaks at gemm" test_fusion_breaks_at_gemm;
+        t "breaks at fan-out" test_fusion_breaks_at_fanout;
+        t "time saves launches" test_fusion_time_saves_launches;
+      ] );
+    ( "timeline",
+      [
+        t "events contiguous" test_timeline_events_contiguous;
+        t "summary shares" test_timeline_summary_shares;
+        t "chrome trace json" test_timeline_chrome_trace_json;
+        t "launch share" test_timeline_launch_share;
+      ] );
+    ( "autotune",
+      [
+        t "memory target" test_autotune_memory_target;
+        t "best throughput" test_autotune_best_throughput;
+      ] );
+  ]

@@ -1,0 +1,175 @@
+(* Unit and property tests for Shape and Rng. *)
+
+open Echo_tensor
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_numel () =
+  check_int "scalar" 1 (Shape.numel Shape.scalar);
+  check_int "vector" 7 (Shape.numel [| 7 |]);
+  check_int "matrix" 12 (Shape.numel [| 3; 4 |]);
+  check_int "cube" 24 (Shape.numel [| 2; 3; 4 |])
+
+let test_of_list () =
+  check_bool "valid" true (Shape.equal (Shape.of_list [ 2; 3 ]) [| 2; 3 |]);
+  Alcotest.check_raises "zero dim" (Invalid_argument "Shape.validate: dimension 0 < 1")
+    (fun () -> ignore (Shape.of_list [ 2; 0 ]));
+  Alcotest.check_raises "negative dim"
+    (Invalid_argument "Shape.validate: dimension -1 < 1") (fun () ->
+      ignore (Shape.of_list [ -1 ]))
+
+let test_equal () =
+  check_bool "equal" true (Shape.equal [| 2; 3 |] [| 2; 3 |]);
+  check_bool "rank" false (Shape.equal [| 2; 3 |] [| 2; 3; 1 |]);
+  check_bool "dim" false (Shape.equal [| 2; 3 |] [| 3; 2 |]);
+  check_bool "scalars" true (Shape.equal Shape.scalar [||])
+
+let test_dim () =
+  check_int "dim0" 2 (Shape.dim [| 2; 3 |] 0);
+  check_int "dim1" 3 (Shape.dim [| 2; 3 |] 1);
+  check_bool "oob raises" true
+    (try
+       ignore (Shape.dim [| 2; 3 |] 2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_concat_result () =
+  check_bool "axis0" true
+    (Shape.equal (Shape.concat_result ~axis:0 [| 2; 3 |] [| 4; 3 |]) [| 6; 3 |]);
+  check_bool "axis1" true
+    (Shape.equal (Shape.concat_result ~axis:1 [| 2; 3 |] [| 2; 5 |]) [| 2; 8 |]);
+  check_bool "mismatch raises" true
+    (try
+       ignore (Shape.concat_result ~axis:0 [| 2; 3 |] [| 4; 4 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_slice_result () =
+  check_bool "middle" true
+    (Shape.equal (Shape.slice_result ~axis:1 ~lo:1 ~hi:3 [| 2; 5 |]) [| 2; 2 |]);
+  check_bool "empty raises" true
+    (try
+       ignore (Shape.slice_result ~axis:0 ~lo:1 ~hi:1 [| 2 |]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "oob raises" true
+    (try
+       ignore (Shape.slice_result ~axis:0 ~lo:0 ~hi:3 [| 2 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_strides () =
+  Alcotest.(check (array int)) "row major" [| 12; 4; 1 |] (Shape.strides [| 2; 3; 4 |])
+
+let test_ravel_unravel () =
+  let s = [| 2; 3; 4 |] in
+  check_int "ravel" 23 (Shape.ravel s [| 1; 2; 3 |]);
+  Alcotest.(check (array int)) "unravel" [| 1; 2; 3 |] (Shape.unravel s 23)
+
+let test_to_string () =
+  Alcotest.(check string) "matrix" "[2x3]" (Shape.to_string [| 2; 3 |]);
+  Alcotest.(check string) "scalar" "[]" (Shape.to_string Shape.scalar)
+
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  check_bool "different streams" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound <= 0") (fun () ->
+    ignore (Rng.int rng 0))
+
+let test_rng_float_range () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng in
+    check_bool "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_rng_int_covers () =
+  (* With 10k draws over 10 buckets, every bucket must be hit. *)
+  let rng = Rng.create 3 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 10_000 do
+    seen.(Rng.int rng 10) <- true
+  done;
+  Array.iteri (fun i hit -> check_bool (Printf.sprintf "bucket %d" i) true hit) seen
+
+let test_rng_normal_moments () =
+  let rng = Rng.create 11 in
+  let n = 50_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.normal rng in
+    sum := !sum +. x;
+    sq := !sq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  check_bool "mean ~ 0" true (Float.abs mean < 0.02);
+  check_bool "var ~ 1" true (Float.abs (var -. 1.0) < 0.05)
+
+let test_rng_split () =
+  let parent = Rng.create 5 in
+  let child = Rng.split parent in
+  check_bool "independent values" true (Rng.int64 parent <> Rng.int64 child)
+
+let test_rng_copy () =
+  let a = Rng.create 13 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.int64 a) (Rng.int64 b)
+
+let prop_ravel_roundtrip =
+  QCheck.Test.make ~name:"shape ravel/unravel roundtrip" ~count:200
+    QCheck.(
+      triple (int_range 1 5) (int_range 1 5) (int_range 1 5))
+    (fun (a, b, c) ->
+      let s = [| a; b; c |] in
+      let ok = ref true in
+      for off = 0 to Shape.numel s - 1 do
+        if Shape.ravel s (Shape.unravel s off) <> off then ok := false
+      done;
+      !ok)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "shape",
+      [
+        t "numel" test_numel;
+        t "of_list validation" test_of_list;
+        t "equal" test_equal;
+        t "dim" test_dim;
+        t "concat_result" test_concat_result;
+        t "slice_result" test_slice_result;
+        t "strides" test_strides;
+        t "ravel/unravel" test_ravel_unravel;
+        t "to_string" test_to_string;
+        QCheck_alcotest.to_alcotest prop_ravel_roundtrip;
+      ] );
+    ( "rng",
+      [
+        t "determinism" test_rng_determinism;
+        t "seed sensitivity" test_rng_seed_sensitivity;
+        t "int range" test_rng_int_range;
+        t "float range" test_rng_float_range;
+        t "int covers buckets" test_rng_int_covers;
+        t "normal moments" test_rng_normal_moments;
+        t "split" test_rng_split;
+        t "copy" test_rng_copy;
+      ] );
+  ]

@@ -1,0 +1,435 @@
+(* Unit and property tests for the dense tensor kernels. *)
+
+open Echo_tensor
+
+let t2 = Tensor.of_list2
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-12))
+
+let assert_tensor msg expected actual =
+  if not (Tensor.approx_equal ~tol:1e-12 expected actual) then
+    Alcotest.failf "%s: expected %s got %s" msg (Tensor.to_string expected)
+      (Tensor.to_string actual)
+
+(* Construction *)
+
+let test_create_validates () =
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Tensor.create: 3 elements for shape [2x2]") (fun () ->
+      ignore (Tensor.create [| 2; 2 |] [| 1.0; 2.0; 3.0 |]))
+
+let test_fill_constructors () =
+  check_float "zeros" 0.0 (Tensor.sum (Tensor.zeros [| 3; 3 |]));
+  check_float "ones" 9.0 (Tensor.sum (Tensor.ones [| 3; 3 |]));
+  check_float "full" 4.5 (Tensor.sum (Tensor.full [| 3 |] 1.5));
+  check_float "scalar" 2.5 (Tensor.get1 (Tensor.scalar 2.5) 0)
+
+let test_init_by_index () =
+  let t = Tensor.init [| 2; 3 |] (fun idx -> float_of_int ((10 * idx.(0)) + idx.(1))) in
+  assert_tensor "init" (t2 [ [ 0.; 1.; 2. ]; [ 10.; 11.; 12. ] ]) t
+
+let test_of_list2_ragged () =
+  check_bool "ragged raises" true
+    (try
+       ignore (t2 [ [ 1.0 ]; [ 1.0; 2.0 ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_get_set () =
+  let t = Tensor.zeros [| 2; 2 |] in
+  Tensor.set t [| 1; 0 |] 5.0;
+  check_float "get" 5.0 (Tensor.get t [| 1; 0 |]);
+  check_float "get1 linear" 5.0 (Tensor.get1 t 2)
+
+let test_copy_is_deep () =
+  let a = Tensor.zeros [| 2 |] in
+  let b = Tensor.copy a in
+  Tensor.set1 b 0 9.0;
+  check_float "original untouched" 0.0 (Tensor.get1 a 0)
+
+(* Elementwise *)
+
+let test_binary_ops () =
+  let a = t2 [ [ 1.; 2. ]; [ 3.; 4. ] ] and b = t2 [ [ 5.; 6. ]; [ 7.; 8. ] ] in
+  assert_tensor "add" (t2 [ [ 6.; 8. ]; [ 10.; 12. ] ]) (Tensor.add a b);
+  assert_tensor "sub" (t2 [ [ -4.; -4. ]; [ -4.; -4. ] ]) (Tensor.sub a b);
+  assert_tensor "mul" (t2 [ [ 5.; 12. ]; [ 21.; 32. ] ]) (Tensor.mul a b);
+  assert_tensor "div" (t2 [ [ 0.2; 2. /. 6. ]; [ 3. /. 7.; 0.5 ] ]) (Tensor.div a b)
+
+let test_binary_shape_mismatch () =
+  check_bool "raises" true
+    (try
+       ignore (Tensor.add (Tensor.zeros [| 2 |]) (Tensor.zeros [| 3 |]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_unary_ops () =
+  let x = Tensor.of_list1 [ -1.0; 0.0; 2.0 ] in
+  assert_tensor "neg" (Tensor.of_list1 [ 1.0; 0.0; -2.0 ]) (Tensor.neg x);
+  assert_tensor "relu" (Tensor.of_list1 [ 0.0; 0.0; 2.0 ]) (Tensor.relu x);
+  assert_tensor "sq" (Tensor.of_list1 [ 1.0; 0.0; 4.0 ]) (Tensor.sq x);
+  assert_tensor "sign" (Tensor.of_list1 [ -1.0; 0.0; 1.0 ]) (Tensor.sign x);
+  assert_tensor "scale" (Tensor.of_list1 [ -2.0; 0.0; 4.0 ]) (Tensor.scale 2.0 x);
+  assert_tensor "add_scalar" (Tensor.of_list1 [ 0.0; 1.0; 3.0 ]) (Tensor.add_scalar 1.0 x)
+
+let test_sigmoid_tanh () =
+  let x = Tensor.of_list1 [ 0.0 ] in
+  check_float "sigmoid(0)" 0.5 (Tensor.get1 (Tensor.sigmoid x) 0);
+  check_float "tanh(0)" 0.0 (Tensor.get1 (Tensor.tanh_ x) 0);
+  let big = Tensor.of_list1 [ 30.0 ] in
+  check_bool "sigmoid saturates" true (Tensor.get1 (Tensor.sigmoid big) 0 > 0.999999)
+
+(* Matmul *)
+
+let test_matmul_basic () =
+  let a = t2 [ [ 1.; 2. ]; [ 3.; 4. ] ] and b = t2 [ [ 5.; 6. ]; [ 7.; 8. ] ] in
+  assert_tensor "ab" (t2 [ [ 19.; 22. ]; [ 43.; 50. ] ]) (Tensor.matmul a b)
+
+let test_matmul_transposes () =
+  let a = t2 [ [ 1.; 2.; 3. ]; [ 4.; 5.; 6. ] ] (* 2x3 *) in
+  let b = t2 [ [ 1.; 0. ]; [ 0.; 1. ]; [ 1.; 1. ] ] (* 3x2 *) in
+  let plain = Tensor.matmul a b in
+  assert_tensor "trans_a" plain (Tensor.matmul ~trans_a:true (Tensor.transpose2d a) b);
+  assert_tensor "trans_b" plain (Tensor.matmul ~trans_b:true a (Tensor.transpose2d b));
+  assert_tensor "both" plain
+    (Tensor.matmul ~trans_a:true ~trans_b:true (Tensor.transpose2d a)
+       (Tensor.transpose2d b))
+
+let test_matmul_identity () =
+  let rng = Rng.create 1 in
+  let a = Tensor.uniform rng [| 4; 4 |] ~lo:(-1.0) ~hi:1.0 in
+  let id = Tensor.init [| 4; 4 |] (fun i -> if i.(0) = i.(1) then 1.0 else 0.0) in
+  assert_tensor "aI = a" a (Tensor.matmul a id);
+  assert_tensor "Ia = a" a (Tensor.matmul id a)
+
+let test_matmul_inner_mismatch () =
+  check_bool "raises" true
+    (try
+       ignore (Tensor.matmul (Tensor.zeros [| 2; 3 |]) (Tensor.zeros [| 2; 3 |]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_add_bias () =
+  let m = t2 [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+  let b = Tensor.of_list1 [ 10.; 20. ] in
+  assert_tensor "rows shifted" (t2 [ [ 11.; 22. ]; [ 13.; 24. ] ]) (Tensor.add_bias m b)
+
+let test_outer () =
+  let a = Tensor.of_list1 [ 1.; 2. ] and b = Tensor.of_list1 [ 3.; 4.; 5. ] in
+  assert_tensor "outer" (t2 [ [ 3.; 4.; 5. ]; [ 6.; 8.; 10. ] ]) (Tensor.outer a b)
+
+(* Shape manipulation *)
+
+let test_reshape () =
+  let t = Tensor.of_list1 [ 1.; 2.; 3.; 4.; 5.; 6. ] in
+  let m = Tensor.reshape t [| 2; 3 |] in
+  check_float "row-major layout" 4.0 (Tensor.get m [| 1; 0 |]);
+  check_bool "bad reshape raises" true
+    (try
+       ignore (Tensor.reshape t [| 4; 2 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_transpose2d () =
+  let t = t2 [ [ 1.; 2.; 3. ]; [ 4.; 5.; 6. ] ] in
+  assert_tensor "transpose" (t2 [ [ 1.; 4. ]; [ 2.; 5. ]; [ 3.; 6. ] ]) (Tensor.transpose2d t)
+
+let test_slice_axis0 () =
+  let t = t2 [ [ 1.; 2. ]; [ 3.; 4. ]; [ 5.; 6. ] ] in
+  assert_tensor "rows 1-2" (t2 [ [ 3.; 4. ]; [ 5.; 6. ] ]) (Tensor.slice ~axis:0 ~lo:1 ~hi:3 t)
+
+let test_slice_axis1 () =
+  let t = t2 [ [ 1.; 2.; 3. ]; [ 4.; 5.; 6. ] ] in
+  assert_tensor "col 1" (t2 [ [ 2. ]; [ 5. ] ]) (Tensor.slice ~axis:1 ~lo:1 ~hi:2 t)
+
+let test_concat_axis0 () =
+  let a = t2 [ [ 1.; 2. ] ] and b = t2 [ [ 3.; 4. ]; [ 5.; 6. ] ] in
+  assert_tensor "stack" (t2 [ [ 1.; 2. ]; [ 3.; 4. ]; [ 5.; 6. ] ]) (Tensor.concat ~axis:0 [ a; b ])
+
+let test_concat_axis1 () =
+  let a = t2 [ [ 1. ]; [ 3. ] ] and b = t2 [ [ 2. ]; [ 4. ] ] in
+  assert_tensor "side by side" (t2 [ [ 1.; 2. ]; [ 3.; 4. ] ]) (Tensor.concat ~axis:1 [ a; b ])
+
+let test_pad_slice () =
+  let t = t2 [ [ 7.; 8. ] ] in
+  assert_tensor "embedded"
+    (t2 [ [ 0.; 0. ]; [ 7.; 8. ]; [ 0.; 0. ] ])
+    (Tensor.pad_slice ~axis:0 ~lo:1 ~full:3 t)
+
+let test_slice_concat_roundtrip () =
+  let rng = Rng.create 2 in
+  let t = Tensor.uniform rng [| 4; 6 |] ~lo:(-1.0) ~hi:1.0 in
+  let parts =
+    [ Tensor.slice ~axis:1 ~lo:0 ~hi:2 t;
+      Tensor.slice ~axis:1 ~lo:2 ~hi:5 t;
+      Tensor.slice ~axis:1 ~lo:5 ~hi:6 t ]
+  in
+  assert_tensor "roundtrip" t (Tensor.concat ~axis:1 parts)
+
+(* Reductions *)
+
+let test_reduce_sum () =
+  let t = t2 [ [ 1.; 2.; 3. ]; [ 4.; 5.; 6. ] ] in
+  assert_tensor "axis0" (Tensor.of_list1 [ 5.; 7.; 9. ])
+    (Tensor.reduce_sum ~axis:0 ~keepdims:false t);
+  assert_tensor "axis1 keep" (t2 [ [ 6. ]; [ 15. ] ])
+    (Tensor.reduce_sum ~axis:1 ~keepdims:true t);
+  check_float "full sum" 21.0 (Tensor.sum t);
+  check_float "mean" 3.5 (Tensor.mean t);
+  check_float "max" 6.0 (Tensor.max_elt t)
+
+let test_reduce_mean () =
+  let t = t2 [ [ 2.; 4. ]; [ 6.; 8. ] ] in
+  assert_tensor "axis1" (Tensor.of_list1 [ 3.; 7. ])
+    (Tensor.reduce_mean ~axis:1 ~keepdims:false t)
+
+let test_broadcast_axis () =
+  let t = t2 [ [ 1.; 2. ] ] in
+  assert_tensor "repeat rows" (t2 [ [ 1.; 2. ]; [ 1.; 2. ]; [ 1.; 2. ] ])
+    (Tensor.broadcast_axis ~axis:0 ~n:3 t);
+  check_bool "axis dim must be 1" true
+    (try
+       ignore (Tensor.broadcast_axis ~axis:0 ~n:3 (t2 [ [ 1. ]; [ 2. ] ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_frobenius () =
+  check_float "3-4-5" 5.0 (Tensor.frobenius (Tensor.of_list1 [ 3.0; 4.0 ]))
+
+(* NN kernels *)
+
+let test_softmax_rows () =
+  let t = t2 [ [ 1.; 1.; 1. ]; [ 0.; 100.; 0. ] ] in
+  let s = Tensor.softmax t in
+  check_float "uniform row" (1.0 /. 3.0) (Tensor.get s [| 0; 0 |]);
+  check_bool "peaked row" true (Tensor.get s [| 1; 1 |] > 0.999999);
+  check_float "row sums" 1.0 (Tensor.sum (Tensor.slice ~axis:0 ~lo:0 ~hi:1 s))
+
+let test_log_softmax_consistent () =
+  let rng = Rng.create 3 in
+  let t = Tensor.uniform rng [| 3; 5 |] ~lo:(-4.0) ~hi:4.0 in
+  assert_tensor "log softmax = log(softmax)" (Tensor.log_ (Tensor.softmax t))
+    (Tensor.log_softmax t)
+
+let test_cross_entropy_manual () =
+  let logits = t2 [ [ 0.; 0. ]; [ 0.; 0. ] ] in
+  let labels = Tensor.of_list1 [ 0.; 1. ] in
+  check_float "uniform logits -> log 2" (log 2.0) (Tensor.cross_entropy ~logits ~labels)
+
+let test_cross_entropy_grad_rows_sum_zero () =
+  let rng = Rng.create 4 in
+  let logits = Tensor.uniform rng [| 4; 6 |] ~lo:(-2.0) ~hi:2.0 in
+  let labels = Tensor.of_list1 [ 0.; 5.; 3.; 2. ] in
+  let g = Tensor.cross_entropy_grad ~logits ~labels in
+  for r = 0 to 3 do
+    check_float "row sums to 0" 0.0 (Tensor.sum (Tensor.slice ~axis:0 ~lo:r ~hi:(r + 1) g))
+  done
+
+let test_cross_entropy_label_out_of_range () =
+  check_bool "raises" true
+    (try
+       ignore
+         (Tensor.cross_entropy
+            ~logits:(Tensor.zeros [| 1; 2 |])
+            ~labels:(Tensor.of_list1 [ 5.0 ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_dropout_mask () =
+  let m = Tensor.dropout_mask ~seed:7 ~p:0.5 [| 1000 |] in
+  let m' = Tensor.dropout_mask ~seed:7 ~p:0.5 [| 1000 |] in
+  check_bool "deterministic" true (Tensor.equal m m');
+  let zeros = ref 0 in
+  for i = 0 to 999 do
+    let v = Tensor.get1 m i in
+    check_bool "0 or 1/(1-p)" true (v = 0.0 || v = 2.0);
+    if v = 0.0 then incr zeros
+  done;
+  check_bool "roughly half dropped" true (!zeros > 400 && !zeros < 600);
+  check_bool "p=1 invalid" true
+    (try
+       ignore (Tensor.dropout_mask ~seed:1 ~p:1.0 [| 2 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_embedding () =
+  let table = t2 [ [ 1.; 2. ]; [ 3.; 4. ]; [ 5.; 6. ] ] in
+  let ids = Tensor.of_list1 [ 2.; 0. ] in
+  assert_tensor "gathered" (t2 [ [ 5.; 6. ]; [ 1.; 2. ] ]) (Tensor.embedding ~table ~ids)
+
+let test_embedding_grad_scatter_adds () =
+  let ids = Tensor.of_list1 [ 1.; 1.; 0. ] in
+  let grad_out = t2 [ [ 1.; 1. ]; [ 2.; 2. ]; [ 5.; 5. ] ] in
+  assert_tensor "repeated ids accumulate"
+    (t2 [ [ 5.; 5. ]; [ 3.; 3. ]; [ 0.; 0. ] ])
+    (Tensor.embedding_grad ~table_shape:[| 3; 2 |] ~ids ~grad_out)
+
+let test_conv2d_hand () =
+  (* 1x1x3x3 input, 1x1x2x2 all-ones kernel, stride 1, no padding. *)
+  let input =
+    Tensor.create [| 1; 1; 3; 3 |] [| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9. |]
+  in
+  let kernel = Tensor.ones [| 1; 1; 2; 2 |] in
+  let out = Tensor.conv2d ~stride:1 ~pad:0 ~input ~kernel in
+  assert_tensor "windows summed"
+    (Tensor.create [| 1; 1; 2; 2 |] [| 12.; 16.; 24.; 28. |])
+    out
+
+let test_conv2d_stride_pad () =
+  let input = Tensor.ones [| 1; 1; 4; 4 |] in
+  let kernel = Tensor.ones [| 1; 1; 3; 3 |] in
+  let out = Tensor.conv2d ~stride:2 ~pad:1 ~input ~kernel in
+  Alcotest.(check (list int))
+    "output dims" [ 1; 1; 2; 2 ]
+    (Array.to_list (Tensor.shape out));
+  (* Corner window covers 2x2 ones. *)
+  check_float "corner" 4.0 (Tensor.get out [| 0; 0; 0; 0 |])
+
+let test_conv2d_channel_mismatch () =
+  check_bool "raises" true
+    (try
+       ignore
+         (Tensor.conv2d ~stride:1 ~pad:0 ~input:(Tensor.ones [| 1; 2; 3; 3 |])
+            ~kernel:(Tensor.ones [| 1; 1; 2; 2 |]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_equal_and_diff () =
+  let a = Tensor.of_list1 [ 1.0; 2.0 ] in
+  check_bool "equal" true (Tensor.equal a (Tensor.copy a));
+  check_float "max diff" 0.5 (Tensor.max_abs_diff a (Tensor.of_list1 [ 1.5; 2.0 ]));
+  check_bool "shape mismatch -> inf" true
+    (Tensor.max_abs_diff a (Tensor.zeros [| 3 |]) = infinity)
+
+(* Properties *)
+
+let tensor_pair_gen =
+  QCheck.make
+    ~print:(fun (a, b) -> Tensor.to_string a ^ " / " ^ Tensor.to_string b)
+    QCheck.Gen.(
+      let* rows = int_range 1 4 and* cols = int_range 1 4 in
+      let* seed = int_range 0 10_000 in
+      let rng = Rng.create seed in
+      return
+        ( Tensor.uniform rng [| rows; cols |] ~lo:(-5.0) ~hi:5.0,
+          Tensor.uniform rng [| rows; cols |] ~lo:(-5.0) ~hi:5.0 ))
+
+let prop_add_commutes =
+  QCheck.Test.make ~name:"add commutes" ~count:100 tensor_pair_gen (fun (a, b) ->
+    Tensor.approx_equal (Tensor.add a b) (Tensor.add b a))
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose is an involution" ~count:100 tensor_pair_gen
+    (fun (a, _) -> Tensor.equal a (Tensor.transpose2d (Tensor.transpose2d a)))
+
+let prop_softmax_rows_sum_to_one =
+  QCheck.Test.make ~name:"softmax rows sum to 1" ~count:100 tensor_pair_gen
+    (fun (a, _) ->
+      let s = Tensor.softmax a in
+      let rows = (Tensor.shape s).(0) in
+      let ok = ref true in
+      for r = 0 to rows - 1 do
+        let row_sum = Tensor.sum (Tensor.slice ~axis:0 ~lo:r ~hi:(r + 1) s) in
+        if Float.abs (row_sum -. 1.0) > 1e-9 then ok := false
+      done;
+      !ok)
+
+let prop_matmul_distributes =
+  QCheck.Test.make ~name:"A(B+C) = AB + AC" ~count:50
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let a = Tensor.uniform rng [| 3; 4 |] ~lo:(-2.0) ~hi:2.0 in
+      let b = Tensor.uniform rng [| 4; 2 |] ~lo:(-2.0) ~hi:2.0 in
+      let c = Tensor.uniform rng [| 4; 2 |] ~lo:(-2.0) ~hi:2.0 in
+      Tensor.approx_equal ~tol:1e-9
+        (Tensor.matmul a (Tensor.add b c))
+        (Tensor.add (Tensor.matmul a b) (Tensor.matmul a c)))
+
+let prop_pad_slice_adjoint =
+  (* <pad(u), v> = <u, slice(v)>: PadSlice and Slice are adjoint maps, the
+     property the autodiff rules rely on. *)
+  QCheck.Test.make ~name:"pad_slice is adjoint to slice" ~count:100
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let u = Tensor.uniform rng [| 2; 3 |] ~lo:(-1.0) ~hi:1.0 in
+      let v = Tensor.uniform rng [| 5; 3 |] ~lo:(-1.0) ~hi:1.0 in
+      let lhs = Tensor.sum (Tensor.mul (Tensor.pad_slice ~axis:0 ~lo:1 ~full:5 u) v) in
+      let rhs = Tensor.sum (Tensor.mul u (Tensor.slice ~axis:0 ~lo:1 ~hi:3 v)) in
+      Float.abs (lhs -. rhs) < 1e-9)
+
+let prop_reduce_sum_total =
+  QCheck.Test.make ~name:"reduce_sum preserves total" ~count:100 tensor_pair_gen
+    (fun (a, _) ->
+      Float.abs (Tensor.sum (Tensor.reduce_sum ~axis:0 ~keepdims:false a) -. Tensor.sum a)
+      < 1e-9)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "tensor.construct",
+      [
+        t "create validates" test_create_validates;
+        t "fill constructors" test_fill_constructors;
+        t "init by index" test_init_by_index;
+        t "of_list2 ragged" test_of_list2_ragged;
+        t "get/set" test_get_set;
+        t "copy is deep" test_copy_is_deep;
+      ] );
+    ( "tensor.elementwise",
+      [
+        t "binary ops" test_binary_ops;
+        t "shape mismatch" test_binary_shape_mismatch;
+        t "unary ops" test_unary_ops;
+        t "sigmoid/tanh" test_sigmoid_tanh;
+        QCheck_alcotest.to_alcotest prop_add_commutes;
+      ] );
+    ( "tensor.linalg",
+      [
+        t "matmul basic" test_matmul_basic;
+        t "matmul transposes" test_matmul_transposes;
+        t "matmul identity" test_matmul_identity;
+        t "matmul mismatch" test_matmul_inner_mismatch;
+        t "add_bias" test_add_bias;
+        t "outer" test_outer;
+        QCheck_alcotest.to_alcotest prop_matmul_distributes;
+      ] );
+    ( "tensor.shape_ops",
+      [
+        t "reshape" test_reshape;
+        t "transpose2d" test_transpose2d;
+        t "slice axis0" test_slice_axis0;
+        t "slice axis1" test_slice_axis1;
+        t "concat axis0" test_concat_axis0;
+        t "concat axis1" test_concat_axis1;
+        t "pad_slice" test_pad_slice;
+        t "slice/concat roundtrip" test_slice_concat_roundtrip;
+        QCheck_alcotest.to_alcotest prop_transpose_involution;
+        QCheck_alcotest.to_alcotest prop_pad_slice_adjoint;
+      ] );
+    ( "tensor.reduce",
+      [
+        t "reduce_sum" test_reduce_sum;
+        t "reduce_mean" test_reduce_mean;
+        t "broadcast_axis" test_broadcast_axis;
+        t "frobenius" test_frobenius;
+        QCheck_alcotest.to_alcotest prop_reduce_sum_total;
+      ] );
+    ( "tensor.nn",
+      [
+        t "softmax rows" test_softmax_rows;
+        t "log_softmax consistent" test_log_softmax_consistent;
+        t "cross entropy manual" test_cross_entropy_manual;
+        t "xent grad rows sum 0" test_cross_entropy_grad_rows_sum_zero;
+        t "xent label range" test_cross_entropy_label_out_of_range;
+        t "dropout mask" test_dropout_mask;
+        t "embedding" test_embedding;
+        t "embedding grad scatter" test_embedding_grad_scatter_adds;
+        t "conv2d hand" test_conv2d_hand;
+        t "conv2d stride/pad" test_conv2d_stride_pad;
+        t "conv2d channel mismatch" test_conv2d_channel_mismatch;
+        t "equality helpers" test_equal_and_diff;
+        QCheck_alcotest.to_alcotest prop_softmax_rows_sum_to_one;
+      ] );
+  ]

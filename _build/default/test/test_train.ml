@@ -1,0 +1,219 @@
+(* Optimizers, training loop and synthetic workloads. *)
+
+open Echo_tensor
+open Echo_ir
+open Echo_train
+open Echo_workloads
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let param value =
+  let node = Node.variable ~name:"p" (Tensor.shape value) in
+  (node, value)
+
+let test_sgd_step () =
+  let p, v = param (Tensor.of_list1 [ 1.0; 2.0 ]) in
+  let opt = Optimizer.create (Optimizer.Sgd { lr = 0.1 }) in
+  let updated = Optimizer.step opt ~params:[ (p, v) ] ~grads:[ (p, Tensor.of_list1 [ 1.0; -1.0 ]) ] in
+  check_bool "w - lr*g" true
+    (Tensor.approx_equal (snd (List.hd updated)) (Tensor.of_list1 [ 0.9; 2.1 ]))
+
+let test_momentum_accumulates () =
+  let p, v = param (Tensor.of_list1 [ 0.0 ]) in
+  let opt = Optimizer.create (Optimizer.Momentum { lr = 1.0; momentum = 0.5 }) in
+  let g = Tensor.of_list1 [ 1.0 ] in
+  let v1 = Optimizer.step opt ~params:[ (p, v) ] ~grads:[ (p, g) ] in
+  let v2 = Optimizer.step opt ~params:v1 ~grads:[ (p, g) ] in
+  (* velocities: 1, then 1.5; positions: -1, then -2.5 *)
+  check_float "after two steps" (-2.5) (Tensor.get1 (snd (List.hd v2)) 0)
+
+let test_adam_direction_and_magnitude () =
+  let p, v = param (Tensor.of_list1 [ 0.0 ]) in
+  let opt =
+    Optimizer.create (Optimizer.Adam { lr = 0.1; beta1 = 0.9; beta2 = 0.999; eps = 1e-8 })
+  in
+  let updated =
+    Optimizer.step opt ~params:[ (p, v) ] ~grads:[ (p, Tensor.of_list1 [ 3.0 ]) ]
+  in
+  let x = Tensor.get1 (snd (List.hd updated)) 0 in
+  (* First Adam step is ~ -lr regardless of gradient scale. *)
+  check_bool "step ~ -lr" true (Float.abs (x +. 0.1) < 1e-3)
+
+let test_missing_gradient_raises () =
+  let p, v = param (Tensor.of_list1 [ 0.0 ]) in
+  let opt = Optimizer.create (Optimizer.Sgd { lr = 0.1 }) in
+  check_bool "raises" true
+    (try
+       ignore (Optimizer.step opt ~params:[ (p, v) ] ~grads:[]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_clipping () =
+  let p, _ = param (Tensor.of_list1 [ 0.0; 0.0 ]) in
+  let g = Tensor.of_list1 [ 3.0; 4.0 ] in
+  let clipped = Optimizer.clip_by_global_norm ~max_norm:1.0 [ (p, g) ] in
+  check_float "renormalised" 1.0 (Tensor.frobenius (snd (List.hd clipped)));
+  let untouched = Optimizer.clip_by_global_norm ~max_norm:10.0 [ (p, g) ] in
+  check_bool "below threshold untouched" true (Tensor.equal g (snd (List.hd untouched)))
+
+let test_footprint_kinds () =
+  check_bool "sgd" true
+    (Optimizer.footprint_kind (Optimizer.create (Optimizer.Sgd { lr = 0.1 }))
+    = Echo_exec.Footprint.Sgd);
+  check_bool "adam" true
+    (Optimizer.footprint_kind
+       (Optimizer.create (Optimizer.Adam { lr = 0.1; beta1 = 0.9; beta2 = 0.99; eps = 1e-8 }))
+    = Echo_exec.Footprint.Adam)
+
+(* Training loop on a convex toy problem: minimise ||w - target||^2. *)
+let test_loop_converges () =
+  let w = Node.variable ~name:"w" [| 2 |] in
+  let target = Node.placeholder ~name:"t" [| 2 |] in
+  let diff = Node.sub w target in
+  let loss = Node.reduce_sum ~axis:0 ~keepdims:false (Node.sq diff) in
+  let training = Echo_autodiff.Grad.differentiate ~loss ~wrt:[ w ] in
+  let batches =
+    List.init 50 (fun _ -> [ (target, Tensor.of_list1 [ 3.0; -2.0 ]) ])
+  in
+  let result =
+    Loop.train ~graph:training.Echo_autodiff.Grad.graph
+      ~params:[ (w, Tensor.zeros [| 2 |]) ]
+      ~optimizer:(Optimizer.create (Optimizer.Sgd { lr = 0.1 }))
+      ~batches ()
+  in
+  let final = snd (List.hd result.Loop.params) in
+  check_bool "converged" true
+    (Tensor.approx_equal ~tol:1e-3 final (Tensor.of_list1 [ 3.0; -2.0 ]));
+  check_bool "loss decreasing" true
+    (List.nth result.Loop.losses 49 < List.nth result.Loop.losses 0)
+
+let test_loop_on_step_callback () =
+  let w = Node.variable [| 1 |] in
+  let loss = Node.reduce_sum ~axis:0 ~keepdims:false (Node.sq w) in
+  let training = Echo_autodiff.Grad.differentiate ~loss ~wrt:[ w ] in
+  let seen = ref [] in
+  let _ =
+    Loop.train ~graph:training.Echo_autodiff.Grad.graph
+      ~params:[ (w, Tensor.of_list1 [ 2.0 ]) ]
+      ~optimizer:(Optimizer.create (Optimizer.Sgd { lr = 0.1 }))
+      ~on_step:(fun s -> seen := s.Loop.step :: !seen)
+      ~batches:[ []; []; [] ] ()
+  in
+  Alcotest.(check (list int)) "steps observed" [ 2; 1; 0 ] !seen
+
+let test_perplexity () = check_float "exp" (exp 2.0) (Loop.perplexity 2.0)
+
+(* Corpus *)
+
+let test_corpus_deterministic () =
+  let a = Corpus.generate ~seed:1 ~vocab:100 ~length:1000 in
+  let b = Corpus.generate ~seed:1 ~vocab:100 ~length:1000 in
+  let same = ref true in
+  for i = 0 to 999 do
+    if Corpus.token a i <> Corpus.token b i then same := false
+  done;
+  check_bool "same stream" true !same
+
+let test_corpus_token_range () =
+  let c = Corpus.generate ~seed:2 ~vocab:37 ~length:5000 in
+  for i = 0 to 4999 do
+    let t = Corpus.token c i in
+    check_bool "in range" true (t >= 0 && t < 37)
+  done
+
+let test_corpus_zipf_head_heavy () =
+  let c = Corpus.generate ~seed:3 ~vocab:1000 ~length:50_000 in
+  let count_low = ref 0 in
+  for i = 0 to Corpus.length c - 1 do
+    if Corpus.token c i < 10 then incr count_low
+  done;
+  (* Top-10 ranks of a 1000-token Zipf law carry ~39% of the mass. *)
+  check_bool "head heavy" true (float_of_int !count_low /. 50_000.0 > 0.2)
+
+let test_lm_batches_shift () =
+  let c = Corpus.generate ~seed:4 ~vocab:50 ~length:100_000 in
+  let batches = Corpus.lm_batches c ~batch:4 ~seq_len:6 ~steps:3 in
+  check_int "steps" 3 (List.length batches);
+  List.iter
+    (fun (tokens, labels) ->
+      check_bool "shapes" true
+        (Shape.equal (Tensor.shape tokens) [| 24 |]
+        && Shape.equal (Tensor.shape labels) [| 24 |]))
+    batches;
+  (* label(t, b) = token(t+1, b): compare across consecutive time rows. *)
+  let tokens, labels = List.hd batches in
+  for b = 0 to 3 do
+    for t = 0 to 4 do
+      check_float "shifted by one"
+        (Tensor.get1 tokens (((t + 1) * 4) + b))
+        (Tensor.get1 labels ((t * 4) + b))
+    done
+  done
+
+let test_lm_batches_too_short () =
+  let c = Corpus.generate ~seed:5 ~vocab:10 ~length:50 in
+  check_bool "raises" true
+    (try
+       ignore (Corpus.lm_batches c ~batch:4 ~seq_len:20 ~steps:10);
+       false
+     with Invalid_argument _ -> true)
+
+let test_pair_batches_shapes () =
+  let src = Corpus.generate ~seed:6 ~vocab:30 ~length:50_000 in
+  let tgt = Corpus.generate ~seed:7 ~vocab:40 ~length:50_000 in
+  let batches = Corpus.pair_batches ~src ~tgt ~batch:3 ~src_len:5 ~tgt_len:4 ~steps:2 in
+  check_int "steps" 2 (List.length batches);
+  List.iter
+    (fun (s, ti, l) ->
+      check_bool "src" true (Shape.equal (Tensor.shape s) [| 15 |]);
+      check_bool "tgt" true (Shape.equal (Tensor.shape ti) [| 12 |]);
+      check_bool "labels" true (Shape.equal (Tensor.shape l) [| 12 |]))
+    batches
+
+let test_spectrogram_batches () =
+  let batches =
+    Corpus.spectrogram_batches ~seed:8 ~batch:2 ~time:16 ~freq:8 ~classes:5 ~frames:4
+      ~steps:2
+  in
+  check_int "steps" 2 (List.length batches);
+  List.iter
+    (fun (spec, align) ->
+      check_bool "spec shape" true (Shape.equal (Tensor.shape spec) [| 2; 1; 16; 8 |]);
+      check_bool "align shape" true (Shape.equal (Tensor.shape align) [| 8 |]);
+      for i = 0 to 7 do
+        let v = int_of_float (Tensor.get1 align i) in
+        check_bool "class range" true (v >= 0 && v < 5)
+      done)
+    batches
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "optimizer",
+      [
+        t "sgd step" test_sgd_step;
+        t "momentum accumulates" test_momentum_accumulates;
+        t "adam step" test_adam_direction_and_magnitude;
+        t "missing gradient" test_missing_gradient_raises;
+        t "clipping" test_clipping;
+        t "footprint kinds" test_footprint_kinds;
+      ] );
+    ( "loop",
+      [
+        t "converges" test_loop_converges;
+        t "on_step callback" test_loop_on_step_callback;
+        t "perplexity" test_perplexity;
+      ] );
+    ( "corpus",
+      [
+        t "deterministic" test_corpus_deterministic;
+        t "token range" test_corpus_token_range;
+        t "zipf head heavy" test_corpus_zipf_head_heavy;
+        t "lm batches shift" test_lm_batches_shift;
+        t "lm batches too short" test_lm_batches_too_short;
+        t "pair batches" test_pair_batches_shapes;
+        t "spectrogram batches" test_spectrogram_batches;
+      ] );
+  ]
