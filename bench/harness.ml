@@ -6,6 +6,7 @@
 open Echo_models
 open Echo_core
 open Echo_exec
+module Pipeline = Echo_compiler.Pipeline
 
 let device = Echo_gpusim.Device.titan_xp
 
@@ -58,7 +59,12 @@ let build_ds2 ?scale () = (Deepspeech.build (ds2_cfg ?scale ())).Deepspeech.mode
 let build_transformer ?scale () =
   (Transformer.build (transformer_cfg ?scale ())).Transformer.model
 
-let training_graph model = (Model.training model).Echo_autodiff.Grad.graph
+(* Every experiment's graph comes out of the staged compilation pipeline
+   (source -> training), so the harness and the production consumers agree
+   on how graphs are built. *)
+let training_graph model =
+  (Pipeline.differentiate (Pipeline.of_model model))
+    .Pipeline.autodiff.Echo_autodiff.Grad.graph
 
 (* Policy comparison set used by the headline experiments. *)
 let policies =
@@ -79,7 +85,14 @@ let policy_reports name graph =
   match Hashtbl.find_opt report_cache name with
   | Some rs -> rs
   | None ->
-    let rs = List.map (fun p -> (p, snd (Pass.run ~device p graph))) policies in
+    let optimized =
+      Pipeline.optimize ~enabled:false (Pipeline.of_training_graph ~name graph)
+    in
+    let rs =
+      List.map
+        (fun p -> (p, (Pipeline.rewrite ~device ~policy:p optimized).Pipeline.report))
+        policies
+    in
     Hashtbl.replace report_cache name rs;
     rs
 

@@ -1,5 +1,5 @@
 (* The experiment harness: regenerates every table/figure of the paper's
-   evaluation (reconstructed index E1..E12 — see DESIGN.md) on the simulated
+   evaluation (reconstructed index E1..E15 — see DESIGN.md) on the simulated
    GPU substrate, plus a Bechamel micro-suite over the host kernels.
 
      dune exec bench/main.exe                 # everything
@@ -255,7 +255,7 @@ let e9 () =
 
 (* E10: training correctness — bit-identical losses, falling perplexity. *)
 let e10 () =
-  heading "E10" "training correctness (tiny LM, interpreter execution)";
+  heading "E10" "training correctness (tiny LM, compiled-executor training)";
   let cfg =
     {
       Language_model.ptb_default with
@@ -442,11 +442,65 @@ let e14 () =
     (100.0 *. (f1 -. f0) /. f0);
   ignore report
 
+(* E15: per-step execution engines — steps/sec of the reference interpreter
+   vs the compiled slot-based executor on a PTB-shaped LM training graph,
+   plus a bitwise output comparison. *)
+let e15 () =
+  heading "E15" "compiled executor vs reference interpreter (PTB-shape LM)";
+  let cfg =
+    match !scale with
+    | Full ->
+      { Language_model.ptb_default with vocab = 2000; embed = 64; hidden = 64;
+        layers = 2; seq_len = 35; batch = 16 }
+    | Quick ->
+      { Language_model.ptb_default with vocab = 300; embed = 32; hidden = 32;
+        layers = 2; seq_len = 10; batch = 8 }
+  in
+  let lm = Language_model.build cfg in
+  let graph = training_graph lm.Language_model.model in
+  let rng = Rng.create 11 in
+  let ids node =
+    Tensor.init (Node.shape node) (fun _ ->
+      float_of_int (Rng.int rng cfg.Language_model.vocab))
+  in
+  let feeds =
+    (lm.Language_model.token_input, ids lm.Language_model.token_input)
+    :: (lm.Language_model.label_input, ids lm.Language_model.label_input)
+    :: Params.bindings lm.Language_model.model.Model.params
+  in
+  let module Executor = Echo_compiler.Executor in
+  let c0 = Sys.time () in
+  let exe = Executor.compile graph in
+  let compile_s = Sys.time () -. c0 in
+  (* Warm-up both engines and check bitwise agreement on every output. *)
+  let interp_outs = Interp.eval graph ~feeds in
+  let exe_outs = Executor.eval exe ~feeds in
+  let identical = List.for_all2 Tensor.equal interp_outs exe_outs in
+  let steps = match !scale with Full -> 10 | Quick -> 3 in
+  let steps_per_sec f =
+    let t0 = Sys.time () in
+    for _ = 1 to steps do f () done;
+    float_of_int steps /. Float.max (Sys.time () -. t0) 1e-6
+  in
+  let interp_sps = steps_per_sec (fun () -> ignore (Interp.eval graph ~feeds)) in
+  let exec_sps =
+    steps_per_sec (fun () ->
+      List.iter (fun (n, t) -> Executor.feed exe n t) feeds;
+      Executor.run exe)
+  in
+  row "graph: %d nodes, executor compile %.3f s, footprint %s@."
+    (Graph.node_count graph) compile_s
+    (Footprint.human (Executor.footprint_bytes exe));
+  row "reference interpreter: %8.2f steps/s@." interp_sps;
+  row "compiled executor:     %8.2f steps/s  (%.2fx, outputs %s)@." exec_sps
+    (exec_sps /. interp_sps)
+    (if identical then "bit-identical" else "MISMATCH")
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
-    ("E13", e13); ("E14", e14);
+    ("E13", e13); ("E14", e14); ("E15", e15);
   ]
 
 let () =

@@ -11,6 +11,7 @@ open Cmdliner
 open Echo_models
 open Echo_core
 open Echo_exec
+module Pipeline = Echo_compiler.Pipeline
 
 type model_choice = Lm | Peephole_lm | Gru_lm | Rnn_lm | Nmt_model | Ds2 | Transformer_model
 
@@ -76,7 +77,7 @@ let build_graph choice ~batch ~seq_len ~hidden ~layers =
       in
       (Transformer.build cfg).Transformer.model
   in
-  (model, (Model.training model).Echo_autodiff.Grad.graph)
+  model
 
 let run model_choice batch seq_len hidden layers policy budget all breakdown
     profile optimize dot_file trace_file save_file load_file device_name =
@@ -85,25 +86,24 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
     | Some d -> d
     | None -> failwith (Printf.sprintf "unknown device %S" device_name)
   in
-  let model, graph = build_graph model_choice ~batch ~seq_len ~hidden ~layers in
+  let model = build_graph model_choice ~batch ~seq_len ~hidden ~layers in
   Format.printf "%a@." Model.describe model;
-  let graph =
+  (* Stage 1-3 of the compilation pipeline: source -> training -> optimized.
+     A serialized graph enters the pipeline after the autodiff stage. *)
+  let training =
     match load_file with
     | Some path ->
       let g = Echo_ir.Serial.of_file path in
       Format.printf "loaded %s@." path;
-      g
-    | None -> graph
+      Pipeline.of_training_graph ~name:path g
+    | None -> Pipeline.differentiate (Pipeline.of_model model)
   in
-  Format.printf "training graph: %a@." Echo_ir.Graph.pp_stats graph;
-  let graph =
-    if optimize then begin
-      let graph, stats = Echo_opt.Pipeline.run graph in
-      Format.printf "optimised: %a@." Echo_opt.Pipeline.pp_stats stats;
-      graph
-    end
-    else graph
-  in
+  Format.printf "training graph: %a@." Echo_ir.Graph.pp_stats
+    training.Pipeline.autodiff.Echo_autodiff.Grad.graph;
+  let optimized = Pipeline.optimize ~enabled:optimize training in
+  (match optimized.Pipeline.opt_stats with
+  | Some stats -> Format.printf "optimised: %a@." Echo_opt.Pipeline.pp_stats stats
+  | None -> ());
   let policies =
     if all then Pass.default_policies
     else begin
@@ -119,11 +119,13 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
   in
   List.iter
     (fun p ->
-      let _, report = Pass.run ~device p graph in
+      (* Stage 4: the Echo pass, with baseline + optimised measurement. *)
+      let rw = Pipeline.rewrite ~device ~policy:p optimized in
+      let report = rw.Pipeline.report in
+      let rewritten = rw.Pipeline.graph in
       Format.printf "%a@." Pass.pp_report report;
       if breakdown then
         Format.printf "%a" Footprint.pp_breakdown report.Pass.optimised_mem;
-      let rewritten, _ = Pass.run ~device p graph in
       if profile then begin
         let tl = Echo_gpusim.Timeline.simulate device rewritten in
         Echo_gpusim.Timeline.pp_profile Format.std_formatter tl;

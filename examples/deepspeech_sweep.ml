@@ -8,19 +8,22 @@
 
 open Echo_models
 open Echo_core
+module Pipeline = Echo_compiler.Pipeline
 
 let () =
   let device = Echo_gpusim.Device.titan_xp in
   List.iter
     (fun (label, cfg) ->
       let ds2 = Deepspeech.build cfg in
-      let training = Model.training ds2.Deepspeech.model in
-      let graph = training.Echo_autodiff.Grad.graph in
+      let optimized =
+        Pipeline.of_model ds2.Deepspeech.model |> Pipeline.differentiate
+        |> Pipeline.optimize ~enabled:false
+      in
       Format.printf "=== %s (%d output frames) ===@." label ds2.Deepspeech.out_frames;
       List.iter
         (fun policy ->
-          let _, report = Pass.run ~device policy graph in
-          Format.printf "  %a@." Pass.pp_report report)
+          let rw = Pipeline.rewrite ~device ~policy optimized in
+          Format.printf "  %a@." Pass.pp_report rw.Pipeline.report)
         [
           Pass.Stash_all;
           Pass.Checkpoint_sqrt;

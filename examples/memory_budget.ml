@@ -8,12 +8,18 @@
 open Echo_models
 open Echo_core
 open Echo_exec
+module Pipeline = Echo_compiler.Pipeline
 
 let () =
   let device = Echo_gpusim.Device.titan_xp in
   let nmt = Nmt.build { Nmt.gnmt_like with Nmt.batch = 64 } in
-  let graph = (Model.training nmt.Nmt.model).Echo_autodiff.Grad.graph in
-  let baseline = (Memplan.plan graph).Memplan.live_peak_bytes in
+  let planned =
+    Pipeline.of_model nmt.Nmt.model |> Pipeline.differentiate
+    |> Pipeline.optimize ~enabled:false |> Pipeline.rewrite ~device
+    |> Pipeline.plan
+  in
+  let graph = planned.Pipeline.graph in
+  let baseline = planned.Pipeline.memplan.Memplan.live_peak_bytes in
   Format.printf "baseline peak: %s@.@." (Footprint.human baseline);
   List.iter
     (fun frac ->

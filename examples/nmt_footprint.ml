@@ -9,6 +9,7 @@
 open Echo_models
 open Echo_core
 open Echo_exec
+module Pipeline = Echo_compiler.Pipeline
 
 let () =
   let device = Echo_gpusim.Device.titan_xp in
@@ -29,12 +30,16 @@ let () =
     (fun batch ->
       let cfg = { Nmt.gnmt_like with batch } in
       let nmt = Nmt.build cfg in
-      let training = Model.training nmt.Nmt.model in
-      let graph = training.Echo_autodiff.Grad.graph in
+      let optimized =
+        Pipeline.of_model nmt.Nmt.model |> Pipeline.differentiate
+        |> Pipeline.optimize ~enabled:false
+      in
       Format.printf "batch=%d:@." batch;
       List.iter
         (fun policy ->
-          let _, report = Pass.run ~device policy graph in
+          let report =
+            (Pipeline.rewrite ~device ~policy optimized).Pipeline.report
+          in
           let total =
             Footprint.total_bytes report.Pass.optimised_mem
               ~optimizer:Footprint.Momentum

@@ -10,6 +10,7 @@ open Echo_models
 open Echo_core
 open Echo_train
 open Echo_workloads
+module Pipeline = Echo_compiler.Pipeline
 
 let () =
   let cfg =
@@ -25,11 +26,16 @@ let () =
     }
   in
   let lm = Language_model.build cfg in
-  let training = Model.training lm.Language_model.model in
-  let graph = training.Echo_autodiff.Grad.graph in
+  let training = Pipeline.differentiate (Pipeline.of_model lm.Language_model.model) in
+  let graph = training.Pipeline.autodiff.Echo_autodiff.Grad.graph in
   let device = Echo_gpusim.Device.titan_xp in
-  let echo_graph, report = Pass.run ~device (Pass.Echo { overhead_budget = 0.10 }) graph in
-  Format.printf "%a@.@." Pass.pp_report report;
+  let rw =
+    Pipeline.rewrite ~device
+      ~policy:(Pass.Echo { overhead_budget = 0.10 })
+      (Pipeline.optimize ~enabled:false training)
+  in
+  let echo_graph = rw.Pipeline.graph in
+  Format.printf "%a@.@." Pass.pp_report rw.Pipeline.report;
 
   let stream = Corpus.generate ~seed:99 ~vocab:cfg.vocab ~length:60_000 in
   let steps = 30 in

@@ -1,0 +1,303 @@
+open Echo_tensor
+open Echo_ir
+open Echo_exec
+
+(* A physical transient buffer. [writers] counts the instructions that write
+   into it across the whole schedule: a constant node owning a single-writer
+   buffer can be materialised once at compile time and skipped at run time. *)
+type buf = { arr : float array; mutable writers : int }
+
+type t = {
+  graph : Graph.t;
+  nodes : Node.t array;  (** the frozen schedule; slot = index *)
+  instrs : (unit -> unit) array;
+  values : Tensor.t array;
+  slot_of_id : (int, int) Hashtbl.t;
+  persistent : (Node.t * int) array;  (** (node, slot), schedule order *)
+  is_persistent_slot : bool array;
+  fed : bool array;  (** indexed by slot; meaningful for persistent slots *)
+  mutable all_fed : bool;
+  output_slots : int array;
+  outs : Tensor.t array;
+  transient_bytes : int;
+  persistent_bytes : int;
+  max_workspace_bytes : int;
+}
+
+let nop () = ()
+
+let compile ?(inplace = true) graph =
+  let liveness = Liveness.analyse graph in
+  let nodes = Array.of_list (Graph.nodes graph) in
+  let n = Array.length nodes in
+  let slot_of_id = Hashtbl.create (2 * n) in
+  Array.iteri (fun i node -> Hashtbl.replace slot_of_id (Node.id node) i) nodes;
+  let values = Array.make n (Tensor.scalar 0.0) in
+  let is_persistent_slot = Array.make n false in
+  let persistent = ref [] in
+  let persistent_bytes = ref 0 in
+  let max_ws = ref 0 in
+  (* Buffer assignment mirrors [Memplan.plan ~reuse:true] exactly — same
+     exact-size pool, same in-place eligibility and input order — so the
+     executor's footprint IS the planner's arena prediction. *)
+  let pool : (int, buf list ref) Hashtbl.t = Hashtbl.create 64 in
+  let pool_take numel =
+    match Hashtbl.find_opt pool numel with
+    | Some ({ contents = b :: rest } as l) ->
+      l := rest;
+      Some b
+    | Some { contents = [] } | None -> None
+  in
+  let pool_put numel b =
+    match Hashtbl.find_opt pool numel with
+    | Some l -> l := b :: !l
+    | None -> Hashtbl.replace pool numel (ref [ b ])
+  in
+  let transient_bytes = ref 0 in
+  let buf_of_slot : buf option array = Array.make n None in
+  let transferred : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let inplace_buf step node =
+    if not (inplace && Memplan.inplace_capable node) then None
+    else begin
+      let size = Node.size_bytes node in
+      let eligible input =
+        (not (Liveness.is_persistent input))
+        && Node.size_bytes input = size
+        && (not (Hashtbl.mem transferred (Node.id input)))
+        && (not (Graph.is_output graph (Node.id input)))
+        &&
+        match Liveness.interval liveness (Node.id input) with
+        | itv -> itv.Liveness.last_step = step
+        | exception Not_found -> false
+      in
+      match List.find_opt eligible (Node.inputs node) with
+      | None -> None
+      | Some input ->
+        Hashtbl.replace transferred (Node.id input) ();
+        buf_of_slot.(Hashtbl.find slot_of_id (Node.id input))
+    end
+  in
+  (* Phase 1: assign every slot a physical buffer (recycling dying buffers
+     like the planner) and wrap it in its output tensor once. *)
+  Array.iteri
+    (fun step node ->
+      let ws = Workspace.bytes node in
+      if ws > !max_ws then max_ws := ws;
+      (match Node.op node with
+      | Op.Placeholder | Op.Variable ->
+        is_persistent_slot.(step) <- true;
+        persistent := (node, step) :: !persistent;
+        persistent_bytes := !persistent_bytes + Node.size_bytes node
+      | _ ->
+        let numel = Shape.numel (Node.shape node) in
+        let b =
+          match inplace_buf step node with
+          | Some b -> b
+          | None -> (
+            match pool_take numel with
+            | Some b -> b
+            | None ->
+              transient_bytes := !transient_bytes + Node.size_bytes node;
+              { arr = Array.make numel 0.0; writers = 0 })
+        in
+        b.writers <- b.writers + 1;
+        buf_of_slot.(step) <- Some b;
+        values.(step) <- Tensor.create (Node.shape node) b.arr);
+      List.iter
+        (fun dying ->
+          if not (Hashtbl.mem transferred (Node.id dying)) then begin
+            let slot = Hashtbl.find slot_of_id (Node.id dying) in
+            match buf_of_slot.(slot) with
+            | Some b -> pool_put (Array.length b.arr) b
+            | None -> ()
+          end)
+        (Liveness.dying_at liveness step))
+    nodes;
+  (* Phase 2: compile each node to one closure over its input slots and its
+     fixed destination tensor. Runs after phase 1 so writer counts are
+     final. *)
+  let instrs = Array.make n nop in
+  let build node dst buf =
+    let slots =
+      Array.of_list
+        (List.map
+           (fun i -> Hashtbl.find slot_of_id (Node.id i))
+           (Node.inputs node))
+    in
+    let x () = values.(Array.unsafe_get slots 0) in
+    let y () = values.(Array.unsafe_get slots 1) in
+    let module I = Tensor.Into in
+    match Node.op node with
+    | Op.Placeholder | Op.Variable -> assert false
+    | Op.Zeros ->
+      if buf.writers = 1 then begin
+        I.fill ~dst 0.0;
+        nop
+      end
+      else fun () -> I.fill ~dst 0.0
+    | Op.ConstFill v ->
+      if buf.writers = 1 then begin
+        I.fill ~dst v;
+        nop
+      end
+      else fun () -> I.fill ~dst v
+    | Op.DropoutMask { p; seed } ->
+      let mask = Tensor.dropout_mask ~seed ~p (Node.shape node) in
+      if buf.writers = 1 then begin
+        I.blit ~src:mask ~dst;
+        nop
+      end
+      else fun () -> I.blit ~src:mask ~dst
+    | Op.Neg -> fun () -> I.neg (x ()) ~dst
+    | Op.Scale k -> fun () -> I.scale k (x ()) ~dst
+    | Op.AddScalar k -> fun () -> I.add_scalar k (x ()) ~dst
+    | Op.PowConst p -> fun () -> I.pow_const p (x ()) ~dst
+    | Op.Sigmoid -> fun () -> I.sigmoid (x ()) ~dst
+    | Op.Tanh -> fun () -> I.tanh_ (x ()) ~dst
+    | Op.Relu -> fun () -> I.relu (x ()) ~dst
+    | Op.Exp -> fun () -> I.exp_ (x ()) ~dst
+    | Op.Log -> fun () -> I.log_ (x ()) ~dst
+    | Op.Sqrt -> fun () -> I.sqrt_ (x ()) ~dst
+    | Op.Sq -> fun () -> I.sq (x ()) ~dst
+    | Op.Recip -> fun () -> I.recip (x ()) ~dst
+    | Op.Sign -> fun () -> I.sign (x ()) ~dst
+    | Op.Add -> fun () -> I.add (x ()) (y ()) ~dst
+    | Op.Sub -> fun () -> I.sub (x ()) (y ()) ~dst
+    | Op.Mul -> fun () -> I.mul (x ()) (y ()) ~dst
+    | Op.Div -> fun () -> I.div (x ()) (y ()) ~dst
+    | Op.Matmul { trans_a; trans_b } ->
+      fun () -> I.matmul ~trans_a ~trans_b (x ()) (y ()) ~dst
+    | Op.AddBias -> fun () -> I.add_bias (x ()) (y ()) ~dst
+    | Op.ScaleBy -> fun () -> I.scale_by (x ()) (y ()) ~dst
+    | Op.Slice { axis; lo; hi } -> fun () -> I.slice ~axis ~lo ~hi (x ()) ~dst
+    | Op.PadSlice { axis; lo; full } ->
+      fun () -> I.pad_slice ~axis ~lo ~full (x ()) ~dst
+    | Op.Concat { axis } ->
+      fun () ->
+        I.concat ~axis
+          (Array.to_list (Array.map (fun s -> values.(s)) slots))
+          ~dst
+    | Op.Reshape _ -> fun () -> I.blit ~src:(x ()) ~dst
+    | Op.Transpose2d -> fun () -> I.transpose2d (x ()) ~dst
+    | Op.ReduceSum { axis; keepdims } ->
+      fun () -> I.reduce_sum ~axis ~keepdims (x ()) ~dst
+    | Op.ReduceMean { axis; keepdims } ->
+      fun () -> I.reduce_mean ~axis ~keepdims (x ()) ~dst
+    | Op.BroadcastAxis { axis; n } ->
+      fun () -> I.broadcast_axis ~axis ~n (x ()) ~dst
+    | Op.Softmax -> fun () -> I.softmax (x ()) ~dst
+    | Op.LogSoftmax -> fun () -> I.log_softmax (x ()) ~dst
+    | Op.CrossEntropy ->
+      fun () -> I.cross_entropy ~logits:(x ()) ~labels:(y ()) ~dst
+    | Op.CrossEntropyGrad ->
+      fun () -> I.cross_entropy_grad ~logits:(x ()) ~labels:(y ()) ~dst
+    | Op.Embedding -> fun () -> I.embedding ~table:(x ()) ~ids:(y ()) ~dst
+    | Op.EmbeddingGrad _ ->
+      fun () -> I.embedding_grad ~ids:(x ()) ~grad_out:(y ()) ~dst
+    | (Op.Conv2d _ | Op.Conv2dGradInput _ | Op.Conv2dGradKernel _) as op ->
+      (* Convolutions have no destination-passing kernel yet: evaluate via
+         the reference interpreter and copy into the assigned buffer, so the
+         memory discipline stays uniform. *)
+      let out_shape = Node.shape node in
+      fun () ->
+        let ins =
+          Array.to_list (Array.map (fun s -> values.(s)) slots)
+        in
+        I.blit ~src:(Interp.eval_node op out_shape ins) ~dst
+  in
+  Array.iteri
+    (fun step node ->
+      match buf_of_slot.(step) with
+      | Some b -> instrs.(step) <- build node values.(step) b
+      | None -> ())
+    nodes;
+  let output_slots =
+    Array.of_list
+      (List.map
+         (fun o -> Hashtbl.find slot_of_id (Node.id o))
+         (Graph.outputs graph))
+  in
+  let persistent = Array.of_list (List.rev !persistent) in
+  {
+    graph;
+    nodes;
+    instrs;
+    values;
+    slot_of_id;
+    persistent;
+    is_persistent_slot;
+    fed = Array.make n false;
+    all_fed = Array.length persistent = 0;
+    output_slots;
+    outs = Array.make (Array.length output_slots) (Tensor.scalar 0.0);
+    transient_bytes = !transient_bytes;
+    persistent_bytes = !persistent_bytes;
+    max_workspace_bytes = !max_ws;
+  }
+
+let graph e = e.graph
+let instruction_count e = Array.length e.instrs
+
+let footprint_bytes e =
+  e.persistent_bytes + e.transient_bytes + e.max_workspace_bytes
+
+let transient_bytes e = e.transient_bytes
+let persistent_bytes e = e.persistent_bytes
+
+let slot_opt e node = Hashtbl.find_opt e.slot_of_id (Node.id node)
+
+let slot e node =
+  match slot_opt e node with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Executor.slot: node %s (#%d) is not in the graph"
+         (Node.name node) (Node.id node))
+
+let set_input e s tensor =
+  if s < 0 || s >= Array.length e.nodes || not e.is_persistent_slot.(s) then
+    invalid_arg "Executor.set_input: not an input slot";
+  let node = e.nodes.(s) in
+  if not (Shape.equal (Node.shape node) (Tensor.shape tensor)) then
+    invalid_arg
+      (Printf.sprintf "Executor.feed: feed for %s has shape %s, node has %s"
+         (Node.name node)
+         (Shape.to_string (Tensor.shape tensor))
+         (Shape.to_string (Node.shape node)));
+  e.values.(s) <- tensor;
+  e.fed.(s) <- true
+
+let feed e node tensor =
+  match slot_opt e node with
+  | Some s -> set_input e s tensor
+  | None -> () (* feeds for nodes outside the graph are legal, like Interp *)
+
+let run e =
+  if not e.all_fed then begin
+    let missing =
+      Array.fold_right
+        (fun (node, s) acc ->
+          if e.fed.(s) then acc
+          else
+            Printf.sprintf "%s (#%d)" (Node.name node) (Node.id node) :: acc)
+        e.persistent []
+    in
+    if missing <> [] then
+      raise (Interp.Missing_feed (String.concat ", " missing));
+    e.all_fed <- true
+  end;
+  let instrs = e.instrs in
+  for i = 0 to Array.length instrs - 1 do
+    (Array.unsafe_get instrs i) ()
+  done;
+  let os = e.output_slots in
+  for i = 0 to Array.length os - 1 do
+    e.outs.(i) <- e.values.(os.(i))
+  done
+
+let outputs e = e.outs
+
+let eval e ~feeds =
+  List.iter (fun (node, t) -> feed e node t) feeds;
+  run e;
+  Array.to_list e.outs

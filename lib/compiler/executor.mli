@@ -1,0 +1,74 @@
+(** The compiled slot-based executor.
+
+    [compile] lowers a planned graph once into a flat instruction array:
+    the schedule is frozen, every node gets a dense integer {e slot}
+    (its schedule index), input lookups are precompiled slot reads, and
+    every transient node is bound at compile time to a physical buffer
+    recycled under exactly the discipline of {!Echo_exec.Memplan.plan}
+    (exact-size pool + in-place transfer into dying same-size inputs).
+    Running a step is then a single array sweep with {e zero} tensor
+    allocation — buffers are reused across nodes within a step and across
+    training steps, which is the "compile once, train many steps" execution
+    model the Echo paper assumes.
+
+    Numerics are bit-identical to the reference interpreter {!Echo_exec.Interp}
+    by construction: both execute the same scalar kernels in the same
+    accumulation order (see {!Echo_tensor.Tensor.Into}), and the property is
+    enforced by differential tests.
+
+    Aliasing contract: tensors returned by {!outputs}/{!eval} alias the
+    executor's internal buffers. They are valid until the next {!run} on the
+    same executor; copy them ({!Echo_tensor.Tensor.copy}) to retain values
+    across steps. Feed tensors are aliased, not copied — mutating a fed
+    tensor between runs is a legitimate way to update an input in place. *)
+
+open Echo_tensor
+open Echo_ir
+
+type t
+
+val compile : ?inplace:bool -> Graph.t -> t
+(** Compile the graph's schedule into instructions and bind buffers.
+    [inplace] (default [true]) mirrors the planner's in-place optimisation;
+    disable it to match [Memplan.plan ~inplace:false]. *)
+
+(** {1 Running} *)
+
+val slot : t -> Node.t -> int
+(** Dense slot (schedule index) of a node.
+    @raise Invalid_argument for nodes outside the graph. *)
+
+val set_input : t -> int -> Tensor.t -> unit
+(** Bind a feed tensor (by slot) for a [Placeholder]/[Variable]. The tensor
+    is aliased, not copied.
+    @raise Invalid_argument on a non-input slot or a shape mismatch. *)
+
+val feed : t -> Node.t -> Tensor.t -> unit
+(** [set_input] by node. Feeds for nodes not present in the graph are
+    silently ignored, matching {!Echo_exec.Interp.eval}'s tolerance of
+    superfluous feeds. *)
+
+val run : t -> unit
+(** Execute one step over the frozen schedule.
+    @raise Echo_exec.Interp.Missing_feed naming every unfed input. *)
+
+val outputs : t -> Tensor.t array
+(** Output values of the last {!run}, in graph-output order. See the
+    aliasing contract above. *)
+
+val eval : t -> feeds:Echo_exec.Interp.feeds -> Tensor.t list
+(** Drop-in for {!Echo_exec.Interp.eval}: feed, run, return outputs. *)
+
+(** {1 Introspection} *)
+
+val graph : t -> Graph.t
+val instruction_count : t -> int
+
+val footprint_bytes : t -> int
+(** Device-accounted (4 bytes/element) footprint of the compiled artifact:
+    persistent + transient pool + max workspace. Equal to
+    [(Memplan.plan graph).arena_bytes] by construction — the differential
+    test suite asserts this. *)
+
+val transient_bytes : t -> int
+val persistent_bytes : t -> int

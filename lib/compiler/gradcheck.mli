@@ -1,0 +1,33 @@
+(** Numerical gradient checking against the symbolic backward pass.
+
+    Both sides run through the compiled executor: the training graph is
+    compiled once for the analytic gradients, and the loss graph is compiled
+    once per parameter for the central finite differences — each perturbation
+    is then a single zero-allocation executor sweep instead of a fresh
+    interpreter walk. *)
+
+open Echo_tensor
+open Echo_ir
+open Echo_exec
+
+type result = {
+  param : string;
+  max_abs_err : float;  (** max |analytic - numeric| over elements *)
+  max_rel_err : float;  (** relative to max(1, |numeric|) per element *)
+}
+
+val numeric_grad :
+  loss:Node.t -> feeds:Interp.feeds -> wrt:Node.t -> eps:float -> Tensor.t
+(** Central finite differences of the loss w.r.t. one fed tensor. *)
+
+val check :
+  ?eps:float ->
+  ?tol:float ->
+  loss:Node.t ->
+  feeds:Interp.feeds ->
+  wrt:Node.t list ->
+  unit ->
+  (result list, result list) Stdlib.result
+(** Differentiate [loss] symbolically, evaluate both gradients under [feeds],
+    and compare. [Ok] when every parameter's [max_rel_err <= tol]
+    (default [tol = 1e-5], [eps = 1e-5]); [Error] carries the offenders. *)

@@ -1,0 +1,124 @@
+open Echo_ir
+
+type source = {
+  name : string;
+  loss : Node.t;
+  params : Node.t list;
+  placeholders : Node.t list;
+}
+
+let source ?(name = "anonymous") ?(placeholders = []) ~loss ~params () =
+  { name; loss; params; placeholders }
+
+let of_model (m : Echo_models.Model.t) =
+  {
+    name = m.Echo_models.Model.name;
+    loss = m.Echo_models.Model.loss;
+    params = Echo_models.Params.variables m.Echo_models.Model.params;
+    placeholders = m.Echo_models.Model.placeholders;
+  }
+
+let forward_graph s = Graph.create [ s.loss ]
+
+type training = { source : source; autodiff : Echo_autodiff.Grad.training }
+
+let differentiate s =
+  {
+    source = s;
+    autodiff = Echo_autodiff.Grad.differentiate ~loss:s.loss ~wrt:s.params;
+  }
+
+type optimized = {
+  training : training;
+  graph : Graph.t;
+  opt_stats : Echo_opt.Pipeline.stats option;
+}
+
+let optimize ?(enabled = true) (t : training) =
+  if enabled then begin
+    let graph, stats = Echo_opt.Pipeline.run t.autodiff.Echo_autodiff.Grad.graph in
+    { training = t; graph; opt_stats = Some stats }
+  end
+  else
+    { training = t; graph = t.autodiff.Echo_autodiff.Grad.graph; opt_stats = None }
+
+let of_training_graph ?(name = "pre-built") graph =
+  let outputs = Graph.outputs graph in
+  let loss =
+    match outputs with
+    | loss :: _ -> loss
+    | [] -> invalid_arg "Pipeline.of_training_graph: graph has no outputs"
+  in
+  let src = { name; loss; params = []; placeholders = [] } in
+  { source = src; autodiff = { Echo_autodiff.Grad.loss; grads = []; graph } }
+
+type rewritten = {
+  optimized : optimized;
+  graph : Graph.t;
+  policy : Echo_core.Pass.policy;
+  report : Echo_core.Pass.report;
+}
+
+let rewrite ?(device = Echo_gpusim.Device.titan_xp)
+    ?(policy = Echo_core.Pass.Stash_all) (opt : optimized) =
+  let graph, report = Echo_core.Pass.run ~device policy opt.graph in
+  { optimized = opt; graph; policy; report }
+
+type planned = {
+  rewritten : rewritten;
+  graph : Graph.t;
+  liveness : Echo_exec.Liveness.t;
+  memplan : Echo_exec.Memplan.report;
+  offsets : Echo_exec.Assign.t option;
+}
+
+let plan ?(offsets = false) (rw : rewritten) =
+  {
+    rewritten = rw;
+    graph = rw.graph;
+    liveness = Echo_exec.Liveness.analyse rw.graph;
+    (* The rewrite stage already measured the rewritten graph; reuse it
+       rather than planning a third time. *)
+    memplan = rw.report.Echo_core.Pass.optimised_mem;
+    offsets = (if offsets then Some (Echo_exec.Assign.assign rw.graph) else None);
+  }
+
+type executable = { planned : planned; executor : Executor.t }
+
+let compile (pl : planned) = { planned = pl; executor = Executor.compile pl.graph }
+let executor e = e.executor
+
+let compile_graph graph =
+  of_training_graph graph |> optimize ~enabled:false |> rewrite |> plan |> compile
+
+let compile_source ?device ?optimize:(opt_enabled = true) ?policy src =
+  let opt = optimize ~enabled:opt_enabled (differentiate src) in
+  compile (plan (rewrite ?device ?policy opt))
+
+let validated_eval (pl : planned) ~feeds = Echo_exec.Arena_exec.eval pl.graph ~feeds
+
+let describe fmt e =
+  let pl = e.planned in
+  let rw = pl.rewritten in
+  let opt = rw.optimized in
+  let src = opt.training.source in
+  Format.fprintf fmt "@[<v>pipeline %s:@," src.name;
+  Format.fprintf fmt "  training graph: %d nodes@,"
+    (List.length (Graph.nodes opt.training.autodiff.Echo_autodiff.Grad.graph));
+  (match opt.opt_stats with
+  | Some s ->
+    Format.fprintf fmt "  optimized: %a@," Echo_opt.Pipeline.pp_stats s
+  | None -> Format.fprintf fmt "  optimized: (pass skipped)@,");
+  Format.fprintf fmt "  rewritten: policy=%s clones=%d@,"
+    (Echo_core.Pass.policy_name rw.policy)
+    rw.report.Echo_core.Pass.clone_nodes;
+  Format.fprintf fmt "  planned: %a@," Echo_exec.Memplan.pp pl.memplan;
+  (match pl.offsets with
+  | Some a ->
+    Format.fprintf fmt "  offsets: arena=%d bytes (%d slots)@,"
+      (Echo_exec.Assign.arena_size a)
+      (List.length (Echo_exec.Assign.slots a))
+  | None -> ());
+  Format.fprintf fmt "  executable: %d instructions, footprint %.1f MiB@]"
+    (Executor.instruction_count e.executor)
+    (float_of_int (Executor.footprint_bytes e.executor) /. (1024. *. 1024.))

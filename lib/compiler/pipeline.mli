@@ -1,0 +1,136 @@
+(** The staged compilation pipeline.
+
+    Every consumer of the system — the training loop, the [echoc] driver,
+    the benchmarks and the examples — lowers a model through the same
+    explicit stages, each an inspectable, cacheable value:
+
+    {v
+      source      --differentiate-->  training     (autodiff: loss + grads)
+      training    --optimize------->  optimized    (fold + CSE)
+      optimized   --rewrite-------->  rewritten    (the Echo pass)
+      rewritten   --plan----------->  planned      (liveness + memplan + assign)
+      planned     --compile-------->  executable   (slot-based executor)
+    v}
+
+    The stages compose with [|>]:
+    {[
+      let exe =
+        Pipeline.of_model model |> Pipeline.differentiate
+        |> Pipeline.optimize
+        |> Pipeline.rewrite ~policy:(Echo { overhead_budget = 0.03 })
+        |> Pipeline.plan |> Pipeline.compile
+      in
+      let outputs = Executor.eval (Pipeline.executor exe) ~feeds
+    ]} *)
+
+open Echo_ir
+
+(** {1 Source stage} *)
+
+type source = {
+  name : string;
+  loss : Node.t;  (** scalar forward loss *)
+  params : Node.t list;  (** variables to differentiate with respect to *)
+  placeholders : Node.t list;
+}
+
+val source :
+  ?name:string ->
+  ?placeholders:Node.t list ->
+  loss:Node.t ->
+  params:Node.t list ->
+  unit ->
+  source
+
+val of_model : Echo_models.Model.t -> source
+val forward_graph : source -> Graph.t
+
+(** {1 Training stage} *)
+
+type training = { source : source; autodiff : Echo_autodiff.Grad.training }
+
+val differentiate : source -> training
+(** Extend the forward graph with the symbolic backward pass; graph outputs
+    are the loss followed by every parameter gradient. *)
+
+val of_training_graph : ?name:string -> Graph.t -> training
+(** Enter the pipeline with an already-built training graph (deserialised
+    with [Serial], or produced outside the model zoo), skipping the autodiff
+    stage. Its parameter list is unknown, so [autodiff.grads] is empty. *)
+
+(** {1 Optimized stage} *)
+
+type optimized = {
+  training : training;
+  graph : Graph.t;
+  opt_stats : Echo_opt.Pipeline.stats option;
+      (** [None] when the pass was skipped ([~enabled:false] or a pre-built
+          graph entered the pipeline). *)
+}
+
+val optimize : ?enabled:bool -> training -> optimized
+(** Constant folding + CSE (default [enabled = true]). *)
+
+(** {1 Rewritten stage} *)
+
+type rewritten = {
+  optimized : optimized;
+  graph : Graph.t;
+  policy : Echo_core.Pass.policy;
+  report : Echo_core.Pass.report;
+      (** baseline + optimised footprint/time measurements *)
+}
+
+val rewrite :
+  ?device:Echo_gpusim.Device.t ->
+  ?policy:Echo_core.Pass.policy ->
+  optimized ->
+  rewritten
+(** Apply a recomputation policy (default [Stash_all], i.e. the framework
+    baseline, on {!Echo_gpusim.Device.titan_xp}). *)
+
+(** {1 Planned stage} *)
+
+type planned = {
+  rewritten : rewritten;
+  graph : Graph.t;
+  liveness : Echo_exec.Liveness.t;
+  memplan : Echo_exec.Memplan.report;
+  offsets : Echo_exec.Assign.t option;
+      (** static byte-offset assignment; request with [plan ~offsets:true] *)
+}
+
+val plan : ?offsets:bool -> rewritten -> planned
+(** Liveness analysis + memory plan. [offsets] (default [false]) also runs
+    the best-fit static offset assignment, which is quadratic-ish and only
+    needed when the arena layout itself is inspected. *)
+
+val validated_eval : planned -> feeds:Echo_exec.Interp.feeds -> Echo_tensor.Tensor.t list
+(** Evaluate the planned graph through the liveness-validating
+    {!Echo_exec.Arena_exec} — certifies that the plan's death steps are
+    sound. @raise Echo_exec.Arena_exec.Freed_too_early on a planner bug. *)
+
+(** {1 Executable stage} *)
+
+type executable = { planned : planned; executor : Executor.t }
+
+val compile : planned -> executable
+val executor : executable -> Executor.t
+
+(** {1 Shorthands} *)
+
+val compile_graph : Graph.t -> executable
+(** [of_training_graph |> optimize ~enabled:false |> rewrite (Stash_all)
+    |> plan |> compile]: compile an existing training graph as-is. This is
+    what [Loop.train] uses. *)
+
+val compile_source :
+  ?device:Echo_gpusim.Device.t ->
+  ?optimize:bool ->
+  ?policy:Echo_core.Pass.policy ->
+  source ->
+  executable
+(** The whole pipeline in one call. *)
+
+val describe : Format.formatter -> executable -> unit
+(** Per-stage summary: node counts, opt stats, policy, plan, footprint. *)

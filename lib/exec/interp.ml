@@ -92,6 +92,19 @@ let eval_all graph ~feeds =
              (Shape.to_string (Node.shape node)));
       Hashtbl.replace values (Node.id node) tensor)
     feeds;
+  (* Collect every unfed input before evaluating anything, so a model with
+     several placeholders is debuggable in one shot. *)
+  let missing =
+    List.filter_map
+      (fun node ->
+        match Node.op node with
+        | (Op.Placeholder | Op.Variable)
+          when not (Hashtbl.mem values (Node.id node)) ->
+          Some (Printf.sprintf "%s (#%d)" (Node.name node) (Node.id node))
+        | _ -> None)
+      (Graph.nodes graph)
+  in
+  if missing <> [] then raise (Missing_feed (String.concat ", " missing));
   List.iter
     (fun node ->
       if not (Hashtbl.mem values (Node.id node)) then begin

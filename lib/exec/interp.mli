@@ -12,6 +12,8 @@ type feeds = (Node.t * Tensor.t) list
 (** Values for every [Placeholder] and [Variable] reachable in the graph. *)
 
 exception Missing_feed of string
+(** Raised when placeholders or variables have no feed; the payload names
+    {e every} missing node (comma-separated), not just the first. *)
 
 val eval_node : Op.t -> Shape.t -> Tensor.t list -> Tensor.t
 (** Execute one operator on materialised inputs. [Placeholder]/[Variable]

@@ -32,6 +32,12 @@ type report = {
       (** first schedule index executing a backward-region node *)
 }
 
+val inplace_capable : Node.t -> bool
+(** True for operators allowed to write their result into a dying input's
+    buffer of the same size (elementwise families plus the fused
+    softmax/softmax-xent kernels). Shared with [Echo_compiler.Executor] so
+    the executor's buffer discipline is the planner's by construction. *)
+
 val plan : ?reuse:bool -> ?inplace:bool -> Graph.t -> report
 (** [reuse] (default [true]) enables the exact-size pool; with [~reuse:false]
     every transient allocation is fresh, so [arena_bytes] degenerates to the

@@ -66,23 +66,33 @@ let map2 f a b =
          (Shape.to_string a.shape) (Shape.to_string b.shape));
   { shape = a.shape; data = Array.init (Array.length a.data) (fun i -> f a.data.(i) b.data.(i)) }
 
+(* Scalar kernels are named so the allocating operations and the
+   destination-passing [Into] variants share the exact same arithmetic —
+   bit-identity between the two code paths holds by construction. *)
+let k_neg x = -.x
+let k_sigmoid x = 1.0 /. (1.0 +. exp (-.x))
+let k_relu x = if x > 0.0 then x else 0.0
+let k_sq x = x *. x
+let k_recip x = 1.0 /. x
+let k_sign x = if x > 0.0 then 1.0 else if x < 0.0 then -1.0 else 0.0
+
 let add = map2 ( +. )
 let sub = map2 ( -. )
 let mul = map2 ( *. )
 let div = map2 ( /. )
-let neg = map (fun x -> -.x)
+let neg = map k_neg
 let scale k = map (fun x -> k *. x)
 let add_scalar k = map (fun x -> k +. x)
-let sigmoid = map (fun x -> 1.0 /. (1.0 +. exp (-.x)))
+let sigmoid = map k_sigmoid
 let tanh_ = map tanh
-let relu = map (fun x -> if x > 0.0 then x else 0.0)
+let relu = map k_relu
 let exp_ = map exp
 let log_ = map log
 let sqrt_ = map sqrt
-let sq = map (fun x -> x *. x)
+let sq = map k_sq
 let pow_const p = map (fun x -> Float.pow x p)
-let recip = map (fun x -> 1.0 /. x)
-let sign = map (fun x -> if x > 0.0 then 1.0 else if x < 0.0 then -1.0 else 0.0)
+let recip = map k_recip
+let sign = map k_sign
 
 (* {1 Linear algebra} *)
 
@@ -496,6 +506,406 @@ let conv2d_grad_kernel ~stride ~pad ~input ~kernel_shape ~grad_out =
     done
   done;
   out
+
+(* {1 Destination-passing kernels} *)
+
+module Into = struct
+  let check name dst expected =
+    if not (Shape.equal dst.shape expected) then
+      invalid_arg
+        (Printf.sprintf "Tensor.Into.%s: dst has shape %s, result needs %s" name
+           (Shape.to_string dst.shape) (Shape.to_string expected))
+
+  let fill ~dst v = Array.fill dst.data 0 (Array.length dst.data) v
+
+  let blit ~src ~dst =
+    if Array.length src.data <> Array.length dst.data then
+      invalid_arg
+        (Printf.sprintf "Tensor.Into.blit: %d elements into %d"
+           (Array.length src.data) (Array.length dst.data));
+    Array.blit src.data 0 dst.data 0 (Array.length src.data)
+
+  (* [dst] may alias [src]: each cell is read before it is written. *)
+  let unary name f src ~dst =
+    check name dst src.shape;
+    let s = src.data and d = dst.data in
+    for i = 0 to Array.length s - 1 do
+      Array.unsafe_set d i (f (Array.unsafe_get s i))
+    done
+
+  let neg src ~dst = unary "neg" k_neg src ~dst
+  let scale k src ~dst = unary "scale" (fun x -> k *. x) src ~dst
+  let add_scalar k src ~dst = unary "add_scalar" (fun x -> k +. x) src ~dst
+  let pow_const p src ~dst = unary "pow_const" (fun x -> Float.pow x p) src ~dst
+  let sigmoid src ~dst = unary "sigmoid" k_sigmoid src ~dst
+  let tanh_ src ~dst = unary "tanh" tanh src ~dst
+  let relu src ~dst = unary "relu" k_relu src ~dst
+  let exp_ src ~dst = unary "exp" exp src ~dst
+  let log_ src ~dst = unary "log" log src ~dst
+  let sqrt_ src ~dst = unary "sqrt" sqrt src ~dst
+  let sq src ~dst = unary "sq" k_sq src ~dst
+  let recip src ~dst = unary "recip" k_recip src ~dst
+  let sign src ~dst = unary "sign" k_sign src ~dst
+
+  (* [dst] may alias either operand. *)
+  let binary name f a b ~dst =
+    if not (Shape.equal a.shape b.shape) then
+      invalid_arg
+        (Printf.sprintf "Tensor.Into.%s: shape mismatch %s vs %s" name
+           (Shape.to_string a.shape) (Shape.to_string b.shape));
+    check name dst a.shape;
+    let x = a.data and y = b.data and d = dst.data in
+    for i = 0 to Array.length x - 1 do
+      Array.unsafe_set d i (f (Array.unsafe_get x i) (Array.unsafe_get y i))
+    done
+
+  let add a b ~dst = binary "add" ( +. ) a b ~dst
+  let sub a b ~dst = binary "sub" ( -. ) a b ~dst
+  let mul a b ~dst = binary "mul" ( *. ) a b ~dst
+  let div a b ~dst = binary "div" ( /. ) a b ~dst
+
+  (* The scalar multiplier is read before any write, so [dst] may alias
+     either operand. *)
+  let scale_by x s ~dst =
+    let k = s.data.(0) in
+    unary "scale_by" (fun v -> k *. v) x ~dst
+
+  (* Same i -> l (skip a_il = 0) -> j accumulation order as [Tensor.matmul],
+     with the four transpose variants specialised so the inner loop carries no
+     closure calls. [dst] must not alias an operand. *)
+  let matmul ?(trans_a = false) ?(trans_b = false) a b ~dst =
+    if Shape.rank a.shape <> 2 || Shape.rank b.shape <> 2 then
+      invalid_arg "Tensor.Into.matmul: operands must be 2-D";
+    let am = a.shape.(0) and an = a.shape.(1) in
+    let bm = b.shape.(0) and bn = b.shape.(1) in
+    let m, k = if trans_a then (an, am) else (am, an) in
+    let k', n = if trans_b then (bn, bm) else (bm, bn) in
+    if k <> k' then
+      invalid_arg
+        (Printf.sprintf "Tensor.Into.matmul: inner dims %d vs %d" k k');
+    check "matmul" dst [| m; n |];
+    let out = dst.data in
+    Array.fill out 0 (m * n) 0.0;
+    let ad = a.data and bd = b.data in
+    (match (trans_a, trans_b) with
+    | false, false ->
+      for i = 0 to m - 1 do
+        let arow = i * an and row = i * n in
+        for l = 0 to k - 1 do
+          let ail = Array.unsafe_get ad (arow + l) in
+          if ail <> 0.0 then begin
+            let brow = l * bn in
+            for j = 0 to n - 1 do
+              Array.unsafe_set out (row + j)
+                (Array.unsafe_get out (row + j)
+                +. (ail *. Array.unsafe_get bd (brow + j)))
+            done
+          end
+        done
+      done
+    | true, false ->
+      for i = 0 to m - 1 do
+        let row = i * n in
+        for l = 0 to k - 1 do
+          let ail = Array.unsafe_get ad ((l * an) + i) in
+          if ail <> 0.0 then begin
+            let brow = l * bn in
+            for j = 0 to n - 1 do
+              Array.unsafe_set out (row + j)
+                (Array.unsafe_get out (row + j)
+                +. (ail *. Array.unsafe_get bd (brow + j)))
+            done
+          end
+        done
+      done
+    | false, true ->
+      for i = 0 to m - 1 do
+        let arow = i * an and row = i * n in
+        for l = 0 to k - 1 do
+          let ail = Array.unsafe_get ad (arow + l) in
+          if ail <> 0.0 then
+            for j = 0 to n - 1 do
+              Array.unsafe_set out (row + j)
+                (Array.unsafe_get out (row + j)
+                +. (ail *. Array.unsafe_get bd ((j * bn) + l)))
+            done
+        done
+      done
+    | true, true ->
+      for i = 0 to m - 1 do
+        let row = i * n in
+        for l = 0 to k - 1 do
+          let ail = Array.unsafe_get ad ((l * an) + i) in
+          if ail <> 0.0 then
+            for j = 0 to n - 1 do
+              Array.unsafe_set out (row + j)
+                (Array.unsafe_get out (row + j)
+                +. (ail *. Array.unsafe_get bd ((j * bn) + l)))
+            done
+        done
+      done)
+
+  (* [dst] may alias [m] (cell read before write); aliasing [b] only arises
+     when rows = 1, where b.(j) is read before dst.(j) is written. *)
+  let add_bias m b ~dst =
+    if Shape.rank m.shape <> 2 || Shape.rank b.shape <> 1 then
+      invalid_arg "Tensor.Into.add_bias: expects 2-D matrix and 1-D bias";
+    let rows = m.shape.(0) and cols = m.shape.(1) in
+    if b.shape.(0) <> cols then
+      invalid_arg "Tensor.Into.add_bias: bias length mismatch";
+    check "add_bias" dst m.shape;
+    let md = m.data and bd = b.data and d = dst.data in
+    for i = 0 to rows - 1 do
+      let row = i * cols in
+      for j = 0 to cols - 1 do
+        Array.unsafe_set d (row + j)
+          (Array.unsafe_get md (row + j) +. Array.unsafe_get bd j)
+      done
+    done
+
+  let slice ~axis ~lo ~hi src ~dst =
+    check "slice" dst (Shape.slice_result ~axis ~lo ~hi src.shape);
+    let d = src.shape.(axis) in
+    let outer, inner = axis_blocks src.shape axis in
+    let width = hi - lo in
+    for o = 0 to outer - 1 do
+      for a = 0 to width - 1 do
+        Array.blit src.data
+          (((o * d) + lo + a) * inner)
+          dst.data
+          (((o * width) + a) * inner)
+          inner
+      done
+    done
+
+  let pad_slice ~axis ~lo ~full src ~dst =
+    if axis < 0 || axis >= Shape.rank src.shape then
+      invalid_arg "Tensor.Into.pad_slice: bad axis";
+    let d = src.shape.(axis) in
+    if lo < 0 || lo + d > full then
+      invalid_arg "Tensor.Into.pad_slice: slice does not fit";
+    check "pad_slice" dst
+      (Array.mapi (fun i k -> if i = axis then full else k) src.shape);
+    let outer, inner = axis_blocks src.shape axis in
+    Array.fill dst.data 0 (Array.length dst.data) 0.0;
+    for o = 0 to outer - 1 do
+      Array.blit src.data (o * d * inner) dst.data
+        (((o * full) + lo) * inner)
+        (d * inner)
+    done
+
+  let concat ~axis ts ~dst =
+    match ts with
+    | [] -> invalid_arg "Tensor.Into.concat: empty list"
+    | first :: rest ->
+      let out_shape =
+        List.fold_left
+          (fun acc t -> Shape.concat_result ~axis acc t.shape)
+          first.shape rest
+      in
+      check "concat" dst out_shape;
+      let outer, inner = axis_blocks first.shape axis in
+      let total = out_shape.(axis) in
+      let offset = ref 0 in
+      List.iter
+        (fun t ->
+          let d = t.shape.(axis) in
+          for o = 0 to outer - 1 do
+            Array.blit t.data (o * d * inner) dst.data
+              (((o * total) + !offset) * inner)
+              (d * inner)
+          done;
+          offset := !offset + d)
+        ts
+
+  let transpose2d src ~dst =
+    if Shape.rank src.shape <> 2 then
+      invalid_arg "Tensor.Into.transpose2d: expects 2-D";
+    let m = src.shape.(0) and n = src.shape.(1) in
+    check "transpose2d" dst [| n; m |];
+    let s = src.data and d = dst.data in
+    for a = 0 to n - 1 do
+      let row = a * m in
+      for b = 0 to m - 1 do
+        Array.unsafe_set d (row + b) (Array.unsafe_get s ((b * n) + a))
+      done
+    done
+
+  let reduce_sum ~axis ~keepdims src ~dst =
+    if axis < 0 || axis >= Shape.rank src.shape then
+      invalid_arg "Tensor.Into.reduce_sum: bad axis";
+    check "reduce_sum" dst (reduce_shape ~axis ~keepdims src.shape);
+    let d = src.shape.(axis) in
+    let outer, inner = axis_blocks src.shape axis in
+    let s = src.data and out = dst.data in
+    Array.fill out 0 (outer * inner) 0.0;
+    for o = 0 to outer - 1 do
+      for a = 0 to d - 1 do
+        let src_off = ((o * d) + a) * inner in
+        let dst_off = o * inner in
+        for k = 0 to inner - 1 do
+          Array.unsafe_set out (dst_off + k)
+            (Array.unsafe_get out (dst_off + k)
+            +. Array.unsafe_get s (src_off + k))
+        done
+      done
+    done
+
+  let reduce_mean ~axis ~keepdims src ~dst =
+    reduce_sum ~axis ~keepdims src ~dst;
+    let k = 1.0 /. float_of_int src.shape.(axis) in
+    let out = dst.data in
+    for i = 0 to Array.length out - 1 do
+      Array.unsafe_set out i (k *. Array.unsafe_get out i)
+    done
+
+  let broadcast_axis ~axis ~n src ~dst =
+    if axis < 0 || axis >= Shape.rank src.shape then
+      invalid_arg "Tensor.Into.broadcast_axis: bad axis";
+    if src.shape.(axis) <> 1 then
+      invalid_arg "Tensor.Into.broadcast_axis: axis dim must be 1";
+    check "broadcast_axis" dst
+      (Array.mapi (fun i d -> if i = axis then n else d) src.shape);
+    let outer, inner = axis_blocks src.shape axis in
+    for o = 0 to outer - 1 do
+      for a = 0 to n - 1 do
+        Array.blit src.data (o * inner) dst.data (((o * n) + a) * inner) inner
+      done
+    done
+
+  (* Softmax family: [dst] may alias the input — within each row the maximum
+     and the normaliser are read from the input before any cell of that row
+     is overwritten, and each overwrite reads its own cell first. *)
+  let softmax src ~dst =
+    check "softmax" dst src.shape;
+    let rows, cols = rows_of src in
+    let s = src.data and out = dst.data in
+    for r = 0 to rows - 1 do
+      let base = r * cols in
+      let m = ref neg_infinity in
+      for j = 0 to cols - 1 do
+        if s.(base + j) > !m then m := s.(base + j)
+      done;
+      let z = ref 0.0 in
+      for j = 0 to cols - 1 do
+        let e = exp (s.(base + j) -. !m) in
+        out.(base + j) <- e;
+        z := !z +. e
+      done;
+      for j = 0 to cols - 1 do
+        out.(base + j) <- out.(base + j) /. !z
+      done
+    done
+
+  let log_softmax src ~dst =
+    check "log_softmax" dst src.shape;
+    let rows, cols = rows_of src in
+    let s = src.data and out = dst.data in
+    for r = 0 to rows - 1 do
+      let base = r * cols in
+      let m = ref neg_infinity in
+      for j = 0 to cols - 1 do
+        if s.(base + j) > !m then m := s.(base + j)
+      done;
+      let z = ref 0.0 in
+      for j = 0 to cols - 1 do
+        z := !z +. exp (s.(base + j) -. !m)
+      done;
+      let lz = !m +. log !z in
+      for j = 0 to cols - 1 do
+        out.(base + j) <- s.(base + j) -. lz
+      done
+    done
+
+  (* Per row: log-normaliser from the logits, then acc -= logits[cls] - lz.
+     Row order and operand values match [cross_entropy] exactly. *)
+  let cross_entropy ~logits ~labels ~dst =
+    if Array.length dst.data <> 1 then
+      invalid_arg "Tensor.Into.cross_entropy: dst must be scalar";
+    let b = check_labels ~logits ~labels in
+    let v = (shape logits).(1) in
+    let s = logits.data in
+    let acc = ref 0.0 in
+    for i = 0 to b - 1 do
+      let base = i * v in
+      let m = ref neg_infinity in
+      for j = 0 to v - 1 do
+        if s.(base + j) > !m then m := s.(base + j)
+      done;
+      let z = ref 0.0 in
+      for j = 0 to v - 1 do
+        z := !z +. exp (s.(base + j) -. !m)
+      done;
+      let lz = !m +. log !z in
+      let cls = int_of_float labels.data.(i) in
+      if cls < 0 || cls >= v then
+        invalid_arg "cross_entropy: label out of range";
+      acc := !acc -. (s.(base + cls) -. lz)
+    done;
+    dst.data.(0) <- !acc /. float_of_int b
+
+  (* Row-interleaved so [dst] may alias [logits]; each row reads its label
+     index before the row is overwritten, so for the degenerate vocab-size-1
+     case [dst] may even alias [labels]. *)
+  let cross_entropy_grad ~logits ~labels ~dst =
+    let b = check_labels ~logits ~labels in
+    let v = (shape logits).(1) in
+    check "cross_entropy_grad" dst logits.shape;
+    let s = logits.data and out = dst.data in
+    let inv_b = 1.0 /. float_of_int b in
+    for i = 0 to b - 1 do
+      let base = i * v in
+      let cls = int_of_float labels.data.(i) in
+      let m = ref neg_infinity in
+      for j = 0 to v - 1 do
+        if s.(base + j) > !m then m := s.(base + j)
+      done;
+      let z = ref 0.0 in
+      for j = 0 to v - 1 do
+        let e = exp (s.(base + j) -. !m) in
+        out.(base + j) <- e;
+        z := !z +. e
+      done;
+      for j = 0 to v - 1 do
+        out.(base + j) <- out.(base + j) /. !z
+      done;
+      out.(base + cls) <- out.(base + cls) -. 1.0;
+      for j = 0 to v - 1 do
+        out.(base + j) <- out.(base + j) *. inv_b
+      done
+    done
+
+  let embedding ~table ~ids ~dst =
+    if Shape.rank (shape table) <> 2 then
+      invalid_arg "Tensor.Into.embedding: table must be 2-D";
+    if Shape.rank (shape ids) <> 1 then
+      invalid_arg "Tensor.Into.embedding: ids must be 1-D";
+    let v = (shape table).(0) and d = (shape table).(1) in
+    let b = (shape ids).(0) in
+    check "embedding" dst [| b; d |];
+    for i = 0 to b - 1 do
+      let id = int_of_float ids.data.(i) in
+      if id < 0 || id >= v then
+        invalid_arg "Tensor.embedding: id out of range";
+      Array.blit table.data (id * d) dst.data (i * d) d
+    done
+
+  let embedding_grad ~ids ~grad_out ~dst =
+    if Shape.rank dst.shape <> 2 then
+      invalid_arg "Tensor.Into.embedding_grad: dst must be 2-D";
+    let d = dst.shape.(1) in
+    let b = (shape ids).(0) in
+    if not (Shape.equal (shape grad_out) [| b; d |]) then
+      invalid_arg "Tensor.Into.embedding_grad: grad_out shape mismatch";
+    let out = dst.data and g = grad_out.data in
+    Array.fill out 0 (Array.length out) 0.0;
+    for i = 0 to b - 1 do
+      let id = int_of_float ids.data.(i) in
+      for j = 0 to d - 1 do
+        out.((id * d) + j) <- out.((id * d) + j) +. g.((i * d) + j)
+      done
+    done
+end
 
 (* {1 Comparison and printing} *)
 

@@ -144,6 +144,68 @@ val conv2d : stride:int -> pad:int -> input:t -> kernel:t -> t
 val conv2d_grad_input : stride:int -> pad:int -> input_shape:Shape.t -> kernel:t -> grad_out:t -> t
 val conv2d_grad_kernel : stride:int -> pad:int -> input:t -> kernel_shape:Shape.t -> grad_out:t -> t
 
+(** {1 Destination-passing kernels}
+
+    Allocation-free variants used by the compiled executor
+    ([Echo_compiler.Executor]). Each writes its result into [~dst], a
+    preallocated tensor of exactly the result shape, and computes values
+    bit-identical to the allocating operation of the same name: both share
+    the same scalar kernels and the same accumulation order. Unless noted
+    otherwise, [dst] may alias an input of the same element count — every
+    kernel reads each cell before overwriting it — which is what the
+    executor's in-place buffer transfer relies on. *)
+module Into : sig
+  val fill : dst:t -> float -> unit
+
+  val blit : src:t -> dst:t -> unit
+  (** Raw element copy; shapes may differ as long as element counts match
+      (this is the compiled [Reshape]). *)
+
+  val neg : t -> dst:t -> unit
+  val scale : float -> t -> dst:t -> unit
+  val add_scalar : float -> t -> dst:t -> unit
+  val pow_const : float -> t -> dst:t -> unit
+  val sigmoid : t -> dst:t -> unit
+  val tanh_ : t -> dst:t -> unit
+  val relu : t -> dst:t -> unit
+  val exp_ : t -> dst:t -> unit
+  val log_ : t -> dst:t -> unit
+  val sqrt_ : t -> dst:t -> unit
+  val sq : t -> dst:t -> unit
+  val recip : t -> dst:t -> unit
+  val sign : t -> dst:t -> unit
+  val add : t -> t -> dst:t -> unit
+  val sub : t -> t -> dst:t -> unit
+  val mul : t -> t -> dst:t -> unit
+  val div : t -> t -> dst:t -> unit
+
+  val scale_by : t -> t -> dst:t -> unit
+  (** [scale_by x s ~dst] scales [x] by the scalar tensor [s]. *)
+
+  val matmul : ?trans_a:bool -> ?trans_b:bool -> t -> t -> dst:t -> unit
+  (** [dst] must not alias an operand (a GEMM cannot run in place). *)
+
+  val add_bias : t -> t -> dst:t -> unit
+  val slice : axis:int -> lo:int -> hi:int -> t -> dst:t -> unit
+  val pad_slice : axis:int -> lo:int -> full:int -> t -> dst:t -> unit
+  val concat : axis:int -> t list -> dst:t -> unit
+  val transpose2d : t -> dst:t -> unit
+  (** [dst] must not alias the input. *)
+
+  val reduce_sum : axis:int -> keepdims:bool -> t -> dst:t -> unit
+  val reduce_mean : axis:int -> keepdims:bool -> t -> dst:t -> unit
+  val broadcast_axis : axis:int -> n:int -> t -> dst:t -> unit
+  val softmax : t -> dst:t -> unit
+  val log_softmax : t -> dst:t -> unit
+  val cross_entropy : logits:t -> labels:t -> dst:t -> unit
+  (** [dst] must be a scalar tensor; receives the mean NLL. *)
+
+  val cross_entropy_grad : logits:t -> labels:t -> dst:t -> unit
+  val embedding : table:t -> ids:t -> dst:t -> unit
+  val embedding_grad : ids:t -> grad_out:t -> dst:t -> unit
+  (** The table shape is taken from [dst]. *)
+end
+
 (** {1 Comparison and printing} *)
 
 val equal : t -> t -> bool

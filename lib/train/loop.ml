@@ -1,5 +1,6 @@
 open Echo_tensor
 open Echo_ir
+module Executor = Echo_compiler.Executor
 
 type batch = (Node.t * Tensor.t) list
 type step_stats = { step : int; loss : float; grad_norm : float }
@@ -7,35 +8,60 @@ type result = { losses : float list; params : (Node.t * Tensor.t) list }
 
 let global_norm grads =
   sqrt
-    (List.fold_left
-       (fun acc (_, g) ->
+    (Array.fold_left
+       (fun acc g ->
          let n = Tensor.frobenius g in
          acc +. (n *. n))
        0.0 grads)
 
 let train ~graph ~params ~optimizer ?clip_norm ?on_step ~batches () =
-  let param_nodes = List.map fst params in
-  let run_step (step, params, losses) batch =
-    let feeds = batch @ params in
-    match Echo_exec.Interp.eval graph ~feeds with
-    | [] -> invalid_arg "Loop.train: graph has no outputs"
-    | loss_t :: grad_ts ->
-      if List.length grad_ts <> List.length param_nodes then
-        invalid_arg "Loop.train: gradient outputs do not match parameters";
-      let loss = Tensor.get1 loss_t 0 in
-      let grads = List.combine param_nodes grad_ts in
+  (* Compile once; every step is then a slot-indexed executor sweep — no
+     per-step scheduling, no hashtable, no feed-list append. *)
+  let exe =
+    Echo_compiler.Pipeline.executor (Echo_compiler.Pipeline.compile_graph graph)
+  in
+  let param_nodes = Array.of_list (List.map fst params) in
+  let n_params = Array.length param_nodes in
+  let param_values = ref (Array.of_list (List.map snd params)) in
+  (* Parameters the loss does not depend on may be absent from the graph
+     (their Zeros gradient node carries no reference to them); [feed]
+     ignores those, as the interpreter's feed list did. *)
+  let n_outputs = Array.length (Executor.outputs exe) in
+  if n_outputs = 0 then invalid_arg "Loop.train: graph has no outputs";
+  if n_outputs - 1 <> n_params then
+    invalid_arg
+      (Printf.sprintf
+         "Loop.train: graph yields %d gradient output(s) for %d parameter(s)"
+         (n_outputs - 1) n_params);
+  let step = ref 0 in
+  let losses = ref [] in
+  List.iter
+    (fun batch ->
+      List.iter (fun (node, tensor) -> Executor.feed exe node tensor) batch;
+      let values = !param_values in
+      for i = 0 to n_params - 1 do
+        Executor.feed exe param_nodes.(i) values.(i)
+      done;
+      Executor.run exe;
+      let outs = Executor.outputs exe in
+      let loss = Tensor.get1 outs.(0) 0 in
+      let grads = Array.sub outs 1 n_params in
       let grads =
         match clip_norm with
         | None -> grads
-        | Some max_norm -> Optimizer.clip_by_global_norm ~max_norm grads
+        | Some max_norm -> Optimizer.clip_by_global_norm_arrays ~max_norm grads
       in
       (match on_step with
-      | Some f -> f { step; loss; grad_norm = global_norm grads }
+      | Some f -> f { step = !step; loss; grad_norm = global_norm grads }
       | None -> ());
-      let params = Optimizer.step optimizer ~params ~grads in
-      (step + 1, params, loss :: losses)
-  in
-  let _, params, losses = List.fold_left run_step (0, params, []) batches in
-  { losses = List.rev losses; params }
+      param_values :=
+        Optimizer.step_arrays optimizer ~param_nodes ~params:values ~grads;
+      losses := loss :: !losses;
+      incr step)
+    batches;
+  {
+    losses = List.rev !losses;
+    params = List.combine (Array.to_list param_nodes) (Array.to_list !param_values);
+  }
 
 let perplexity loss = exp loss

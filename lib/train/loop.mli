@@ -1,5 +1,8 @@
-(** The training loop: drives the interpreter over a (possibly rewritten)
-    training graph, one mini-batch per step.
+(** The training loop: compiles the training graph once through
+    [Echo_compiler.Pipeline] and drives the slot-based executor over it,
+    one mini-batch per step — parameters live in arrays and are fed by
+    slot, so the steady-state step does no scheduling and no tensor
+    allocation inside the graph.
 
     The loop is graph-agnostic: give it any graph whose outputs are the loss
     followed by the gradients in parameter order — the stash-all baseline

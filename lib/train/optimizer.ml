@@ -29,6 +29,31 @@ let state tbl node shape =
     Hashtbl.replace tbl (Node.id node) t;
     t
 
+(* The single update rule both entry points share: one parameter, one
+   gradient, state already bumped to the current step count. *)
+let update t node value g =
+  match t.spec with
+  | Sgd { lr } -> Tensor.sub value (Tensor.scale lr g)
+  | Momentum { lr; momentum } ->
+    let v = state t.velocity node (Tensor.shape value) in
+    let v' = Tensor.add (Tensor.scale momentum v) g in
+    Hashtbl.replace t.velocity (Node.id node) v';
+    Tensor.sub value (Tensor.scale lr v')
+  | Adam { lr; beta1; beta2; eps } ->
+    let m = state t.velocity node (Tensor.shape value) in
+    let v = state t.second node (Tensor.shape value) in
+    let m' = Tensor.add (Tensor.scale beta1 m) (Tensor.scale (1.0 -. beta1) g) in
+    let v' =
+      Tensor.add (Tensor.scale beta2 v) (Tensor.scale (1.0 -. beta2) (Tensor.sq g))
+    in
+    Hashtbl.replace t.velocity (Node.id node) m';
+    Hashtbl.replace t.second (Node.id node) v';
+    let steps = float_of_int t.steps in
+    let m_hat = Tensor.scale (1.0 /. (1.0 -. Float.pow beta1 steps)) m' in
+    let v_hat = Tensor.scale (1.0 /. (1.0 -. Float.pow beta2 steps)) v' in
+    Tensor.sub value
+      (Tensor.div (Tensor.scale lr m_hat) (Tensor.add_scalar eps (Tensor.sqrt_ v_hat)))
+
 let step t ~params ~grads =
   t.steps <- t.steps + 1;
   let grad_of node =
@@ -40,34 +65,17 @@ let step t ~params ~grads =
       invalid_arg
         (Printf.sprintf "Optimizer.step: no gradient for %s" (Node.name node))
   in
-  List.map
-    (fun (node, value) ->
-      let g = grad_of node in
-      let updated =
-        match t.spec with
-        | Sgd { lr } -> Tensor.sub value (Tensor.scale lr g)
-        | Momentum { lr; momentum } ->
-          let v = state t.velocity node (Tensor.shape value) in
-          let v' = Tensor.add (Tensor.scale momentum v) g in
-          Hashtbl.replace t.velocity (Node.id node) v';
-          Tensor.sub value (Tensor.scale lr v')
-        | Adam { lr; beta1; beta2; eps } ->
-          let m = state t.velocity node (Tensor.shape value) in
-          let v = state t.second node (Tensor.shape value) in
-          let m' = Tensor.add (Tensor.scale beta1 m) (Tensor.scale (1.0 -. beta1) g) in
-          let v' =
-            Tensor.add (Tensor.scale beta2 v) (Tensor.scale (1.0 -. beta2) (Tensor.sq g))
-          in
-          Hashtbl.replace t.velocity (Node.id node) m';
-          Hashtbl.replace t.second (Node.id node) v';
-          let steps = float_of_int t.steps in
-          let m_hat = Tensor.scale (1.0 /. (1.0 -. Float.pow beta1 steps)) m' in
-          let v_hat = Tensor.scale (1.0 /. (1.0 -. Float.pow beta2 steps)) v' in
-          Tensor.sub value
-            (Tensor.div (Tensor.scale lr m_hat) (Tensor.add_scalar eps (Tensor.sqrt_ v_hat)))
-      in
-      (node, updated))
-    params
+  List.map (fun (node, value) -> (node, update t node value (grad_of node))) params
+
+let step_arrays t ~param_nodes ~params ~grads =
+  let n = Array.length param_nodes in
+  if Array.length params <> n || Array.length grads <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Optimizer.step_arrays: %d parameter nodes, %d values, %d gradients"
+         n (Array.length params) (Array.length grads));
+  t.steps <- t.steps + 1;
+  Array.mapi (fun i value -> update t param_nodes.(i) value grads.(i)) params
 
 let clip_by_global_norm ~max_norm grads =
   let total_sq =
@@ -82,4 +90,19 @@ let clip_by_global_norm ~max_norm grads =
   else begin
     let k = max_norm /. norm in
     List.map (fun (p, g) -> (p, Tensor.scale k g)) grads
+  end
+
+let clip_by_global_norm_arrays ~max_norm grads =
+  let total_sq =
+    Array.fold_left
+      (fun acc g ->
+        let n = Tensor.frobenius g in
+        acc +. (n *. n))
+      0.0 grads
+  in
+  let norm = sqrt total_sq in
+  if norm <= max_norm then grads
+  else begin
+    let k = max_norm /. norm in
+    Array.map (fun g -> Tensor.scale k g) grads
   end

@@ -24,6 +24,17 @@ val step : t -> params:(Node.t * Tensor.t) list -> grads:(Node.t * Tensor.t) lis
     [grads] must cover every parameter (match by node id).
     @raise Invalid_argument on a missing gradient. *)
 
+val step_arrays :
+  t -> param_nodes:Node.t array -> params:Tensor.t array -> grads:Tensor.t array
+  -> Tensor.t array
+(** Array variant used by the compiled training loop: [grads.(i)] is the
+    gradient of [param_nodes.(i)] (positional pairing, no id lookup). Shares
+    the update rule — and the optimizer state — with {!step}.
+    @raise Invalid_argument naming the three lengths on a mismatch. *)
+
 val clip_by_global_norm : max_norm:float -> (Node.t * Tensor.t) list
   -> (Node.t * Tensor.t) list
 (** Standard RNN-training gradient clipping. *)
+
+val clip_by_global_norm_arrays : max_norm:float -> Tensor.t array -> Tensor.t array
+(** {!clip_by_global_norm} over a positional gradient array. *)

@@ -5,6 +5,7 @@
 open Echo_tensor
 open Echo_ir
 open Echo_exec
+module Gradcheck = Echo_compiler.Gradcheck
 
 let check_bool = Alcotest.(check bool)
 

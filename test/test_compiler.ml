@@ -1,0 +1,278 @@
+(* The staged compilation pipeline and the slot-based executor.
+
+   The load-bearing properties: the compiled executor is bitwise identical
+   to the reference interpreter (on random DAGs and on real model training
+   graphs), its steady-state footprint equals the memory planner's
+   prediction, and repeated runs with fresh feeds never leak state from a
+   previous step. *)
+
+open Echo_tensor
+open Echo_ir
+open Echo_models
+module Pipeline = Echo_compiler.Pipeline
+module Executor = Echo_compiler.Executor
+
+let check_bool = Alcotest.(check bool)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* Feeds for every placeholder and variable of a graph: positive values so
+   random op chains stay finite and NaN-free. *)
+let synthetic_feeds ?(scale = 1.0) rng_seed g =
+  let rng = Rng.create rng_seed in
+  List.filter_map
+    (fun node ->
+      match Node.op node with
+      | Op.Placeholder | Op.Variable ->
+        Some
+          ( node,
+            Tensor.init (Node.shape node) (fun _ ->
+                scale *. (0.1 +. (0.9 *. Rng.float rng))) )
+      | _ -> None)
+    (Graph.nodes g)
+
+let eval_both g ~feeds =
+  let exe = Executor.compile g in
+  (Echo_exec.Interp.eval g ~feeds, Executor.eval exe ~feeds)
+
+(* Property: on random square-shaped DAGs (including all four matmul
+   transpose variants), the executor matches the interpreter bitwise on two
+   consecutive runs with different feeds, and its footprint equals the
+   planner's arena prediction — with and without in-place transfers. *)
+let prop_executor_differential =
+  QCheck.Test.make ~name:"executor == interpreter on random DAGs" ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let pool = ref [ Node.placeholder [| 4; 4 |]; Node.variable [| 4; 4 |] ] in
+      for _ = 1 to 25 do
+        let pick () = List.nth !pool (Rng.int rng (List.length !pool)) in
+        let n =
+          match Rng.int rng 10 with
+          | 0 -> Node.add (pick ()) (pick ())
+          | 1 -> Node.sub (pick ()) (pick ())
+          | 2 -> Node.mul (pick ()) (pick ())
+          | 3 -> Node.tanh_ (pick ())
+          | 4 -> Node.sigmoid (pick ())
+          | 5 -> Node.matmul (pick ()) (pick ())
+          | 6 -> Node.matmul ~trans_a:true (pick ()) (pick ())
+          | 7 -> Node.matmul ~trans_b:true (pick ()) (pick ())
+          | 8 -> Node.matmul ~trans_a:true ~trans_b:true (pick ()) (pick ())
+          | _ -> Node.transpose2d (pick ())
+        in
+        pool := n :: !pool
+      done;
+      let g = Graph.create [ List.hd !pool ] in
+      let exe = Executor.compile g in
+      let identical_run scale =
+        let feeds = synthetic_feeds ~scale seed g in
+        let reference = Echo_exec.Interp.eval g ~feeds in
+        let compiled = Executor.eval exe ~feeds in
+        List.for_all2 Tensor.equal reference compiled
+      in
+      (* Two runs with different feeds through the SAME executor: a buffer
+         holding stale step-1 state would break the second comparison. *)
+      identical_run 1.0 && identical_run 0.25
+      && Executor.footprint_bytes exe
+         = (Echo_exec.Memplan.plan g).Echo_exec.Memplan.arena_bytes
+      && Executor.footprint_bytes (Executor.compile ~inplace:false g)
+         = (Echo_exec.Memplan.plan ~inplace:false g).Echo_exec.Memplan
+             .arena_bytes)
+
+(* Model training graphs: compiled executor vs interpreter, bitwise. *)
+let model_differential ?(id_bound = 20) model =
+  let training = Model.training model in
+  let g = training.Echo_autodiff.Grad.graph in
+  let rng = Rng.create 7 in
+  let feeds =
+    List.map
+      (fun node ->
+        match Shape.rank (Node.shape node) with
+        | 4 -> (node, Tensor.normal rng (Node.shape node) ~mean:0.0 ~std:1.0)
+        | _ ->
+          (node,
+           Tensor.init (Node.shape node) (fun _ ->
+               float_of_int (Rng.int rng id_bound))))
+      model.Model.placeholders
+    @ Params.bindings model.Model.params
+  in
+  let reference, compiled = eval_both g ~feeds in
+  check_bool (model.Model.name ^ " bit-identical") true
+    (List.for_all2 Tensor.equal reference compiled);
+  let exe = Executor.compile g in
+  Alcotest.(check int)
+    (model.Model.name ^ " footprint == plan")
+    (Echo_exec.Memplan.plan g).Echo_exec.Memplan.arena_bytes
+    (Executor.footprint_bytes exe)
+
+let test_lm_differential () =
+  let lm =
+    Language_model.build
+      {
+        Language_model.ptb_default with
+        vocab = 40;
+        embed = 8;
+        hidden = 8;
+        layers = 2;
+        seq_len = 5;
+        batch = 3;
+        dropout = 0.2;
+      }
+  in
+  model_differential lm.Language_model.model
+
+let test_nmt_differential () =
+  let nmt =
+    Nmt.build
+      {
+        Nmt.gnmt_like with
+        src_vocab = 15;
+        tgt_vocab = 15;
+        embed = 4;
+        hidden = 4;
+        enc_layers = 1;
+        dec_layers = 1;
+        src_len = 3;
+        tgt_len = 3;
+        batch = 2;
+        dropout = 0.1;
+      }
+  in
+  model_differential ~id_bound:15 nmt.Nmt.model
+
+let test_transformer_differential () =
+  let tr =
+    Transformer.build
+      {
+        Transformer.base_like with
+        vocab = 15;
+        seq_len = 4;
+        batch = 2;
+        d_model = 8;
+        heads = 2;
+        d_ff = 12;
+        layers = 1;
+        dropout = 0.1;
+      }
+  in
+  model_differential ~id_bound:15 tr.Transformer.model
+
+(* Convolutions have no Into kernel; the executor falls back to the
+   interpreter per node. DS2's training graph exercises that path. *)
+let test_conv_fallback_differential () =
+  let ds2 =
+    Deepspeech.build
+      {
+        Deepspeech.ds2_like with
+        batch = 1;
+        time = 12;
+        freq = 8;
+        conv_channels = 2;
+        rnn_hidden = 4;
+        rnn_layers = 1;
+        classes = 5;
+        dropout = 0.0;
+      }
+  in
+  model_differential ~id_bound:5 ds2.Deepspeech.model
+
+(* The whole pipeline, stage by stage, on a real model — the executable's
+   outputs must survive the Echo rewrite bit for bit. *)
+let test_pipeline_stages_compose () =
+  let lm =
+    Language_model.build
+      {
+        Language_model.ptb_default with
+        vocab = 30;
+        embed = 6;
+        hidden = 6;
+        layers = 1;
+        seq_len = 4;
+        batch = 2;
+        dropout = 0.2;
+      }
+  in
+  let src = Pipeline.of_model lm.Language_model.model in
+  let training = Pipeline.differentiate src in
+  let g = training.Pipeline.autodiff.Echo_autodiff.Grad.graph in
+  let rng = Rng.create 13 in
+  let ids n =
+    Tensor.init (Node.shape n) (fun _ -> float_of_int (Rng.int rng 30))
+  in
+  let feeds =
+    (lm.Language_model.token_input, ids lm.Language_model.token_input)
+    :: (lm.Language_model.label_input, ids lm.Language_model.label_input)
+    :: Params.bindings lm.Language_model.model.Model.params
+  in
+  let reference = Echo_exec.Interp.eval g ~feeds in
+  let exe =
+    Pipeline.compile_source
+      ~policy:(Echo_core.Pass.Echo { overhead_budget = 0.2 })
+      ~optimize:false src
+  in
+  let compiled = Executor.eval (Pipeline.executor exe) ~feeds in
+  check_bool "echo-rewritten executable bit-identical" true
+    (List.for_all2 Tensor.equal reference compiled);
+  (* The arena-validating reference executor accepts the same plan. *)
+  let validated = Pipeline.validated_eval exe.Pipeline.planned ~feeds in
+  check_bool "arena exec agrees" true
+    (List.for_all2 Tensor.equal reference validated)
+
+(* Missing feeds are reported all at once, by name, by both engines. *)
+let test_missing_feeds_aggregated () =
+  let a = Node.placeholder ~name:"tokens" [| 2 |] in
+  let b = Node.placeholder ~name:"labels" [| 2 |] in
+  let g = Graph.create [ Node.add a b ] in
+  let both_named msg = contains ~sub:"tokens" msg && contains ~sub:"labels" msg in
+  check_bool "interp lists both" true
+    (try
+       ignore (Echo_exec.Interp.eval g ~feeds:[]);
+       false
+     with Echo_exec.Interp.Missing_feed msg -> both_named msg);
+  check_bool "executor lists both" true
+    (try
+       ignore (Executor.eval (Executor.compile g) ~feeds:[]);
+       false
+     with Echo_exec.Interp.Missing_feed msg -> both_named msg)
+
+(* Loop.train's arity error names both counts. *)
+let test_train_arity_message () =
+  let v = Node.variable ~name:"w" [| 2 |] in
+  let extra = Node.variable ~name:"unused" [| 2 |] in
+  let loss =
+    Node.reduce_sum ~axis:0 ~keepdims:false (Node.sq v)
+  in
+  let training = Echo_autodiff.Grad.differentiate ~loss ~wrt:[ v ] in
+  let params =
+    [ (v, Tensor.of_list1 [ 1.0; 2.0 ]); (extra, Tensor.of_list1 [ 0.0; 0.0 ]) ]
+  in
+  check_bool "names both counts" true
+    (try
+       ignore
+         (Echo_train.Loop.train ~graph:training.Echo_autodiff.Grad.graph
+            ~params
+            ~optimizer:(Echo_train.Optimizer.create (Echo_train.Optimizer.Sgd { lr = 0.1 }))
+            ~batches:[ [] ] ());
+       false
+     with Invalid_argument msg ->
+       contains ~sub:"1 gradient output(s)" msg
+       && contains ~sub:"2 parameter(s)" msg)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "compiler",
+      [
+        QCheck_alcotest.to_alcotest prop_executor_differential;
+        t "LM training graph differential" test_lm_differential;
+        t "NMT training graph differential" test_nmt_differential;
+        t "transformer training graph differential" test_transformer_differential;
+        t "conv fallback differential" test_conv_fallback_differential;
+        t "pipeline stages compose" test_pipeline_stages_compose;
+        t "missing feeds aggregated" test_missing_feeds_aggregated;
+        t "train arity message" test_train_arity_message;
+      ] );
+  ]

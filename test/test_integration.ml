@@ -96,7 +96,7 @@ let test_lm_whole_model_gradcheck () =
     :: Params.bindings lm.Language_model.model.Model.params
   in
   match
-    Echo_exec.Gradcheck.check ~tol:1e-4 ~loss:lm.Language_model.model.Model.loss
+    Echo_compiler.Gradcheck.check ~tol:1e-4 ~loss:lm.Language_model.model.Model.loss
       ~feeds
       ~wrt:(Params.variables lm.Language_model.model.Model.params)
       ()
@@ -104,7 +104,7 @@ let test_lm_whole_model_gradcheck () =
   | Ok _ -> ()
   | Error failures ->
     Alcotest.failf "LM gradcheck failed on %s"
-      (String.concat ", " (List.map (fun r -> r.Echo_exec.Gradcheck.param) failures))
+      (String.concat ", " (List.map (fun r -> r.Echo_compiler.Gradcheck.param) failures))
 
 let semantic_check ?(id_bound = 20) model policies =
   let training = Model.training model in
