@@ -104,6 +104,43 @@ let heading id title =
 
 let row fmt = Format.printf fmt
 
+(* Wall-clock timing for the perf experiments. [Sys.time] counts CPU time
+   summed over domains, which hides (or actively penalises) multicore
+   speedups. *)
+let wall () = Unix.gettimeofday ()
+
+(* Machine-readable results (E15/E16) so the perf trajectory can be
+   compared across PRs. Sections accumulate in run order and [json_flush]
+   writes them once at process exit; nothing is written when no perf
+   experiment ran. *)
+let json_fragments : (string * (string * float) list) list ref = ref []
+
+let record_json section fields =
+  json_fragments := !json_fragments @ [ (section, fields) ]
+
+let json_flush path =
+  match !json_fragments with
+  | [] -> ()
+  | sections ->
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (section, fields) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (Printf.sprintf "  %S: {\n" section);
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf (Printf.sprintf "    %S: %.6g" k v))
+          fields;
+        Buffer.add_string buf "\n  }")
+      sections;
+    Buffer.add_string buf "\n}\n";
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Format.printf "wrote %s@." path
+
 (* Pearson correlation. *)
 let pearson xs ys =
   let n = float_of_int (List.length xs) in

@@ -443,10 +443,13 @@ let e14 () =
   ignore report
 
 (* E15: per-step execution engines — steps/sec of the reference interpreter
-   vs the compiled slot-based executor on a PTB-shaped LM training graph,
-   plus a bitwise output comparison. *)
+   vs the compiled slot-based executor (with PR 1's naive matmul, with the
+   blocked matmul, and with the blocked matmul under Domain pools of
+   1/2/4), on a PTB-shaped LM training graph. Every engine's outputs are
+   checked bitwise against the interpreter; the numbers land in
+   BENCH_E15.json so the perf trajectory is tracked across PRs. *)
 let e15 () =
-  heading "E15" "compiled executor vs reference interpreter (PTB-shape LM)";
+  heading "E15" "execution engines and kernel runtimes (PTB-shape LM)";
   let cfg =
     match !scale with
     | Full ->
@@ -469,45 +472,191 @@ let e15 () =
     :: Params.bindings lm.Language_model.model.Model.params
   in
   let module Executor = Echo_compiler.Executor in
-  let c0 = Sys.time () in
-  let exe = Executor.compile graph in
-  let compile_s = Sys.time () -. c0 in
-  (* Warm-up both engines and check bitwise agreement on every output. *)
+  let module I = Tensor.Into in
+  let default_threshold = I.blocking_threshold () in
+  let c0 = wall () in
+  let exe_seq = Executor.compile ~runtime:Parallel.sequential graph in
+  let compile_s = wall () -. c0 in
+  (* Reference outputs: the interpreter with blocking disabled, i.e. the
+     exact PR 1 numerics (identical either way, but make the baseline
+     self-evident). *)
+  I.set_blocking_threshold max_int;
   let interp_outs = Interp.eval graph ~feeds in
-  let exe_outs = Executor.eval exe ~feeds in
-  let identical = List.for_all2 Tensor.equal interp_outs exe_outs in
+  I.set_blocking_threshold default_threshold;
   let steps = match !scale with Full -> 10 | Quick -> 3 in
   let steps_per_sec f =
-    let t0 = Sys.time () in
+    f () (* warm-up *);
+    let t0 = wall () in
     for _ = 1 to steps do f () done;
-    float_of_int steps /. Float.max (Sys.time () -. t0) 1e-6
+    float_of_int steps /. Float.max (wall () -. t0) 1e-9
   in
-  let interp_sps = steps_per_sec (fun () -> ignore (Interp.eval graph ~feeds)) in
-  let exec_sps =
-    steps_per_sec (fun () ->
-      List.iter (fun (n, t) -> Executor.feed exe n t) feeds;
-      Executor.run exe)
+  let check exe =
+    List.for_all2 Tensor.equal interp_outs (Executor.eval exe ~feeds)
+  in
+  let run_exe exe () =
+    List.iter (fun (n, t) -> Executor.feed exe n t) feeds;
+    Executor.run exe
   in
   row "graph: %d nodes, executor compile %.3f s, footprint %s@."
     (Graph.node_count graph) compile_s
-    (Footprint.human (Executor.footprint_bytes exe));
-  row "reference interpreter: %8.2f steps/s@." interp_sps;
-  row "compiled executor:     %8.2f steps/s  (%.2fx, outputs %s)@." exec_sps
-    (exec_sps /. interp_sps)
-    (if identical then "bit-identical" else "MISMATCH")
+    (Footprint.human (Executor.footprint_bytes exe_seq));
+  let all_identical = ref true in
+  let json = ref [] in
+  let record key sps = json := (key, sps) :: !json in
+  let measure label key ?threshold exe =
+    let restore = I.blocking_threshold () in
+    Option.iter I.set_blocking_threshold threshold;
+    let ok = check exe in
+    if not ok then all_identical := false;
+    let sps = steps_per_sec (run_exe exe) in
+    I.set_blocking_threshold restore;
+    row "%-34s %8.2f steps/s  (outputs %s)@." label sps
+      (if ok then "bit-identical" else "MISMATCH");
+    record key sps;
+    sps
+  in
+  I.set_blocking_threshold max_int;
+  let interp_sps =
+    steps_per_sec (fun () -> ignore (Interp.eval graph ~feeds))
+  in
+  I.set_blocking_threshold default_threshold;
+  row "%-34s %8.2f steps/s@." "reference interpreter" interp_sps;
+  record "interp" interp_sps;
+  let naive_sps =
+    measure "executor (naive matmul, seq)" "executor_naive"
+      ~threshold:max_int exe_seq
+  in
+  let blocked_sps =
+    measure "executor (blocked matmul, seq)" "executor_blocked" exe_seq
+  in
+  List.iter
+    (fun domains ->
+      let runtime = Parallel.create ~domains () in
+      let exe = Executor.compile ~runtime graph in
+      ignore
+        (measure
+           (Printf.sprintf "executor (blocked, %d domain%s)" domains
+              (if domains = 1 then "" else "s"))
+           (Printf.sprintf "executor_parallel_%dd" domains)
+           exe);
+      Parallel.shutdown runtime)
+    [ 1; 2; 4 ];
+  row "blocked vs PR1-naive executor: %.2fx; executor vs interp: %.2fx@."
+    (blocked_sps /. naive_sps) (blocked_sps /. interp_sps);
+  row "all engines bit-identical to the interpreter: %b@." !all_identical;
+  record "blocked_over_naive" (blocked_sps /. naive_sps);
+  record "identical" (if !all_identical then 1.0 else 0.0);
+  record_json "E15" (List.rev !json)
+
+(* E16: matmul kernel micro-bench — GFLOP/s by size for the naive loops,
+   the cache-blocked/packed kernel, and the blocked kernel on a 2-domain
+   pool; plus the four transpose variants at the headline size. Each
+   configuration is checked bitwise against the naive kernel first. *)
+let e16 () =
+  heading "E16" "matmul kernel GFLOP/s (naive vs blocked vs parallel)";
+  let module I = Tensor.Into in
+  let default_threshold = I.blocking_threshold () in
+  let rng = Rng.create 77 in
+  let pool2 = Parallel.create ~domains:2 () in
+  let json = ref [] in
+  let gflops ~m ~n ~k ~reps f =
+    f () (* warm-up *);
+    let t0 = wall () in
+    for _ = 1 to reps do f () done;
+    2.0 *. float_of_int (m * n * k) *. float_of_int reps
+    /. Float.max (wall () -. t0) 1e-9 /. 1e9
+  in
+  let bench_size size =
+    let m = size and n = size and k = size in
+    let a = Tensor.uniform rng [| m; k |] ~lo:(-1.0) ~hi:1.0 in
+    let b = Tensor.uniform rng [| k; n |] ~lo:(-1.0) ~hi:1.0 in
+    let dst = Tensor.zeros [| m; n |] in
+    let reference = Tensor.zeros [| m; n |] in
+    I.set_blocking_threshold max_int;
+    I.matmul a b ~dst:reference;
+    I.set_blocking_threshold 0;
+    I.matmul a b ~dst;
+    let ok = Tensor.equal reference dst in
+    let reps =
+      match !scale with
+      | Full -> max 1 (50_000_000 / (m * n * k))
+      | Quick -> max 1 (10_000_000 / (m * n * k))
+    in
+    I.set_blocking_threshold max_int;
+    let naive = gflops ~m ~n ~k ~reps (fun () -> I.matmul a b ~dst) in
+    I.set_blocking_threshold 0;
+    let blocked = gflops ~m ~n ~k ~reps (fun () -> I.matmul a b ~dst) in
+    let parallel2 =
+      gflops ~m ~n ~k ~reps (fun () -> I.matmul ~runtime:pool2 a b ~dst)
+    in
+    I.set_blocking_threshold default_threshold;
+    row
+      "%4dx%4dx%4d  naive %6.2f  blocked %6.2f (%4.2fx)  2-domain %6.2f \
+       GFLOP/s  (%s)@."
+      m n k naive blocked (blocked /. naive) parallel2
+      (if ok then "bit-identical" else "MISMATCH");
+    json :=
+      (Printf.sprintf "naive_%d" size, naive)
+      :: (Printf.sprintf "blocked_%d" size, blocked)
+      :: (Printf.sprintf "parallel2_%d" size, parallel2)
+      :: (Printf.sprintf "identical_%d" size, if ok then 1.0 else 0.0)
+      :: !json
+  in
+  let sizes = match !scale with Full -> [ 64; 128; 256 ] | Quick -> [ 32; 64; 128 ] in
+  List.iter bench_size sizes;
+  (* Transpose variants at one size: the packed path must win on all four. *)
+  let tsize = match !scale with Full -> 256 | Quick -> 64 in
+  let a = Tensor.uniform rng [| tsize; tsize |] ~lo:(-1.0) ~hi:1.0 in
+  let b = Tensor.uniform rng [| tsize; tsize |] ~lo:(-1.0) ~hi:1.0 in
+  let dst = Tensor.zeros [| tsize; tsize |] in
+  let reference = Tensor.zeros [| tsize; tsize |] in
+  List.iter
+    (fun (label, trans_a, trans_b) ->
+      I.set_blocking_threshold max_int;
+      I.matmul ~trans_a ~trans_b a b ~dst:reference;
+      let reps =
+        (match !scale with Full -> 20_000_000 | Quick -> 4_000_000)
+        / (tsize * tsize * tsize)
+        |> max 1
+      in
+      let naive =
+        gflops ~m:tsize ~n:tsize ~k:tsize ~reps (fun () ->
+          I.matmul ~trans_a ~trans_b a b ~dst)
+      in
+      I.set_blocking_threshold 0;
+      I.matmul ~trans_a ~trans_b a b ~dst;
+      let ok = Tensor.equal reference dst in
+      let blocked =
+        gflops ~m:tsize ~n:tsize ~k:tsize ~reps (fun () ->
+          I.matmul ~trans_a ~trans_b a b ~dst)
+      in
+      I.set_blocking_threshold default_threshold;
+      row "%dd %-8s naive %6.2f  blocked %6.2f GFLOP/s (%4.2fx, %s)@." tsize
+        label naive blocked (blocked /. naive)
+        (if ok then "bit-identical" else "MISMATCH");
+      json :=
+        (Printf.sprintf "%s_naive_%d" label tsize, naive)
+        :: (Printf.sprintf "%s_blocked_%d" label tsize, blocked)
+        :: !json)
+    [ ("nn", false, false); ("tn", true, false); ("nt", false, true);
+      ("tt", true, true) ];
+  Parallel.shutdown pool2;
+  record_json "E16" (List.rev !json)
 
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
-    ("E13", e13); ("E14", e14); ("E15", e15);
+    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
   ]
 
 let () =
   let only = ref None in
   let args =
     [
-      ("--only", Arg.String (fun s -> only := Some s), "Run a single experiment (e.g. E3)");
+      ( "--only",
+        Arg.String (fun s -> only := Some s),
+        "Run selected experiments (e.g. E3 or E15,E16)" );
       ("--quick", Arg.Unit (fun () -> scale := Quick), "Shrunken configurations");
     ]
   in
@@ -515,7 +664,11 @@ let () =
   let selected =
     match !only with
     | None -> experiments
-    | Some id -> List.filter (fun (name, _) -> String.lowercase_ascii name = String.lowercase_ascii id) experiments
+    | Some ids ->
+      let wanted = String.split_on_char ',' (String.lowercase_ascii ids) in
+      List.filter
+        (fun (name, _) -> List.mem (String.lowercase_ascii name) wanted)
+        experiments
   in
   if selected = [] then begin
     Format.printf "unknown experiment; available: %s@."
@@ -524,4 +677,5 @@ let () =
   end;
   let t0 = Sys.time () in
   List.iter (fun (_, f) -> f ()) selected;
+  json_flush "BENCH_E15.json";
   Format.printf "@.done in %.1f s (cpu)@." (Sys.time () -. t0)

@@ -80,12 +80,23 @@ let build_graph choice ~batch ~seq_len ~hidden ~layers =
   model
 
 let run model_choice batch seq_len hidden layers policy budget all breakdown
-    profile optimize dot_file trace_file save_file load_file device_name =
+    profile optimize dot_file trace_file save_file load_file device_name
+    domains compile =
   let device =
     match Echo_gpusim.Device.by_name device_name with
     | Some d -> d
     | None -> failwith (Printf.sprintf "unknown device %S" device_name)
   in
+  (* The kernel runtime is process-wide: set it here once and every
+     subsequent [Pipeline.compile] (with no explicit [?runtime]) uses it. *)
+  let runtime =
+    match domains with
+    | Some d -> Echo_tensor.Parallel.set_default_domains d
+    | None -> Echo_tensor.Parallel.default ()
+  in
+  if compile then
+    Format.printf "kernel runtime: %d domain(s)@."
+      (Echo_tensor.Parallel.domains runtime);
   let model = build_graph model_choice ~batch ~seq_len ~hidden ~layers in
   Format.printf "%a@." Model.describe model;
   (* Stage 1-3 of the compilation pipeline: source -> training -> optimized.
@@ -124,6 +135,12 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
       let report = rw.Pipeline.report in
       let rewritten = rw.Pipeline.graph in
       Format.printf "%a@." Pass.pp_report report;
+      if compile then begin
+        (* Stage 5-6: plan + lower to the slot executor on the selected
+           kernel runtime, and report what came out. *)
+        let exe = Pipeline.compile ~runtime (Pipeline.plan rw) in
+        Format.printf "%a@." Pipeline.describe exe
+      end;
       if breakdown then
         Format.printf "%a" Footprint.pp_breakdown report.Pass.optimised_mem;
       if profile then begin
@@ -186,11 +203,26 @@ let cmd =
   let save_file = Arg.(value & opt (some string) None & info [ "save" ] ~doc:"Serialize the rewritten training graph to a file.") in
   let load_file = Arg.(value & opt (some string) None & info [ "load" ] ~doc:"Load a serialized training graph instead of building one.") in
   let device = Arg.(value & opt string "titan-xp" & info [ "device" ] ~doc:"titan-xp or v100.") in
+  let domains =
+    Arg.(
+      value & opt (some int) None
+      & info [ "j"; "domains" ]
+          ~doc:
+            "Kernel-runtime domain count (1 = sequential). Defaults to \
+             \\$(b,ECHO_DOMAINS), else the machine's recommended count.")
+  in
+  let compile =
+    Arg.(
+      value & flag
+      & info [ "compile" ]
+          ~doc:"Also lower through plan+compile to the slot executor and \
+                print the per-stage summary.")
+  in
   let term =
     Term.(
       const run $ model $ batch $ seq_len $ hidden $ layers $ policy $ budget
       $ all $ breakdown $ profile $ optimize $ dot_file $ trace_file
-      $ save_file $ load_file $ device)
+      $ save_file $ load_file $ device $ domains $ compile)
   in
   Cmd.v (Cmd.info "echoc" ~doc:"Echo compiler pass driver") term
 

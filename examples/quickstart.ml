@@ -48,13 +48,20 @@ let () =
   let baseline_outputs = Echo_exec.Interp.eval graph ~feeds in
   let optimized = Pipeline.optimize ~enabled:false training in
 
+  (* The kernel runtime every compiled executor below partitions work over.
+     Sized by ECHO_DOMAINS (default: the machine's recommended count);
+     results are bit-identical at any domain count, which the comparison
+     against the sequential interpreter exercises for real here. *)
+  let runtime = Parallel.default () in
+  Format.printf "kernel runtime: %d domain(s)@." (Parallel.domains runtime);
+
   Format.printf "@.%-18s %-30s %-8s %-24s %s@." "policy" "footprint" "factor"
     "sim time/iter" "bitwise-equal";
   List.iter
     (fun policy ->
       let exe =
         Pipeline.rewrite ~device ~policy optimized |> Pipeline.plan
-        |> Pipeline.compile
+        |> Pipeline.compile ~runtime
       in
       let report = exe.Pipeline.planned.Pipeline.rewritten.Pipeline.report in
       (* The rewritten graph runs through the compiled slot-based executor;

@@ -9,6 +9,7 @@ type buf = { arr : float array; mutable writers : int }
 
 type t = {
   graph : Graph.t;
+  runtime : Parallel.t;
   nodes : Node.t array;  (** the frozen schedule; slot = index *)
   instrs : (unit -> unit) array;
   values : Tensor.t array;
@@ -26,7 +27,10 @@ type t = {
 
 let nop () = ()
 
-let compile ?(inplace = true) graph =
+let compile ?(inplace = true) ?runtime graph =
+  let runtime =
+    match runtime with Some r -> r | None -> Parallel.default ()
+  in
   let liveness = Liveness.analyse graph in
   let nodes = Array.of_list (Graph.nodes graph) in
   let n = Array.length nodes in
@@ -148,27 +152,27 @@ let compile ?(inplace = true) graph =
         nop
       end
       else fun () -> I.blit ~src:mask ~dst
-    | Op.Neg -> fun () -> I.neg (x ()) ~dst
-    | Op.Scale k -> fun () -> I.scale k (x ()) ~dst
-    | Op.AddScalar k -> fun () -> I.add_scalar k (x ()) ~dst
-    | Op.PowConst p -> fun () -> I.pow_const p (x ()) ~dst
-    | Op.Sigmoid -> fun () -> I.sigmoid (x ()) ~dst
-    | Op.Tanh -> fun () -> I.tanh_ (x ()) ~dst
-    | Op.Relu -> fun () -> I.relu (x ()) ~dst
-    | Op.Exp -> fun () -> I.exp_ (x ()) ~dst
-    | Op.Log -> fun () -> I.log_ (x ()) ~dst
-    | Op.Sqrt -> fun () -> I.sqrt_ (x ()) ~dst
-    | Op.Sq -> fun () -> I.sq (x ()) ~dst
-    | Op.Recip -> fun () -> I.recip (x ()) ~dst
-    | Op.Sign -> fun () -> I.sign (x ()) ~dst
-    | Op.Add -> fun () -> I.add (x ()) (y ()) ~dst
-    | Op.Sub -> fun () -> I.sub (x ()) (y ()) ~dst
-    | Op.Mul -> fun () -> I.mul (x ()) (y ()) ~dst
-    | Op.Div -> fun () -> I.div (x ()) (y ()) ~dst
+    | Op.Neg -> fun () -> I.neg ~runtime (x ()) ~dst
+    | Op.Scale k -> fun () -> I.scale ~runtime k (x ()) ~dst
+    | Op.AddScalar k -> fun () -> I.add_scalar ~runtime k (x ()) ~dst
+    | Op.PowConst p -> fun () -> I.pow_const ~runtime p (x ()) ~dst
+    | Op.Sigmoid -> fun () -> I.sigmoid ~runtime (x ()) ~dst
+    | Op.Tanh -> fun () -> I.tanh_ ~runtime (x ()) ~dst
+    | Op.Relu -> fun () -> I.relu ~runtime (x ()) ~dst
+    | Op.Exp -> fun () -> I.exp_ ~runtime (x ()) ~dst
+    | Op.Log -> fun () -> I.log_ ~runtime (x ()) ~dst
+    | Op.Sqrt -> fun () -> I.sqrt_ ~runtime (x ()) ~dst
+    | Op.Sq -> fun () -> I.sq ~runtime (x ()) ~dst
+    | Op.Recip -> fun () -> I.recip ~runtime (x ()) ~dst
+    | Op.Sign -> fun () -> I.sign ~runtime (x ()) ~dst
+    | Op.Add -> fun () -> I.add ~runtime (x ()) (y ()) ~dst
+    | Op.Sub -> fun () -> I.sub ~runtime (x ()) (y ()) ~dst
+    | Op.Mul -> fun () -> I.mul ~runtime (x ()) (y ()) ~dst
+    | Op.Div -> fun () -> I.div ~runtime (x ()) (y ()) ~dst
     | Op.Matmul { trans_a; trans_b } ->
-      fun () -> I.matmul ~trans_a ~trans_b (x ()) (y ()) ~dst
-    | Op.AddBias -> fun () -> I.add_bias (x ()) (y ()) ~dst
-    | Op.ScaleBy -> fun () -> I.scale_by (x ()) (y ()) ~dst
+      fun () -> I.matmul ~runtime ~trans_a ~trans_b (x ()) (y ()) ~dst
+    | Op.AddBias -> fun () -> I.add_bias ~runtime (x ()) (y ()) ~dst
+    | Op.ScaleBy -> fun () -> I.scale_by ~runtime (x ()) (y ()) ~dst
     | Op.Slice { axis; lo; hi } -> fun () -> I.slice ~axis ~lo ~hi (x ()) ~dst
     | Op.PadSlice { axis; lo; full } ->
       fun () -> I.pad_slice ~axis ~lo ~full (x ()) ~dst
@@ -178,22 +182,23 @@ let compile ?(inplace = true) graph =
           (Array.to_list (Array.map (fun s -> values.(s)) slots))
           ~dst
     | Op.Reshape _ -> fun () -> I.blit ~src:(x ()) ~dst
-    | Op.Transpose2d -> fun () -> I.transpose2d (x ()) ~dst
+    | Op.Transpose2d -> fun () -> I.transpose2d ~runtime (x ()) ~dst
     | Op.ReduceSum { axis; keepdims } ->
-      fun () -> I.reduce_sum ~axis ~keepdims (x ()) ~dst
+      fun () -> I.reduce_sum ~runtime ~axis ~keepdims (x ()) ~dst
     | Op.ReduceMean { axis; keepdims } ->
-      fun () -> I.reduce_mean ~axis ~keepdims (x ()) ~dst
+      fun () -> I.reduce_mean ~runtime ~axis ~keepdims (x ()) ~dst
     | Op.BroadcastAxis { axis; n } ->
       fun () -> I.broadcast_axis ~axis ~n (x ()) ~dst
-    | Op.Softmax -> fun () -> I.softmax (x ()) ~dst
-    | Op.LogSoftmax -> fun () -> I.log_softmax (x ()) ~dst
+    | Op.Softmax -> fun () -> I.softmax ~runtime (x ()) ~dst
+    | Op.LogSoftmax -> fun () -> I.log_softmax ~runtime (x ()) ~dst
     | Op.CrossEntropy ->
       fun () -> I.cross_entropy ~logits:(x ()) ~labels:(y ()) ~dst
     | Op.CrossEntropyGrad ->
-      fun () -> I.cross_entropy_grad ~logits:(x ()) ~labels:(y ()) ~dst
-    | Op.Embedding -> fun () -> I.embedding ~table:(x ()) ~ids:(y ()) ~dst
+      fun () -> I.cross_entropy_grad ~runtime ~logits:(x ()) ~labels:(y ()) ~dst ()
+    | Op.Embedding ->
+      fun () -> I.embedding ~runtime ~table:(x ()) ~ids:(y ()) ~dst ()
     | Op.EmbeddingGrad _ ->
-      fun () -> I.embedding_grad ~ids:(x ()) ~grad_out:(y ()) ~dst
+      fun () -> I.embedding_grad ~runtime ~ids:(x ()) ~grad_out:(y ()) ~dst ()
     | (Op.Conv2d _ | Op.Conv2dGradInput _ | Op.Conv2dGradKernel _) as op ->
       (* Convolutions have no destination-passing kernel yet: evaluate via
          the reference interpreter and copy into the assigned buffer, so the
@@ -220,6 +225,7 @@ let compile ?(inplace = true) graph =
   let persistent = Array.of_list (List.rev !persistent) in
   {
     graph;
+    runtime;
     nodes;
     instrs;
     values;
@@ -236,6 +242,7 @@ let compile ?(inplace = true) graph =
   }
 
 let graph e = e.graph
+let runtime e = e.runtime
 let instruction_count e = Array.length e.instrs
 
 let footprint_bytes e =

@@ -27,10 +27,16 @@ open Echo_ir
 
 type t
 
-val compile : ?inplace:bool -> Graph.t -> t
+val compile : ?inplace:bool -> ?runtime:Parallel.t -> Graph.t -> t
 (** Compile the graph's schedule into instructions and bind buffers.
     [inplace] (default [true]) mirrors the planner's in-place optimisation;
-    disable it to match [Memplan.plan ~inplace:false]. *)
+    disable it to match [Memplan.plan ~inplace:false].
+
+    [runtime] (default {!Echo_tensor.Parallel.default}, i.e. sized by the
+    [ECHO_DOMAINS] environment variable) is baked into every compiled
+    instruction: heavy kernels partition their output rows across its
+    domains. Results are bit-identical at every domain count — see
+    {!Echo_tensor.Parallel}. *)
 
 (** {1 Running} *)
 
@@ -62,6 +68,10 @@ val eval : t -> feeds:Echo_exec.Interp.feeds -> Tensor.t list
 (** {1 Introspection} *)
 
 val graph : t -> Graph.t
+
+val runtime : t -> Parallel.t
+(** The kernel runtime baked in at compile time. *)
+
 val instruction_count : t -> int
 
 val footprint_bytes : t -> int

@@ -85,15 +85,18 @@ let plan ?(offsets = false) (rw : rewritten) =
 
 type executable = { planned : planned; executor : Executor.t }
 
-let compile (pl : planned) = { planned = pl; executor = Executor.compile pl.graph }
+let compile ?runtime (pl : planned) =
+  { planned = pl; executor = Executor.compile ?runtime pl.graph }
+
 let executor e = e.executor
 
-let compile_graph graph =
-  of_training_graph graph |> optimize ~enabled:false |> rewrite |> plan |> compile
+let compile_graph ?runtime graph =
+  of_training_graph graph |> optimize ~enabled:false |> rewrite |> plan
+  |> compile ?runtime
 
-let compile_source ?device ?optimize:(opt_enabled = true) ?policy src =
+let compile_source ?device ?optimize:(opt_enabled = true) ?policy ?runtime src =
   let opt = optimize ~enabled:opt_enabled (differentiate src) in
-  compile (plan (rewrite ?device ?policy opt))
+  compile ?runtime (plan (rewrite ?device ?policy opt))
 
 let validated_eval (pl : planned) ~feeds = Echo_exec.Arena_exec.eval pl.graph ~feeds
 

@@ -114,12 +114,18 @@ val validated_eval : planned -> feeds:Echo_exec.Interp.feeds -> Echo_tensor.Tens
 
 type executable = { planned : planned; executor : Executor.t }
 
-val compile : planned -> executable
+val compile : ?runtime:Echo_tensor.Parallel.t -> planned -> executable
+(** Lower to the slot executor. [runtime] selects the kernel runtime the
+    executor's instructions partition work over (default
+    [Parallel.default ()], sized by [ECHO_DOMAINS]); this is the single
+    place the training loop, [echoc], bench and examples pick multicore
+    execution. *)
+
 val executor : executable -> Executor.t
 
 (** {1 Shorthands} *)
 
-val compile_graph : Graph.t -> executable
+val compile_graph : ?runtime:Echo_tensor.Parallel.t -> Graph.t -> executable
 (** [of_training_graph |> optimize ~enabled:false |> rewrite (Stash_all)
     |> plan |> compile]: compile an existing training graph as-is. This is
     what [Loop.train] uses. *)
@@ -128,6 +134,7 @@ val compile_source :
   ?device:Echo_gpusim.Device.t ->
   ?optimize:bool ->
   ?policy:Echo_core.Pass.policy ->
+  ?runtime:Echo_tensor.Parallel.t ->
   source ->
   executable
 (** The whole pipeline in one call. *)

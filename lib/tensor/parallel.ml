@@ -1,0 +1,166 @@
+(* A persistent Domain worker pool with a fork-join [parallel_for].
+
+   Workers park on a condition variable between jobs. Each [parallel_for]
+   bumps an epoch, publishes one job closure, and wakes everyone; every
+   worker runs the job exactly once per epoch (the job itself decides
+   whether the worker's slot owns a chunk), decrements the pending count,
+   and parks again. The caller executes chunk 0 in place of a worker, then
+   waits for the pending count to drain — a full barrier, so kernel calls
+   never overlap and the tensor kernels need no per-call state. *)
+
+type pool = {
+  domains : int;  (* participants, including the caller *)
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable epoch : int;
+  mutable job : (int -> unit) option;  (* worker slot in 1 .. domains-1 *)
+  mutable pending : int;
+  mutable failure : exn option;
+  mutable stop : bool;
+  mutable handles : unit Domain.t list;
+}
+
+type t = Seq | Pool of pool
+
+let sequential = Seq
+let domains = function Seq -> 1 | Pool p -> p.domains
+
+let worker_loop pool slot =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while pool.epoch = !seen && not pool.stop do
+      Condition.wait pool.work_ready pool.mutex
+    done;
+    if pool.stop then begin
+      Mutex.unlock pool.mutex;
+      running := false
+    end
+    else begin
+      seen := pool.epoch;
+      let job = pool.job in
+      Mutex.unlock pool.mutex;
+      (match job with
+      | None -> ()
+      | Some f -> (
+        try f slot
+        with e ->
+          Mutex.lock pool.mutex;
+          if pool.failure = None then pool.failure <- Some e;
+          Mutex.unlock pool.mutex));
+      Mutex.lock pool.mutex;
+      pool.pending <- pool.pending - 1;
+      if pool.pending = 0 then Condition.signal pool.work_done;
+      Mutex.unlock pool.mutex
+    end
+  done
+
+let shutdown = function
+  | Seq -> ()
+  | Pool pool ->
+    Mutex.lock pool.mutex;
+    pool.stop <- true;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.mutex;
+    List.iter Domain.join pool.handles;
+    pool.handles <- []
+
+let env_domains () =
+  let fallback () = max 1 (Domain.recommended_domain_count ()) in
+  match Sys.getenv_opt "ECHO_DOMAINS" with
+  | None | Some "" -> fallback ()
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d when d >= 1 -> d
+    | Some _ | None -> fallback ())
+
+let create ?domains () =
+  let d = match domains with Some d -> d | None -> env_domains () in
+  if d < 1 then invalid_arg "Parallel.create: domains must be >= 1";
+  if d = 1 then Seq
+  else begin
+    let pool =
+      {
+        domains = d;
+        mutex = Mutex.create ();
+        work_ready = Condition.create ();
+        work_done = Condition.create ();
+        epoch = 0;
+        job = None;
+        pending = 0;
+        failure = None;
+        stop = false;
+        handles = [];
+      }
+    in
+    let t = Pool pool in
+    pool.handles <-
+      List.init (d - 1) (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));
+    at_exit (fun () -> shutdown t);
+    t
+  end
+
+(* Balanced contiguous partition of [0, n) into [parts] chunks: a pure
+   function of (n, parts), independent of which domain runs which chunk. *)
+let chunk_bounds n parts i = ((i * n) / parts, ((i + 1) * n) / parts)
+
+let run_pool pool ~n ~parts body =
+  Mutex.lock pool.mutex;
+  pool.job <-
+    Some
+      (fun slot ->
+        if slot < parts then begin
+          let lo, hi = chunk_bounds n parts slot in
+          if lo < hi then body lo hi
+        end);
+  pool.pending <- pool.domains - 1;
+  pool.epoch <- pool.epoch + 1;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  (* The caller owns chunk 0; its exception must not skip the join. *)
+  let caller_failure =
+    try
+      let lo, hi = chunk_bounds n parts 0 in
+      if lo < hi then body lo hi;
+      None
+    with e -> Some e
+  in
+  Mutex.lock pool.mutex;
+  while pool.pending > 0 do
+    Condition.wait pool.work_done pool.mutex
+  done;
+  pool.job <- None;
+  let worker_failure = pool.failure in
+  pool.failure <- None;
+  Mutex.unlock pool.mutex;
+  match (caller_failure, worker_failure) with
+  | Some e, _ | None, Some e -> raise e
+  | None, None -> ()
+
+let parallel_for t ?(grain = 1) ~n body =
+  if n > 0 then begin
+    match t with
+    | Seq -> body 0 n
+    | Pool pool ->
+      let parts = min pool.domains (max 1 (n / max 1 grain)) in
+      if parts <= 1 then body 0 n else run_pool pool ~n ~parts body
+  end
+
+(* The process-wide runtime: sized by ECHO_DOMAINS on first use. *)
+let default_runtime : t option ref = ref None
+
+let default () =
+  match !default_runtime with
+  | Some t -> t
+  | None ->
+    let t = create ~domains:(env_domains ()) () in
+    default_runtime := Some t;
+    t
+
+let set_default_domains d =
+  (match !default_runtime with Some t -> shutdown t | None -> ());
+  let t = create ~domains:d () in
+  default_runtime := Some t;
+  t

@@ -1,0 +1,61 @@
+(** Deterministic multicore kernel runtime.
+
+    A runtime is either fully sequential or a persistent pool of OCaml 5
+    [Domain]s blocking on a condition variable; {!parallel_for} fans a loop
+    body out over disjoint contiguous index ranges and joins before
+    returning, so kernels keep their sequential memory discipline (no
+    allocation, no retained closures) across calls.
+
+    {b Determinism contract.} [parallel_for] covers [0, n) with disjoint
+    chunks, each executed by exactly one domain. A kernel that computes
+    every output element entirely within one chunk, in the same per-element
+    accumulation order as its sequential loop, therefore produces results
+    {e bit-identical} to the sequential kernel at every domain count — the
+    property the compiler's differential suite enforces (see
+    {!Tensor.Into}). *)
+
+type t
+(** A kernel runtime. *)
+
+val sequential : t
+(** Runs every {!parallel_for} inline on the calling domain. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns a pool of [domains - 1] worker domains; the
+    calling domain is the remaining participant of every [parallel_for].
+    [domains = 1] spawns nothing and behaves like {!sequential}. When
+    [domains] is omitted, {!env_domains} decides. Every pool is registered
+    with [at_exit] for shutdown, so leaking one cannot hang process exit.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val domains : t -> int
+(** Total participating domains ([1] for {!sequential}). *)
+
+val shutdown : t -> unit
+(** Stop and join the pool's workers (idempotent, no-op on a sequential
+    runtime). A shut-down pool must not be used again. *)
+
+val env_domains : unit -> int
+(** The domain count selected by the [ECHO_DOMAINS] environment variable
+    ([1] = fully sequential); defaults to [Domain.recommended_domain_count]
+    when the variable is unset or unparsable. *)
+
+val default : unit -> t
+(** The process-wide runtime, created on first use with {!env_domains}
+    domains. This is what [Executor.compile] uses when no [?runtime] is
+    passed. *)
+
+val set_default_domains : int -> t
+(** Replace the process-wide runtime with a fresh one of the given size
+    (shutting the previous pool down) and return it. For drivers and
+    benchmarks that override [ECHO_DOMAINS] programmatically. *)
+
+val parallel_for : t -> ?grain:int -> n:int -> (int -> int -> unit) -> unit
+(** [parallel_for t ~grain ~n body] covers [0, n) with disjoint
+    [body lo hi] chunk calls. At most one chunk per domain, and no more
+    than [n / grain] chunks (default [grain = 1]), so workloads smaller
+    than one grain run inline on the calling domain with no
+    synchronisation. [body] must only write locations owned by its own
+    chunk, and must not recursively invoke [parallel_for] on the same
+    runtime. An exception raised by any chunk is re-raised on the caller
+    after every chunk has finished. *)

@@ -96,37 +96,9 @@ let sign = map k_sign
 
 (* {1 Linear algebra} *)
 
-let matmul ?(trans_a = false) ?(trans_b = false) a b =
-  if Shape.rank a.shape <> 2 || Shape.rank b.shape <> 2 then
-    invalid_arg "Tensor.matmul: operands must be 2-D";
-  let am = a.shape.(0) and an = a.shape.(1) in
-  let bm = b.shape.(0) and bn = b.shape.(1) in
-  let m, k = if trans_a then (an, am) else (am, an) in
-  let k', n = if trans_b then (bn, bm) else (bm, bn) in
-  if k <> k' then
-    invalid_arg
-      (Printf.sprintf "Tensor.matmul: inner dims %d vs %d (%s%s x %s%s)" k k'
-         (Shape.to_string a.shape)
-         (if trans_a then "^T" else "")
-         (Shape.to_string b.shape)
-         (if trans_b then "^T" else ""));
-  let out = Array.make (m * n) 0.0 in
-  let ad = a.data and bd = b.data in
-  (* Index helpers honouring the logical transposes. *)
-  let a_at i l = if trans_a then ad.((l * an) + i) else ad.((i * an) + l) in
-  let b_at l j = if trans_b then bd.((j * bn) + l) else bd.((l * bn) + j) in
-  for i = 0 to m - 1 do
-    for l = 0 to k - 1 do
-      let ail = a_at i l in
-      if ail <> 0.0 then begin
-        let row = i * n in
-        for j = 0 to n - 1 do
-          out.(row + j) <- out.(row + j) +. (ail *. b_at l j)
-        done
-      end
-    done
-  done;
-  create [| m; n |] out
+(* [matmul] is defined after [Into]: there is exactly one matmul
+   implementation ([Into.matmul]); the allocating version allocates [dst]
+   and delegates, so the two code paths cannot diverge. *)
 
 let add_bias m b =
   if Shape.rank m.shape <> 2 || Shape.rank b.shape <> 1 then
@@ -145,7 +117,16 @@ let outer a b =
   if Shape.rank a.shape <> 1 || Shape.rank b.shape <> 1 then
     invalid_arg "Tensor.outer: expects 1-D operands";
   let m = a.shape.(0) and n = b.shape.(0) in
-  init [| m; n |] (fun idx -> a.data.(idx.(0)) *. b.data.(idx.(1)))
+  let ad = a.data and bd = b.data in
+  let out = Array.make (m * n) 0.0 in
+  for i = 0 to m - 1 do
+    let ai = Array.unsafe_get ad i in
+    let row = i * n in
+    for j = 0 to n - 1 do
+      Array.unsafe_set out (row + j) (ai *. Array.unsafe_get bd j)
+    done
+  done;
+  create [| m; n |] out
 
 (* {1 Shape manipulation} *)
 
@@ -156,10 +137,8 @@ let reshape t shape =
          (Shape.to_string shape));
   { shape; data = Array.copy t.data }
 
-let transpose2d t =
-  if Shape.rank t.shape <> 2 then invalid_arg "Tensor.transpose2d: expects 2-D";
-  let m = t.shape.(0) and n = t.shape.(1) in
-  init [| n; m |] (fun idx -> t.data.((idx.(1) * n) + idx.(0)))
+(* [transpose2d] is defined after [Into] and delegates to
+   [Into.transpose2d], like [matmul]. *)
 
 (* Iterate over the cartesian product of [outer] positions before [axis],
    the axis range, and [inner] positions after it. Row-major layout means a
@@ -507,6 +486,283 @@ let conv2d_grad_kernel ~stride ~pad ~input ~kernel_shape ~grad_out =
   done;
   out
 
+(* {1 Multicore kernel runtime support}
+
+   Heavy kernels below take a [?runtime] and fan their output rows (or the
+   flat index range) out over [Parallel.parallel_for]. Every output element
+   is written by exactly one domain, in the same per-element accumulation
+   order as the sequential loop, so results are bit-identical at every
+   domain count. [ew_grain] keeps tensors smaller than one grain on the
+   calling domain with no synchronisation. *)
+
+let ew_grain = 8192
+
+(* Minimum rows per chunk so each chunk carries at least ~[ew_grain] scalar
+   operations. *)
+let row_grain work_per_row = max 1 (ew_grain / max 1 work_per_row)
+
+(* Cache-blocked, packed GEMM. Below [matmul_block_threshold] multiply-adds
+   the original unblocked loops run unchanged (packing would dominate).
+   Above it, a logically transposed A operand is packed into a contiguous
+   row-major scratch once per call and the inner loops are register-blocked
+   8 output rows at a time; the trans_b-only case instead uses dot-product
+   tiling over contiguous rows of both operands (see [dot_rows_nt]). In
+   every path the accumulation order of each output element stays
+   ascending-[l] with the a(i,l) = 0 skip, so blocked, unblocked,
+   sequential and parallel variants all produce identical bits. *)
+let matmul_block_threshold = ref 32_768
+
+(* Pack scratch, grown monotonically and reused across calls. Packing
+   always happens on the calling domain before the parallel region, and the
+   barrier in [Parallel.parallel_for] means no two kernel calls overlap, so
+   one buffer per operand suffices. *)
+let pack_scratch_a = ref [||]
+let pack_scratch_b = ref [||]
+
+let pack_scratch cell numel =
+  if Array.length !cell < numel then cell := Array.make numel 0.0;
+  !cell
+
+(* [src] is a row-major [rows x cols] matrix; writes its transpose
+   ([cols x rows], row-major) into [dst]. *)
+let pack_transpose src ~rows ~cols dst =
+  for r = 0 to rows - 1 do
+    let base = r * cols in
+    for c = 0 to cols - 1 do
+      Array.unsafe_set dst ((c * rows) + r) (Array.unsafe_get src (base + c))
+    done
+  done
+
+(* out[lo..hi) rows of the m x n product += A * B with A packed m x k and B
+   packed k x n. Output rows are register-blocked by 8 (one load of each B
+   element feeds eight accumulator rows) and the j loop is tiled so the
+   active output rows and B row segment stay L1-resident. Rows whose a(i,l)
+   is zero fall back to per-row conditional loops to preserve the
+   sequential skip exactly: every output element still accumulates in
+   ascending l, so blocking never changes bits. *)
+let gemm_jb = 256
+
+(* One row's contribution for the mixed-zero fallback and remainder rows:
+   out[r+jlo..r+jhi) += x * bd[brow+jlo..brow+jhi). *)
+let gemm_row1 bd out ~brow ~jlo ~jhi x r =
+  if x <> 0.0 then
+    for j = jlo to jhi - 1 do
+      Array.unsafe_set out (r + j)
+        (Array.unsafe_get out (r + j) +. (x *. Array.unsafe_get bd (brow + j)))
+    done
+
+let gemm_rows ad bd out ~k ~n ~lo ~hi =
+  let i = ref lo in
+  while !i + 8 <= hi do
+    let i0 = !i in
+    let a0 = i0 * k and a1 = (i0 + 1) * k and a2 = (i0 + 2) * k in
+    let a3 = (i0 + 3) * k and a4 = (i0 + 4) * k and a5 = (i0 + 5) * k in
+    let a6 = (i0 + 6) * k and a7 = (i0 + 7) * k in
+    let r0 = i0 * n and r1 = (i0 + 1) * n and r2 = (i0 + 2) * n in
+    let r3 = (i0 + 3) * n and r4 = (i0 + 4) * n and r5 = (i0 + 5) * n in
+    let r6 = (i0 + 6) * n and r7 = (i0 + 7) * n in
+    let jj = ref 0 in
+    while !jj < n do
+      let jlo = !jj in
+      let jhi = min n (jlo + gemm_jb) in
+      for l = 0 to k - 1 do
+        let x0 = Array.unsafe_get ad (a0 + l) in
+        let x1 = Array.unsafe_get ad (a1 + l) in
+        let x2 = Array.unsafe_get ad (a2 + l) in
+        let x3 = Array.unsafe_get ad (a3 + l) in
+        let x4 = Array.unsafe_get ad (a4 + l) in
+        let x5 = Array.unsafe_get ad (a5 + l) in
+        let x6 = Array.unsafe_get ad (a6 + l) in
+        let x7 = Array.unsafe_get ad (a7 + l) in
+        let brow = l * n in
+        if
+          x0 <> 0.0 && x1 <> 0.0 && x2 <> 0.0 && x3 <> 0.0 && x4 <> 0.0
+          && x5 <> 0.0 && x6 <> 0.0 && x7 <> 0.0
+        then
+          for j = jlo to jhi - 1 do
+            let bv = Array.unsafe_get bd (brow + j) in
+            Array.unsafe_set out (r0 + j)
+              (Array.unsafe_get out (r0 + j) +. (x0 *. bv));
+            Array.unsafe_set out (r1 + j)
+              (Array.unsafe_get out (r1 + j) +. (x1 *. bv));
+            Array.unsafe_set out (r2 + j)
+              (Array.unsafe_get out (r2 + j) +. (x2 *. bv));
+            Array.unsafe_set out (r3 + j)
+              (Array.unsafe_get out (r3 + j) +. (x3 *. bv));
+            Array.unsafe_set out (r4 + j)
+              (Array.unsafe_get out (r4 + j) +. (x4 *. bv));
+            Array.unsafe_set out (r5 + j)
+              (Array.unsafe_get out (r5 + j) +. (x5 *. bv));
+            Array.unsafe_set out (r6 + j)
+              (Array.unsafe_get out (r6 + j) +. (x6 *. bv));
+            Array.unsafe_set out (r7 + j)
+              (Array.unsafe_get out (r7 + j) +. (x7 *. bv))
+          done
+        else begin
+          gemm_row1 bd out ~brow ~jlo ~jhi x0 r0;
+          gemm_row1 bd out ~brow ~jlo ~jhi x1 r1;
+          gemm_row1 bd out ~brow ~jlo ~jhi x2 r2;
+          gemm_row1 bd out ~brow ~jlo ~jhi x3 r3;
+          gemm_row1 bd out ~brow ~jlo ~jhi x4 r4;
+          gemm_row1 bd out ~brow ~jlo ~jhi x5 r5;
+          gemm_row1 bd out ~brow ~jlo ~jhi x6 r6;
+          gemm_row1 bd out ~brow ~jlo ~jhi x7 r7
+        end
+      done;
+      jj := jhi
+    done;
+    i := i0 + 8
+  done;
+  while !i < hi do
+    let i0 = !i in
+    let arow = i0 * k and r = i0 * n in
+    for l = 0 to k - 1 do
+      let x = Array.unsafe_get ad (arow + l) in
+      if x <> 0.0 then begin
+        let brow = l * n in
+        for j = 0 to n - 1 do
+          Array.unsafe_set out (r + j)
+            (Array.unsafe_get out (r + j)
+            +. (x *. Array.unsafe_get bd (brow + j)))
+        done
+      end
+    done;
+    i := i0 + 1
+  done
+
+(* trans_b (and not trans_a): out[i,j] is the dot product of contiguous A
+   row i and contiguous B row j, so no packing is needed — B^T is never
+   materialised. 4x4 output tiles accumulate in an unboxed float scratch;
+   each element is still its own ascending-l chain with the a(i,l) = 0
+   skip, so bits match the unblocked loops exactly. Every covered output
+   element is overwritten, so callers skip the zero-fill. *)
+let dot_rows_nt ad bd out ~k ~n ~lo ~hi =
+  let acc = Array.make 16 0.0 in
+  let i = ref lo in
+  while !i + 4 <= hi do
+    let i0 = !i in
+    let a0 = i0 * k and a1 = (i0 + 1) * k in
+    let a2 = (i0 + 2) * k and a3 = (i0 + 3) * k in
+    let j = ref 0 in
+    while !j + 4 <= n do
+      let j0 = !j in
+      let b0 = j0 * k and b1 = (j0 + 1) * k in
+      let b2 = (j0 + 2) * k and b3 = (j0 + 3) * k in
+      Array.fill acc 0 16 0.0;
+      for l = 0 to k - 1 do
+        let bv0 = Array.unsafe_get bd (b0 + l) in
+        let bv1 = Array.unsafe_get bd (b1 + l) in
+        let bv2 = Array.unsafe_get bd (b2 + l) in
+        let bv3 = Array.unsafe_get bd (b3 + l) in
+        let x0 = Array.unsafe_get ad (a0 + l) in
+        if x0 <> 0.0 then begin
+          Array.unsafe_set acc 0 (Array.unsafe_get acc 0 +. (x0 *. bv0));
+          Array.unsafe_set acc 1 (Array.unsafe_get acc 1 +. (x0 *. bv1));
+          Array.unsafe_set acc 2 (Array.unsafe_get acc 2 +. (x0 *. bv2));
+          Array.unsafe_set acc 3 (Array.unsafe_get acc 3 +. (x0 *. bv3))
+        end;
+        let x1 = Array.unsafe_get ad (a1 + l) in
+        if x1 <> 0.0 then begin
+          Array.unsafe_set acc 4 (Array.unsafe_get acc 4 +. (x1 *. bv0));
+          Array.unsafe_set acc 5 (Array.unsafe_get acc 5 +. (x1 *. bv1));
+          Array.unsafe_set acc 6 (Array.unsafe_get acc 6 +. (x1 *. bv2));
+          Array.unsafe_set acc 7 (Array.unsafe_get acc 7 +. (x1 *. bv3))
+        end;
+        let x2 = Array.unsafe_get ad (a2 + l) in
+        if x2 <> 0.0 then begin
+          Array.unsafe_set acc 8 (Array.unsafe_get acc 8 +. (x2 *. bv0));
+          Array.unsafe_set acc 9 (Array.unsafe_get acc 9 +. (x2 *. bv1));
+          Array.unsafe_set acc 10 (Array.unsafe_get acc 10 +. (x2 *. bv2));
+          Array.unsafe_set acc 11 (Array.unsafe_get acc 11 +. (x2 *. bv3))
+        end;
+        let x3 = Array.unsafe_get ad (a3 + l) in
+        if x3 <> 0.0 then begin
+          Array.unsafe_set acc 12 (Array.unsafe_get acc 12 +. (x3 *. bv0));
+          Array.unsafe_set acc 13 (Array.unsafe_get acc 13 +. (x3 *. bv1));
+          Array.unsafe_set acc 14 (Array.unsafe_get acc 14 +. (x3 *. bv2));
+          Array.unsafe_set acc 15 (Array.unsafe_get acc 15 +. (x3 *. bv3))
+        end
+      done;
+      for di = 0 to 3 do
+        let r = ((i0 + di) * n) + j0 and s = 4 * di in
+        Array.unsafe_set out r (Array.unsafe_get acc s);
+        Array.unsafe_set out (r + 1) (Array.unsafe_get acc (s + 1));
+        Array.unsafe_set out (r + 2) (Array.unsafe_get acc (s + 2));
+        Array.unsafe_set out (r + 3) (Array.unsafe_get acc (s + 3))
+      done;
+      j := j0 + 4
+    done;
+    while !j < n do
+      let j0 = !j in
+      let bb = j0 * k in
+      Array.fill acc 0 4 0.0;
+      for l = 0 to k - 1 do
+        let bv = Array.unsafe_get bd (bb + l) in
+        let x0 = Array.unsafe_get ad (a0 + l) in
+        if x0 <> 0.0 then
+          Array.unsafe_set acc 0 (Array.unsafe_get acc 0 +. (x0 *. bv));
+        let x1 = Array.unsafe_get ad (a1 + l) in
+        if x1 <> 0.0 then
+          Array.unsafe_set acc 1 (Array.unsafe_get acc 1 +. (x1 *. bv));
+        let x2 = Array.unsafe_get ad (a2 + l) in
+        if x2 <> 0.0 then
+          Array.unsafe_set acc 2 (Array.unsafe_get acc 2 +. (x2 *. bv));
+        let x3 = Array.unsafe_get ad (a3 + l) in
+        if x3 <> 0.0 then
+          Array.unsafe_set acc 3 (Array.unsafe_get acc 3 +. (x3 *. bv))
+      done;
+      Array.unsafe_set out ((i0 * n) + j0) (Array.unsafe_get acc 0);
+      Array.unsafe_set out (((i0 + 1) * n) + j0) (Array.unsafe_get acc 1);
+      Array.unsafe_set out (((i0 + 2) * n) + j0) (Array.unsafe_get acc 2);
+      Array.unsafe_set out (((i0 + 3) * n) + j0) (Array.unsafe_get acc 3);
+      j := j0 + 1
+    done;
+    i := i0 + 4
+  done;
+  while !i < hi do
+    let i0 = !i in
+    let arow = i0 * k and row = i0 * n in
+    let j = ref 0 in
+    while !j + 4 <= n do
+      let j0 = !j in
+      let b0 = j0 * k and b1 = (j0 + 1) * k in
+      let b2 = (j0 + 2) * k and b3 = (j0 + 3) * k in
+      Array.fill acc 0 4 0.0;
+      for l = 0 to k - 1 do
+        let x = Array.unsafe_get ad (arow + l) in
+        if x <> 0.0 then begin
+          Array.unsafe_set acc 0
+            (Array.unsafe_get acc 0 +. (x *. Array.unsafe_get bd (b0 + l)));
+          Array.unsafe_set acc 1
+            (Array.unsafe_get acc 1 +. (x *. Array.unsafe_get bd (b1 + l)));
+          Array.unsafe_set acc 2
+            (Array.unsafe_get acc 2 +. (x *. Array.unsafe_get bd (b2 + l)));
+          Array.unsafe_set acc 3
+            (Array.unsafe_get acc 3 +. (x *. Array.unsafe_get bd (b3 + l)))
+        end
+      done;
+      Array.unsafe_set out (row + j0) (Array.unsafe_get acc 0);
+      Array.unsafe_set out (row + j0 + 1) (Array.unsafe_get acc 1);
+      Array.unsafe_set out (row + j0 + 2) (Array.unsafe_get acc 2);
+      Array.unsafe_set out (row + j0 + 3) (Array.unsafe_get acc 3);
+      j := j0 + 4
+    done;
+    while !j < n do
+      let j0 = !j in
+      let bb = j0 * k in
+      Array.unsafe_set acc 0 0.0;
+      for l = 0 to k - 1 do
+        let x = Array.unsafe_get ad (arow + l) in
+        if x <> 0.0 then
+          Array.unsafe_set acc 0
+            (Array.unsafe_get acc 0 +. (x *. Array.unsafe_get bd (bb + l)))
+      done;
+      Array.unsafe_set out (row + j0) (Array.unsafe_get acc 0);
+      j := j0 + 1
+    done;
+    i := i0 + 1
+  done
+
 (* {1 Destination-passing kernels} *)
 
 module Into = struct
@@ -525,55 +781,72 @@ module Into = struct
            (Array.length src.data) (Array.length dst.data));
     Array.blit src.data 0 dst.data 0 (Array.length src.data)
 
-  (* [dst] may alias [src]: each cell is read before it is written. *)
-  let unary name f src ~dst =
+  let blocking_threshold () = !matmul_block_threshold
+  let set_blocking_threshold t = matmul_block_threshold := t
+
+  (* [dst] may alias [src]: each cell is read before it is written (by the
+     domain owning that cell's chunk). *)
+  let unary ?(runtime = Parallel.sequential) name f src ~dst =
     check name dst src.shape;
     let s = src.data and d = dst.data in
-    for i = 0 to Array.length s - 1 do
-      Array.unsafe_set d i (f (Array.unsafe_get s i))
-    done
+    Parallel.parallel_for runtime ~grain:ew_grain ~n:(Array.length s)
+      (fun lo hi ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set d i (f (Array.unsafe_get s i))
+        done)
 
-  let neg src ~dst = unary "neg" k_neg src ~dst
-  let scale k src ~dst = unary "scale" (fun x -> k *. x) src ~dst
-  let add_scalar k src ~dst = unary "add_scalar" (fun x -> k +. x) src ~dst
-  let pow_const p src ~dst = unary "pow_const" (fun x -> Float.pow x p) src ~dst
-  let sigmoid src ~dst = unary "sigmoid" k_sigmoid src ~dst
-  let tanh_ src ~dst = unary "tanh" tanh src ~dst
-  let relu src ~dst = unary "relu" k_relu src ~dst
-  let exp_ src ~dst = unary "exp" exp src ~dst
-  let log_ src ~dst = unary "log" log src ~dst
-  let sqrt_ src ~dst = unary "sqrt" sqrt src ~dst
-  let sq src ~dst = unary "sq" k_sq src ~dst
-  let recip src ~dst = unary "recip" k_recip src ~dst
-  let sign src ~dst = unary "sign" k_sign src ~dst
+  let neg ?runtime src ~dst = unary ?runtime "neg" k_neg src ~dst
+  let scale ?runtime k src ~dst = unary ?runtime "scale" (fun x -> k *. x) src ~dst
+
+  let add_scalar ?runtime k src ~dst =
+    unary ?runtime "add_scalar" (fun x -> k +. x) src ~dst
+
+  let pow_const ?runtime p src ~dst =
+    unary ?runtime "pow_const" (fun x -> Float.pow x p) src ~dst
+
+  let sigmoid ?runtime src ~dst = unary ?runtime "sigmoid" k_sigmoid src ~dst
+  let tanh_ ?runtime src ~dst = unary ?runtime "tanh" tanh src ~dst
+  let relu ?runtime src ~dst = unary ?runtime "relu" k_relu src ~dst
+  let exp_ ?runtime src ~dst = unary ?runtime "exp" exp src ~dst
+  let log_ ?runtime src ~dst = unary ?runtime "log" log src ~dst
+  let sqrt_ ?runtime src ~dst = unary ?runtime "sqrt" sqrt src ~dst
+  let sq ?runtime src ~dst = unary ?runtime "sq" k_sq src ~dst
+  let recip ?runtime src ~dst = unary ?runtime "recip" k_recip src ~dst
+  let sign ?runtime src ~dst = unary ?runtime "sign" k_sign src ~dst
 
   (* [dst] may alias either operand. *)
-  let binary name f a b ~dst =
+  let binary ?(runtime = Parallel.sequential) name f a b ~dst =
     if not (Shape.equal a.shape b.shape) then
       invalid_arg
         (Printf.sprintf "Tensor.Into.%s: shape mismatch %s vs %s" name
            (Shape.to_string a.shape) (Shape.to_string b.shape));
     check name dst a.shape;
     let x = a.data and y = b.data and d = dst.data in
-    for i = 0 to Array.length x - 1 do
-      Array.unsafe_set d i (f (Array.unsafe_get x i) (Array.unsafe_get y i))
-    done
+    Parallel.parallel_for runtime ~grain:ew_grain ~n:(Array.length x)
+      (fun lo hi ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set d i (f (Array.unsafe_get x i) (Array.unsafe_get y i))
+        done)
 
-  let add a b ~dst = binary "add" ( +. ) a b ~dst
-  let sub a b ~dst = binary "sub" ( -. ) a b ~dst
-  let mul a b ~dst = binary "mul" ( *. ) a b ~dst
-  let div a b ~dst = binary "div" ( /. ) a b ~dst
+  let add ?runtime a b ~dst = binary ?runtime "add" ( +. ) a b ~dst
+  let sub ?runtime a b ~dst = binary ?runtime "sub" ( -. ) a b ~dst
+  let mul ?runtime a b ~dst = binary ?runtime "mul" ( *. ) a b ~dst
+  let div ?runtime a b ~dst = binary ?runtime "div" ( /. ) a b ~dst
 
   (* The scalar multiplier is read before any write, so [dst] may alias
      either operand. *)
-  let scale_by x s ~dst =
+  let scale_by ?runtime x s ~dst =
     let k = s.data.(0) in
-    unary "scale_by" (fun v -> k *. v) x ~dst
+    unary ?runtime "scale_by" (fun v -> k *. v) x ~dst
 
-  (* Same i -> l (skip a_il = 0) -> j accumulation order as [Tensor.matmul],
-     with the four transpose variants specialised so the inner loop carries no
-     closure calls. [dst] must not alias an operand. *)
-  let matmul ?(trans_a = false) ?(trans_b = false) a b ~dst =
+  (* Same i -> l (skip a_il = 0) -> j accumulation order as the sequential
+     triple loop in every variant, so results are bit-identical across the
+     unblocked path, the packed/blocked path, and every domain count. [dst]
+     must not alias an operand. Output rows are partitioned across the
+     runtime's domains; each chunk zero-fills and accumulates only its own
+     rows. *)
+  let matmul ?(runtime = Parallel.sequential) ?(trans_a = false)
+      ?(trans_b = false) a b ~dst =
     if Shape.rank a.shape <> 2 || Shape.rank b.shape <> 2 then
       invalid_arg "Tensor.Into.matmul: operands must be 2-D";
     let am = a.shape.(0) and an = a.shape.(1) in
@@ -585,69 +858,107 @@ module Into = struct
         (Printf.sprintf "Tensor.Into.matmul: inner dims %d vs %d" k k');
     check "matmul" dst [| m; n |];
     let out = dst.data in
-    Array.fill out 0 (m * n) 0.0;
     let ad = a.data and bd = b.data in
-    (match (trans_a, trans_b) with
-    | false, false ->
-      for i = 0 to m - 1 do
-        let arow = i * an and row = i * n in
-        for l = 0 to k - 1 do
-          let ail = Array.unsafe_get ad (arow + l) in
-          if ail <> 0.0 then begin
-            let brow = l * bn in
-            for j = 0 to n - 1 do
-              Array.unsafe_set out (row + j)
-                (Array.unsafe_get out (row + j)
-                +. (ail *. Array.unsafe_get bd (brow + j)))
-            done
+    let grain = row_grain (k * n) in
+    if m * n * k >= !matmul_block_threshold then begin
+      if trans_b && not trans_a then
+        (* Both operand rows are contiguous along l, so dot-product tiling
+           beats packing: no O(k*n) transpose per call, and the 4x4 output
+           tile lives in an unboxed scratch. The kernel overwrites every
+           element of its rows, so no zero-fill. *)
+        Parallel.parallel_for runtime ~grain ~n:m (fun lo hi ->
+            dot_rows_nt ad bd out ~k ~n ~lo ~hi)
+      else begin
+        (* Packed/blocked path: normalise both operands to row-major
+           notrans layout (packing is a pure copy, so operand bits are
+           unchanged), then run the register-blocked kernel on each row
+           chunk. Packing happens on the calling domain before the
+           fan-out. *)
+        let pa =
+          if trans_a then begin
+            let s = pack_scratch pack_scratch_a (m * k) in
+            pack_transpose ad ~rows:am ~cols:an s;
+            s
           end
-        done
-      done
-    | true, false ->
-      for i = 0 to m - 1 do
-        let row = i * n in
-        for l = 0 to k - 1 do
-          let ail = Array.unsafe_get ad ((l * an) + i) in
-          if ail <> 0.0 then begin
-            let brow = l * bn in
-            for j = 0 to n - 1 do
-              Array.unsafe_set out (row + j)
-                (Array.unsafe_get out (row + j)
-                +. (ail *. Array.unsafe_get bd (brow + j)))
-            done
+          else ad
+        in
+        let pb =
+          if trans_b then begin
+            let s = pack_scratch pack_scratch_b (k * n) in
+            pack_transpose bd ~rows:bm ~cols:bn s;
+            s
           end
-        done
-      done
-    | false, true ->
-      for i = 0 to m - 1 do
-        let arow = i * an and row = i * n in
-        for l = 0 to k - 1 do
-          let ail = Array.unsafe_get ad (arow + l) in
-          if ail <> 0.0 then
-            for j = 0 to n - 1 do
-              Array.unsafe_set out (row + j)
-                (Array.unsafe_get out (row + j)
-                +. (ail *. Array.unsafe_get bd ((j * bn) + l)))
+          else bd
+        in
+        Parallel.parallel_for runtime ~grain ~n:m (fun lo hi ->
+            Array.fill out (lo * n) ((hi - lo) * n) 0.0;
+            gemm_rows pa pb out ~k ~n ~lo ~hi)
+      end
+    end
+    else
+      Parallel.parallel_for runtime ~grain ~n:m (fun lo hi ->
+          Array.fill out (lo * n) ((hi - lo) * n) 0.0;
+          match (trans_a, trans_b) with
+          | false, false ->
+            for i = lo to hi - 1 do
+              let arow = i * an and row = i * n in
+              for l = 0 to k - 1 do
+                let ail = Array.unsafe_get ad (arow + l) in
+                if ail <> 0.0 then begin
+                  let brow = l * bn in
+                  for j = 0 to n - 1 do
+                    Array.unsafe_set out (row + j)
+                      (Array.unsafe_get out (row + j)
+                      +. (ail *. Array.unsafe_get bd (brow + j)))
+                  done
+                end
+              done
             done
-        done
-      done
-    | true, true ->
-      for i = 0 to m - 1 do
-        let row = i * n in
-        for l = 0 to k - 1 do
-          let ail = Array.unsafe_get ad ((l * an) + i) in
-          if ail <> 0.0 then
-            for j = 0 to n - 1 do
-              Array.unsafe_set out (row + j)
-                (Array.unsafe_get out (row + j)
-                +. (ail *. Array.unsafe_get bd ((j * bn) + l)))
+          | true, false ->
+            for i = lo to hi - 1 do
+              let row = i * n in
+              for l = 0 to k - 1 do
+                let ail = Array.unsafe_get ad ((l * an) + i) in
+                if ail <> 0.0 then begin
+                  let brow = l * bn in
+                  for j = 0 to n - 1 do
+                    Array.unsafe_set out (row + j)
+                      (Array.unsafe_get out (row + j)
+                      +. (ail *. Array.unsafe_get bd (brow + j)))
+                  done
+                end
+              done
             done
-        done
-      done)
+          | false, true ->
+            for i = lo to hi - 1 do
+              let arow = i * an and row = i * n in
+              for l = 0 to k - 1 do
+                let ail = Array.unsafe_get ad (arow + l) in
+                if ail <> 0.0 then
+                  for j = 0 to n - 1 do
+                    Array.unsafe_set out (row + j)
+                      (Array.unsafe_get out (row + j)
+                      +. (ail *. Array.unsafe_get bd ((j * bn) + l)))
+                  done
+              done
+            done
+          | true, true ->
+            for i = lo to hi - 1 do
+              let row = i * n in
+              for l = 0 to k - 1 do
+                let ail = Array.unsafe_get ad ((l * an) + i) in
+                if ail <> 0.0 then
+                  for j = 0 to n - 1 do
+                    Array.unsafe_set out (row + j)
+                      (Array.unsafe_get out (row + j)
+                      +. (ail *. Array.unsafe_get bd ((j * bn) + l)))
+                  done
+              done
+            done)
 
   (* [dst] may alias [m] (cell read before write); aliasing [b] only arises
      when rows = 1, where b.(j) is read before dst.(j) is written. *)
-  let add_bias m b ~dst =
+  let add_bias ?(runtime = Parallel.sequential) m b ~dst =
     if Shape.rank m.shape <> 2 || Shape.rank b.shape <> 1 then
       invalid_arg "Tensor.Into.add_bias: expects 2-D matrix and 1-D bias";
     let rows = m.shape.(0) and cols = m.shape.(1) in
@@ -655,13 +966,15 @@ module Into = struct
       invalid_arg "Tensor.Into.add_bias: bias length mismatch";
     check "add_bias" dst m.shape;
     let md = m.data and bd = b.data and d = dst.data in
-    for i = 0 to rows - 1 do
-      let row = i * cols in
-      for j = 0 to cols - 1 do
-        Array.unsafe_set d (row + j)
-          (Array.unsafe_get md (row + j) +. Array.unsafe_get bd j)
-      done
-    done
+    Parallel.parallel_for runtime ~grain:(row_grain cols) ~n:rows
+      (fun lo hi ->
+        for i = lo to hi - 1 do
+          let row = i * cols in
+          for j = 0 to cols - 1 do
+            Array.unsafe_set d (row + j)
+              (Array.unsafe_get md (row + j) +. Array.unsafe_get bd j)
+          done
+        done)
 
   let slice ~axis ~lo ~hi src ~dst =
     check "slice" dst (Shape.slice_result ~axis ~lo ~hi src.shape);
@@ -718,41 +1031,50 @@ module Into = struct
           offset := !offset + d)
         ts
 
-  let transpose2d src ~dst =
+  (* Partitioned over output rows: each domain gathers one stripe of
+     columns of [src], so every dst cell has exactly one writer. *)
+  let transpose2d ?(runtime = Parallel.sequential) src ~dst =
     if Shape.rank src.shape <> 2 then
       invalid_arg "Tensor.Into.transpose2d: expects 2-D";
     let m = src.shape.(0) and n = src.shape.(1) in
     check "transpose2d" dst [| n; m |];
     let s = src.data and d = dst.data in
-    for a = 0 to n - 1 do
-      let row = a * m in
-      for b = 0 to m - 1 do
-        Array.unsafe_set d (row + b) (Array.unsafe_get s ((b * n) + a))
-      done
-    done
+    Parallel.parallel_for runtime ~grain:(row_grain m) ~n
+      (fun lo hi ->
+        for a = lo to hi - 1 do
+          let row = a * m in
+          for b = 0 to m - 1 do
+            Array.unsafe_set d (row + b) (Array.unsafe_get s ((b * n) + a))
+          done
+        done)
 
-  let reduce_sum ~axis ~keepdims src ~dst =
+  (* Partitioned over the [outer] blocks: a chunk owns dst cells
+     [lo*inner, hi*inner) outright (zero-fill included), and the a-ascending
+     accumulation per cell matches the sequential loop. *)
+  let reduce_sum ?(runtime = Parallel.sequential) ~axis ~keepdims src ~dst =
     if axis < 0 || axis >= Shape.rank src.shape then
       invalid_arg "Tensor.Into.reduce_sum: bad axis";
     check "reduce_sum" dst (reduce_shape ~axis ~keepdims src.shape);
     let d = src.shape.(axis) in
     let outer, inner = axis_blocks src.shape axis in
     let s = src.data and out = dst.data in
-    Array.fill out 0 (outer * inner) 0.0;
-    for o = 0 to outer - 1 do
-      for a = 0 to d - 1 do
-        let src_off = ((o * d) + a) * inner in
-        let dst_off = o * inner in
-        for k = 0 to inner - 1 do
-          Array.unsafe_set out (dst_off + k)
-            (Array.unsafe_get out (dst_off + k)
-            +. Array.unsafe_get s (src_off + k))
-        done
-      done
-    done
+    Parallel.parallel_for runtime ~grain:(row_grain (d * inner)) ~n:outer
+      (fun lo hi ->
+        Array.fill out (lo * inner) ((hi - lo) * inner) 0.0;
+        for o = lo to hi - 1 do
+          for a = 0 to d - 1 do
+            let src_off = ((o * d) + a) * inner in
+            let dst_off = o * inner in
+            for k = 0 to inner - 1 do
+              Array.unsafe_set out (dst_off + k)
+                (Array.unsafe_get out (dst_off + k)
+                +. Array.unsafe_get s (src_off + k))
+            done
+          done
+        done)
 
-  let reduce_mean ~axis ~keepdims src ~dst =
-    reduce_sum ~axis ~keepdims src ~dst;
+  let reduce_mean ?runtime ~axis ~keepdims src ~dst =
+    reduce_sum ?runtime ~axis ~keepdims src ~dst;
     let k = 1.0 /. float_of_int src.shape.(axis) in
     let out = dst.data in
     for i = 0 to Array.length out - 1 do
@@ -776,46 +1098,50 @@ module Into = struct
   (* Softmax family: [dst] may alias the input — within each row the maximum
      and the normaliser are read from the input before any cell of that row
      is overwritten, and each overwrite reads its own cell first. *)
-  let softmax src ~dst =
+  let softmax ?(runtime = Parallel.sequential) src ~dst =
     check "softmax" dst src.shape;
     let rows, cols = rows_of src in
     let s = src.data and out = dst.data in
-    for r = 0 to rows - 1 do
-      let base = r * cols in
-      let m = ref neg_infinity in
-      for j = 0 to cols - 1 do
-        if s.(base + j) > !m then m := s.(base + j)
-      done;
-      let z = ref 0.0 in
-      for j = 0 to cols - 1 do
-        let e = exp (s.(base + j) -. !m) in
-        out.(base + j) <- e;
-        z := !z +. e
-      done;
-      for j = 0 to cols - 1 do
-        out.(base + j) <- out.(base + j) /. !z
-      done
-    done
+    Parallel.parallel_for runtime ~grain:(row_grain cols) ~n:rows
+      (fun lo hi ->
+        for r = lo to hi - 1 do
+          let base = r * cols in
+          let m = ref neg_infinity in
+          for j = 0 to cols - 1 do
+            if s.(base + j) > !m then m := s.(base + j)
+          done;
+          let z = ref 0.0 in
+          for j = 0 to cols - 1 do
+            let e = exp (s.(base + j) -. !m) in
+            out.(base + j) <- e;
+            z := !z +. e
+          done;
+          for j = 0 to cols - 1 do
+            out.(base + j) <- out.(base + j) /. !z
+          done
+        done)
 
-  let log_softmax src ~dst =
+  let log_softmax ?(runtime = Parallel.sequential) src ~dst =
     check "log_softmax" dst src.shape;
     let rows, cols = rows_of src in
     let s = src.data and out = dst.data in
-    for r = 0 to rows - 1 do
-      let base = r * cols in
-      let m = ref neg_infinity in
-      for j = 0 to cols - 1 do
-        if s.(base + j) > !m then m := s.(base + j)
-      done;
-      let z = ref 0.0 in
-      for j = 0 to cols - 1 do
-        z := !z +. exp (s.(base + j) -. !m)
-      done;
-      let lz = !m +. log !z in
-      for j = 0 to cols - 1 do
-        out.(base + j) <- s.(base + j) -. lz
-      done
-    done
+    Parallel.parallel_for runtime ~grain:(row_grain cols) ~n:rows
+      (fun lo hi ->
+        for r = lo to hi - 1 do
+          let base = r * cols in
+          let m = ref neg_infinity in
+          for j = 0 to cols - 1 do
+            if s.(base + j) > !m then m := s.(base + j)
+          done;
+          let z = ref 0.0 in
+          for j = 0 to cols - 1 do
+            z := !z +. exp (s.(base + j) -. !m)
+          done;
+          let lz = !m +. log !z in
+          for j = 0 to cols - 1 do
+            out.(base + j) <- s.(base + j) -. lz
+          done
+        done)
 
   (* Per row: log-normaliser from the logits, then acc -= logits[cls] - lz.
      Row order and operand values match [cross_entropy] exactly. *)
@@ -847,35 +1173,40 @@ module Into = struct
   (* Row-interleaved so [dst] may alias [logits]; each row reads its label
      index before the row is overwritten, so for the degenerate vocab-size-1
      case [dst] may even alias [labels]. *)
-  let cross_entropy_grad ~logits ~labels ~dst =
+  (* The trailing [()] lets the [?runtime] default be erased: these three
+     kernels have no positional operand to anchor it. *)
+  let cross_entropy_grad ?(runtime = Parallel.sequential) ~logits ~labels ~dst
+      () =
     let b = check_labels ~logits ~labels in
     let v = (shape logits).(1) in
     check "cross_entropy_grad" dst logits.shape;
     let s = logits.data and out = dst.data in
     let inv_b = 1.0 /. float_of_int b in
-    for i = 0 to b - 1 do
-      let base = i * v in
-      let cls = int_of_float labels.data.(i) in
-      let m = ref neg_infinity in
-      for j = 0 to v - 1 do
-        if s.(base + j) > !m then m := s.(base + j)
-      done;
-      let z = ref 0.0 in
-      for j = 0 to v - 1 do
-        let e = exp (s.(base + j) -. !m) in
-        out.(base + j) <- e;
-        z := !z +. e
-      done;
-      for j = 0 to v - 1 do
-        out.(base + j) <- out.(base + j) /. !z
-      done;
-      out.(base + cls) <- out.(base + cls) -. 1.0;
-      for j = 0 to v - 1 do
-        out.(base + j) <- out.(base + j) *. inv_b
-      done
-    done
+    Parallel.parallel_for runtime ~grain:(row_grain v) ~n:b
+      (fun lo hi ->
+        for i = lo to hi - 1 do
+          let base = i * v in
+          let cls = int_of_float labels.data.(i) in
+          let m = ref neg_infinity in
+          for j = 0 to v - 1 do
+            if s.(base + j) > !m then m := s.(base + j)
+          done;
+          let z = ref 0.0 in
+          for j = 0 to v - 1 do
+            let e = exp (s.(base + j) -. !m) in
+            out.(base + j) <- e;
+            z := !z +. e
+          done;
+          for j = 0 to v - 1 do
+            out.(base + j) <- out.(base + j) /. !z
+          done;
+          out.(base + cls) <- out.(base + cls) -. 1.0;
+          for j = 0 to v - 1 do
+            out.(base + j) <- out.(base + j) *. inv_b
+          done
+        done)
 
-  let embedding ~table ~ids ~dst =
+  let embedding ?(runtime = Parallel.sequential) ~table ~ids ~dst () =
     if Shape.rank (shape table) <> 2 then
       invalid_arg "Tensor.Into.embedding: table must be 2-D";
     if Shape.rank (shape ids) <> 1 then
@@ -883,29 +1214,67 @@ module Into = struct
     let v = (shape table).(0) and d = (shape table).(1) in
     let b = (shape ids).(0) in
     check "embedding" dst [| b; d |];
-    for i = 0 to b - 1 do
-      let id = int_of_float ids.data.(i) in
-      if id < 0 || id >= v then
-        invalid_arg "Tensor.embedding: id out of range";
-      Array.blit table.data (id * d) dst.data (i * d) d
-    done
+    Parallel.parallel_for runtime ~grain:(row_grain d) ~n:b
+      (fun lo hi ->
+        for i = lo to hi - 1 do
+          let id = int_of_float ids.data.(i) in
+          if id < 0 || id >= v then
+            invalid_arg "Tensor.embedding: id out of range";
+          Array.blit table.data (id * d) dst.data (i * d) d
+        done)
 
-  let embedding_grad ~ids ~grad_out ~dst =
+  (* Scatter-add with duplicate ids, so the partition is over {e destination
+     table rows}: every chunk scans the full id list and accumulates only
+     the rows it owns, preserving the i-ascending addition order per row.
+     Cheap because the scan is O(b) per chunk while the scatters are
+     O(b*d / chunks). *)
+  let embedding_grad ?(runtime = Parallel.sequential) ~ids ~grad_out ~dst () =
     if Shape.rank dst.shape <> 2 then
       invalid_arg "Tensor.Into.embedding_grad: dst must be 2-D";
-    let d = dst.shape.(1) in
+    let v = dst.shape.(0) and d = dst.shape.(1) in
     let b = (shape ids).(0) in
     if not (Shape.equal (shape grad_out) [| b; d |]) then
       invalid_arg "Tensor.Into.embedding_grad: grad_out shape mismatch";
     let out = dst.data and g = grad_out.data in
-    Array.fill out 0 (Array.length out) 0.0;
-    for i = 0 to b - 1 do
-      let id = int_of_float ids.data.(i) in
-      for j = 0 to d - 1 do
-        out.((id * d) + j) <- out.((id * d) + j) +. g.((i * d) + j)
-      done
-    done
+    Parallel.parallel_for runtime ~grain:(row_grain d) ~n:v
+      (fun lo hi ->
+        Array.fill out (lo * d) ((hi - lo) * d) 0.0;
+        for i = 0 to b - 1 do
+          let id = int_of_float ids.data.(i) in
+          if id < 0 || id >= v then
+            invalid_arg "Tensor.Into.embedding_grad: id out of range";
+          if id >= lo && id < hi then
+            for j = 0 to d - 1 do
+              out.((id * d) + j) <- out.((id * d) + j) +. g.((i * d) + j)
+            done
+        done)
 end
+
+(* {1 Allocating wrappers over [Into]} *)
+
+let matmul ?(trans_a = false) ?(trans_b = false) a b =
+  if Shape.rank a.shape <> 2 || Shape.rank b.shape <> 2 then
+    invalid_arg "Tensor.matmul: operands must be 2-D";
+  let am = a.shape.(0) and an = a.shape.(1) in
+  let bm = b.shape.(0) and bn = b.shape.(1) in
+  let m, k = if trans_a then (an, am) else (am, an) in
+  let k', n = if trans_b then (bn, bm) else (bm, bn) in
+  if k <> k' then
+    invalid_arg
+      (Printf.sprintf "Tensor.matmul: inner dims %d vs %d (%s%s x %s%s)" k k'
+         (Shape.to_string a.shape)
+         (if trans_a then "^T" else "")
+         (Shape.to_string b.shape)
+         (if trans_b then "^T" else ""));
+  let dst = zeros [| m; n |] in
+  Into.matmul ~trans_a ~trans_b a b ~dst;
+  dst
+
+let transpose2d t =
+  if Shape.rank t.shape <> 2 then invalid_arg "Tensor.transpose2d: expects 2-D";
+  let dst = zeros [| t.shape.(1); t.shape.(0) |] in
+  Into.transpose2d t ~dst;
+  dst
 
 (* {1 Comparison and printing} *)
 

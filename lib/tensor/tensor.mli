@@ -153,7 +153,14 @@ val conv2d_grad_kernel : stride:int -> pad:int -> input:t -> kernel_shape:Shape.
     the same scalar kernels and the same accumulation order. Unless noted
     otherwise, [dst] may alias an input of the same element count — every
     kernel reads each cell before overwriting it — which is what the
-    executor's in-place buffer transfer relies on. *)
+    executor's in-place buffer transfer relies on.
+
+    Heavy kernels take a [?runtime] ({!Parallel.t}, default
+    {!Parallel.sequential}) and partition their output — rows for matrix
+    kernels, the flat index range for elementwise ones — across the
+    runtime's domains. Each output element is computed by exactly one domain
+    in the sequential per-element accumulation order, so results stay
+    bit-identical at every domain count. *)
 module Into : sig
   val fill : dst:t -> float -> unit
 
@@ -161,49 +168,73 @@ module Into : sig
   (** Raw element copy; shapes may differ as long as element counts match
       (this is the compiled [Reshape]). *)
 
-  val neg : t -> dst:t -> unit
-  val scale : float -> t -> dst:t -> unit
-  val add_scalar : float -> t -> dst:t -> unit
-  val pow_const : float -> t -> dst:t -> unit
-  val sigmoid : t -> dst:t -> unit
-  val tanh_ : t -> dst:t -> unit
-  val relu : t -> dst:t -> unit
-  val exp_ : t -> dst:t -> unit
-  val log_ : t -> dst:t -> unit
-  val sqrt_ : t -> dst:t -> unit
-  val sq : t -> dst:t -> unit
-  val recip : t -> dst:t -> unit
-  val sign : t -> dst:t -> unit
-  val add : t -> t -> dst:t -> unit
-  val sub : t -> t -> dst:t -> unit
-  val mul : t -> t -> dst:t -> unit
-  val div : t -> t -> dst:t -> unit
+  val neg : ?runtime:Parallel.t -> t -> dst:t -> unit
+  val scale : ?runtime:Parallel.t -> float -> t -> dst:t -> unit
+  val add_scalar : ?runtime:Parallel.t -> float -> t -> dst:t -> unit
+  val pow_const : ?runtime:Parallel.t -> float -> t -> dst:t -> unit
+  val sigmoid : ?runtime:Parallel.t -> t -> dst:t -> unit
+  val tanh_ : ?runtime:Parallel.t -> t -> dst:t -> unit
+  val relu : ?runtime:Parallel.t -> t -> dst:t -> unit
+  val exp_ : ?runtime:Parallel.t -> t -> dst:t -> unit
+  val log_ : ?runtime:Parallel.t -> t -> dst:t -> unit
+  val sqrt_ : ?runtime:Parallel.t -> t -> dst:t -> unit
+  val sq : ?runtime:Parallel.t -> t -> dst:t -> unit
+  val recip : ?runtime:Parallel.t -> t -> dst:t -> unit
+  val sign : ?runtime:Parallel.t -> t -> dst:t -> unit
+  val add : ?runtime:Parallel.t -> t -> t -> dst:t -> unit
+  val sub : ?runtime:Parallel.t -> t -> t -> dst:t -> unit
+  val mul : ?runtime:Parallel.t -> t -> t -> dst:t -> unit
+  val div : ?runtime:Parallel.t -> t -> t -> dst:t -> unit
 
-  val scale_by : t -> t -> dst:t -> unit
+  val scale_by : ?runtime:Parallel.t -> t -> t -> dst:t -> unit
   (** [scale_by x s ~dst] scales [x] by the scalar tensor [s]. *)
 
-  val matmul : ?trans_a:bool -> ?trans_b:bool -> t -> t -> dst:t -> unit
-  (** [dst] must not alias an operand (a GEMM cannot run in place). *)
+  val matmul :
+    ?runtime:Parallel.t -> ?trans_a:bool -> ?trans_b:bool -> t -> t -> dst:t -> unit
+  (** [dst] must not alias an operand (a GEMM cannot run in place).
 
-  val add_bias : t -> t -> dst:t -> unit
+      Products of at least {!blocking_threshold} multiply-adds take a
+      cache-blocked path: a logically transposed operand is packed into a
+      contiguous scratch once per call and the inner loops are
+      register-blocked over four output rows. The accumulation order per
+      output element (ascending inner index, skipping zero [a] elements) is
+      the same on both paths, so the switch never changes results. *)
+
+  val blocking_threshold : unit -> int
+  (** Current m*n*k threshold (in multiply-adds) above which {!matmul} uses
+      the packed/blocked kernel. *)
+
+  val set_blocking_threshold : int -> unit
+  (** Override {!blocking_threshold}: [0] forces blocking everywhere,
+      [max_int] disables it. For benchmarks and differential tests. *)
+
+  val add_bias : ?runtime:Parallel.t -> t -> t -> dst:t -> unit
   val slice : axis:int -> lo:int -> hi:int -> t -> dst:t -> unit
   val pad_slice : axis:int -> lo:int -> full:int -> t -> dst:t -> unit
   val concat : axis:int -> t list -> dst:t -> unit
-  val transpose2d : t -> dst:t -> unit
+
+  val transpose2d : ?runtime:Parallel.t -> t -> dst:t -> unit
   (** [dst] must not alias the input. *)
 
-  val reduce_sum : axis:int -> keepdims:bool -> t -> dst:t -> unit
-  val reduce_mean : axis:int -> keepdims:bool -> t -> dst:t -> unit
+  val reduce_sum : ?runtime:Parallel.t -> axis:int -> keepdims:bool -> t -> dst:t -> unit
+  val reduce_mean : ?runtime:Parallel.t -> axis:int -> keepdims:bool -> t -> dst:t -> unit
   val broadcast_axis : axis:int -> n:int -> t -> dst:t -> unit
-  val softmax : t -> dst:t -> unit
-  val log_softmax : t -> dst:t -> unit
+  val softmax : ?runtime:Parallel.t -> t -> dst:t -> unit
+  val log_softmax : ?runtime:Parallel.t -> t -> dst:t -> unit
+
   val cross_entropy : logits:t -> labels:t -> dst:t -> unit
   (** [dst] must be a scalar tensor; receives the mean NLL. *)
 
-  val cross_entropy_grad : logits:t -> labels:t -> dst:t -> unit
-  val embedding : table:t -> ids:t -> dst:t -> unit
-  val embedding_grad : ids:t -> grad_out:t -> dst:t -> unit
-  (** The table shape is taken from [dst]. *)
+  val cross_entropy_grad :
+    ?runtime:Parallel.t -> logits:t -> labels:t -> dst:t -> unit -> unit
+
+  val embedding : ?runtime:Parallel.t -> table:t -> ids:t -> dst:t -> unit -> unit
+
+  val embedding_grad :
+    ?runtime:Parallel.t -> ids:t -> grad_out:t -> dst:t -> unit -> unit
+  (** The table shape is taken from [dst]. Parallelised over destination
+      table rows (ids repeat), never over input rows. The trailing [unit]
+      anchors the optional [?runtime] (no positional operand exists). *)
 end
 
 (** {1 Comparison and printing} *)

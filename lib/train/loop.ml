@@ -14,11 +14,12 @@ let global_norm grads =
          acc +. (n *. n))
        0.0 grads)
 
-let train ~graph ~params ~optimizer ?clip_norm ?on_step ~batches () =
+let train ~graph ~params ~optimizer ?clip_norm ?on_step ?runtime ~batches () =
   (* Compile once; every step is then a slot-indexed executor sweep — no
      per-step scheduling, no hashtable, no feed-list append. *)
   let exe =
-    Echo_compiler.Pipeline.executor (Echo_compiler.Pipeline.compile_graph graph)
+    Echo_compiler.Pipeline.executor
+      (Echo_compiler.Pipeline.compile_graph ?runtime graph)
   in
   let param_nodes = Array.of_list (List.map fst params) in
   let n_params = Array.length param_nodes in

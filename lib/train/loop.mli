@@ -28,11 +28,14 @@ val train :
   optimizer:Optimizer.t ->
   ?clip_norm:float ->
   ?on_step:(step_stats -> unit) ->
+  ?runtime:Parallel.t ->
   batches:batch list ->
   unit ->
   result
 (** [graph]'s outputs must be [loss :: grads] aligned with [params]. Applies
-    optional global-norm clipping before each update. *)
+    optional global-norm clipping before each update. [runtime] selects the
+    multicore kernel runtime for the compiled executor (default: sized by
+    [ECHO_DOMAINS]; training results are bit-identical either way). *)
 
 val perplexity : float -> float
 (** [exp loss], the language-modelling quality metric. *)

@@ -221,6 +221,77 @@ let test_pipeline_stages_compose () =
   check_bool "arena exec agrees" true
     (List.for_all2 Tensor.equal reference validated)
 
+(* Kernel runtime differential: the same LM training graph — loss and all
+   gradients — must come out bitwise identical from the interpreter, the
+   sequential executor, and pools of 1/2/4 domains, under both the naive
+   (threshold = max_int) and blocked (threshold = 0) matmul paths. The
+   comparison is on raw bits (not [Tensor.equal], whose structural compare
+   conflates 0.0 with -0.0), and dropout puts real zeros in the
+   activations so the a(i,l) = 0 skip is exercised. *)
+let bits_equal a b =
+  Shape.equal (Tensor.shape a) (Tensor.shape b)
+  &&
+  let ok = ref true in
+  for i = 0 to Tensor.numel a - 1 do
+    if
+      Int64.bits_of_float (Tensor.get1 a i)
+      <> Int64.bits_of_float (Tensor.get1 b i)
+    then ok := false
+  done;
+  !ok
+
+let test_runtime_differential () =
+  let lm =
+    Language_model.build
+      {
+        Language_model.ptb_default with
+        vocab = 40;
+        embed = 8;
+        hidden = 8;
+        layers = 2;
+        seq_len = 5;
+        batch = 3;
+        dropout = 0.2;
+      }
+  in
+  let model = lm.Language_model.model in
+  let g = (Model.training model).Echo_autodiff.Grad.graph in
+  let rng = Rng.create 7 in
+  let feeds =
+    List.map
+      (fun node ->
+        ( node,
+          Tensor.init (Node.shape node) (fun _ ->
+              float_of_int (Rng.int rng 40)) ))
+      model.Model.placeholders
+    @ Params.bindings model.Model.params
+  in
+  let saved = Tensor.Into.blocking_threshold () in
+  Fun.protect ~finally:(fun () -> Tensor.Into.set_blocking_threshold saved)
+  @@ fun () ->
+  (* Reference: interpreter on the unblocked kernels. *)
+  Tensor.Into.set_blocking_threshold max_int;
+  let reference = Echo_exec.Interp.eval g ~feeds in
+  let check_engine label outputs =
+    check_bool label true (List.for_all2 bits_equal reference outputs)
+  in
+  List.iter
+    (fun threshold ->
+      Tensor.Into.set_blocking_threshold threshold;
+      let path = if threshold = 0 then "blocked" else "naive" in
+      check_engine
+        (Printf.sprintf "%s seq executor" path)
+        (Executor.eval (Executor.compile ~runtime:Parallel.sequential g) ~feeds);
+      List.iter
+        (fun d ->
+          let pool = Parallel.create ~domains:d () in
+          Fun.protect ~finally:(fun () -> Parallel.shutdown pool) @@ fun () ->
+          check_engine
+            (Printf.sprintf "%s %d-domain executor" path d)
+            (Executor.eval (Executor.compile ~runtime:pool g) ~feeds))
+        [ 1; 2; 4 ])
+    [ max_int; 0 ]
+
 (* Missing feeds are reported all at once, by name, by both engines. *)
 let test_missing_feeds_aggregated () =
   let a = Node.placeholder ~name:"tokens" [| 2 |] in
@@ -272,6 +343,7 @@ let suite =
         t "transformer training graph differential" test_transformer_differential;
         t "conv fallback differential" test_conv_fallback_differential;
         t "pipeline stages compose" test_pipeline_stages_compose;
+        t "kernel runtime differential" test_runtime_differential;
         t "missing feeds aggregated" test_missing_feeds_aggregated;
         t "train arity message" test_train_arity_message;
       ] );

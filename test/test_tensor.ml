@@ -109,6 +109,92 @@ let test_matmul_inner_mismatch () =
        false
      with Invalid_argument _ -> true)
 
+(* Bitwise tensor equality: [Tensor.equal]'s structural compare conflates
+   0.0 with -0.0, which is exactly where a kernel that mishandles the
+   a(i,l) = 0 skip would hide. *)
+let bits_equal a b =
+  Shape.equal (Tensor.shape a) (Tensor.shape b)
+  &&
+  let ok = ref true in
+  for i = 0 to Tensor.numel a - 1 do
+    if
+      Int64.bits_of_float (Tensor.get1 a i)
+      <> Int64.bits_of_float (Tensor.get1 b i)
+    then ok := false
+  done;
+  !ok
+
+(* Independent scalar oracle for the documented matmul semantics: each
+   output element accumulates in ascending l, skipping terms whose a-side
+   factor is exactly 0.0. Every kernel path must match this bit for bit. *)
+let matmul_oracle ~trans_a ~trans_b ~m ~n ~k a b =
+  Tensor.init [| m; n |] (fun idx ->
+      let i = idx.(0) and j = idx.(1) in
+      let acc = ref 0.0 in
+      for l = 0 to k - 1 do
+        let x =
+          if trans_a then Tensor.get a [| l; i |] else Tensor.get a [| i; l |]
+        in
+        if x <> 0.0 then
+          let bv =
+            if trans_b then Tensor.get b [| j; l |] else Tensor.get b [| l; j |]
+          in
+          acc := !acc +. (x *. bv)
+      done;
+      !acc)
+
+(* Uniform matrix with ~25% exact zeros so the skip path (and its
+   interaction with signed zeros downstream) is actually exercised. *)
+let sparse_uniform rng shape =
+  let t = Tensor.uniform rng shape ~lo:(-1.0) ~hi:1.0 in
+  for i = 0 to Tensor.numel t - 1 do
+    if Rng.float rng < 0.25 then Tensor.set1 t i 0.0
+  done;
+  t
+
+(* Sweep sizes across the blocking threshold, all four transpose variants,
+   forced-naive / default / forced-blocked thresholds, and sequential vs a
+   2-domain pool. Every combination must be bitwise equal to the oracle.
+   [dst] starts as NaN so an unwritten element can never pass. *)
+let test_matmul_blocked_sweep () =
+  let sizes = [ (1, 1, 1); (3, 5, 2); (8, 8, 8); (17, 33, 9); (40, 40, 40); (64, 32, 48) ] in
+  let saved = Tensor.Into.blocking_threshold () in
+  let pool = Parallel.create ~domains:2 () in
+  Fun.protect ~finally:(fun () ->
+      Tensor.Into.set_blocking_threshold saved;
+      Parallel.shutdown pool)
+  @@ fun () ->
+  let rng = Rng.create 11 in
+  List.iter
+    (fun (m, n, k) ->
+      List.iter
+        (fun (trans_a, trans_b) ->
+          let a = sparse_uniform rng (if trans_a then [| k; m |] else [| m; k |]) in
+          let b = sparse_uniform rng (if trans_b then [| n; k |] else [| k; n |]) in
+          let expect = matmul_oracle ~trans_a ~trans_b ~m ~n ~k a b in
+          List.iter
+            (fun threshold ->
+              Tensor.Into.set_blocking_threshold threshold;
+              List.iter
+                (fun (rt_name, runtime) ->
+                  let dst = Tensor.full [| m; n |] Float.nan in
+                  Tensor.Into.matmul ~runtime ~trans_a ~trans_b a b ~dst;
+                  if not (bits_equal expect dst) then
+                    Alcotest.failf
+                      "matmul %dx%dx%d ta=%b tb=%b threshold=%d runtime=%s \
+                       differs from oracle"
+                      m n k trans_a trans_b threshold rt_name)
+                [ ("seq", Parallel.sequential); ("pool2", pool) ];
+              if not (bits_equal expect (Tensor.matmul ~trans_a ~trans_b a b))
+              then
+                Alcotest.failf
+                  "allocating matmul %dx%dx%d ta=%b tb=%b threshold=%d \
+                   differs from oracle"
+                  m n k trans_a trans_b threshold)
+            [ 0; saved; max_int ])
+        [ (false, false); (true, false); (false, true); (true, true) ])
+    sizes
+
 let test_add_bias () =
   let m = t2 [ [ 1.; 2. ]; [ 3.; 4. ] ] in
   let b = Tensor.of_list1 [ 10.; 20. ] in
@@ -391,6 +477,7 @@ let suite =
         t "matmul transposes" test_matmul_transposes;
         t "matmul identity" test_matmul_identity;
         t "matmul mismatch" test_matmul_inner_mismatch;
+        t "matmul blocked/parallel sweep" test_matmul_blocked_sweep;
         t "add_bias" test_add_bias;
         t "outer" test_outer;
         QCheck_alcotest.to_alcotest prop_matmul_distributes;
