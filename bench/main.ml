@@ -643,11 +643,101 @@ let e16 () =
   Parallel.shutdown pool2;
   record_json "E16" (List.rev !json)
 
+(* E17: fault-tolerant training under a shrinking memory budget — a
+   simulated OOM fires at step 2 with the device ceiling set to a falling
+   fraction of the stash-all arena; the loop re-plans through the
+   escalation ladder and finishes the run. Losses must stay bit-identical
+   to the unfaulted run (every policy computes the same math); the table
+   reports the surviving policy and the wall-clock recovery overhead. *)
+let e17 () =
+  heading "E17" "fault-tolerant training under shrinking memory budget";
+  let cfg =
+    {
+      Language_model.ptb_default with
+      vocab = 150;
+      embed = 24;
+      hidden = 24;
+      layers = 2;
+      seq_len = 10;
+      batch = 6;
+      dropout = 0.2;
+    }
+  in
+  let lm = Language_model.build cfg in
+  let graph = training_graph lm.Language_model.model in
+  let steps = 8 in
+  let stream = Corpus.generate ~seed:5 ~vocab:cfg.Language_model.vocab ~length:40_000 in
+  let batches =
+    List.map
+      (fun (tokens, labels) ->
+        [ (lm.Language_model.token_input, tokens);
+          (lm.Language_model.label_input, labels) ])
+      (Corpus.lm_batches stream ~batch:cfg.Language_model.batch
+         ~seq_len:cfg.Language_model.seq_len ~steps)
+  in
+  let train ?faults ?on_event () =
+    Loop.train ~graph
+      ~params:(Params.bindings lm.Language_model.model.Model.params)
+      ~optimizer:(Optimizer.create (Optimizer.Sgd { lr = 0.5 }))
+      ~clip_norm:5.0 ?faults ?on_event ~batches ()
+  in
+  let t0 = wall () in
+  let clean = train () in
+  let t_clean = Float.max (wall () -. t0) 1e-9 in
+  let baseline_arena =
+    Echo_compiler.Executor.footprint_bytes
+      (Echo_compiler.Pipeline.executor (Echo_compiler.Pipeline.compile_graph graph))
+  in
+  row "baseline arena %s; %d steps, OOM injected at step 2@."
+    (Footprint.human baseline_arena) steps;
+  row "%-8s %10s  %-18s %14s %10s@." "budget" "bytes" "survivor" "max|dloss|"
+    "time";
+  let json = ref [] in
+  List.iter
+    (fun frac ->
+      let budget = int_of_float (frac *. float_of_int baseline_arena) in
+      let survivor = ref "stash-all (fits)" in
+      let faults =
+        Echo_runtime.Fault.of_specs
+          [ { Echo_runtime.Fault.step = 2;
+              kind = Echo_runtime.Fault.Oom { budget_bytes = budget } } ]
+      in
+      let on_event = function
+        | Echo_runtime.Event.Replan { policy; _ } -> survivor := policy
+        | _ -> ()
+      in
+      (match
+         let t1 = wall () in
+         let r = train ~faults ~on_event () in
+         (r, Float.max (wall () -. t1) 1e-9)
+       with
+      | r, dt ->
+        let max_diff =
+          List.fold_left2
+            (fun acc a b -> Float.max acc (Float.abs (a -. b)))
+            0.0 clean.Loop.losses r.Loop.losses
+        in
+        row "%-8s %10d  %-18s %14g %9.2fx@."
+          (Printf.sprintf "%.1f%%" (100.0 *. frac))
+          budget !survivor max_diff (dt /. t_clean);
+        json :=
+          (Printf.sprintf "overhead_%.0f" (1000.0 *. frac), dt /. t_clean)
+          :: (Printf.sprintf "survived_%.0f" (1000.0 *. frac), 1.0)
+          :: !json
+      | exception Echo_compiler.Executor.Budget_exceeded _ ->
+        row "%-8s %10d  %-18s %14s %10s@."
+          (Printf.sprintf "%.1f%%" (100.0 *. frac))
+          budget "none (hard OOM)" "-" "-";
+        json :=
+          (Printf.sprintf "survived_%.0f" (1000.0 *. frac), 0.0) :: !json))
+    [ 1.02; 0.98; 0.92; 0.87; 0.855; 0.84 ];
+  record_json "E17" (List.rev !json)
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
-    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
+    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
   ]
 
 let () =
@@ -665,16 +755,33 @@ let () =
     match !only with
     | None -> experiments
     | Some ids ->
-      let wanted = String.split_on_char ',' (String.lowercase_ascii ids) in
-      List.filter
-        (fun (name, _) -> List.mem (String.lowercase_ascii name) wanted)
-        experiments
+      let wanted =
+        List.filter
+          (fun s -> s <> "")
+          (List.map String.trim
+             (String.split_on_char ',' (String.lowercase_ascii ids)))
+      in
+      (* Reject any unknown id, not just an all-unknown list: a typo in
+         --only E3,E77 must error, not silently run a subset. *)
+      let known (name, _) = List.mem (String.lowercase_ascii name) wanted in
+      let unknown =
+        List.filter
+          (fun w ->
+            not
+              (List.exists
+                 (fun (name, _) -> String.lowercase_ascii name = w)
+                 experiments))
+          wanted
+      in
+      if unknown <> [] || wanted = [] then begin
+        Format.printf "unknown experiment%s %s; available: %s@."
+          (if List.length unknown > 1 then "s" else "")
+          (String.concat ", " unknown)
+          (String.concat ", " (List.map fst experiments));
+        exit 1
+      end;
+      List.filter known experiments
   in
-  if selected = [] then begin
-    Format.printf "unknown experiment; available: %s@."
-      (String.concat ", " (List.map fst experiments));
-    exit 1
-  end;
   let t0 = Sys.time () in
   List.iter (fun (_, f) -> f ()) selected;
   json_flush "BENCH_E15.json";

@@ -5,7 +5,17 @@
 
      dune exec bin/echoc.exe -- --model lm --policy echo --budget 0.1
      dune exec bin/echoc.exe -- --model nmt --batch 128 --all --breakdown
-     dune exec bin/echoc.exe -- --model transformer --policy checkpoint *)
+     dune exec bin/echoc.exe -- --model transformer --policy checkpoint
+
+   With --train N it instead drives the fault-tolerant training loop for N
+   steps on a synthetic corpus, with optional budget enforcement, fault
+   injection and checkpoint/resume:
+
+     dune exec bin/echoc.exe -- --train 20 -H 24 -b 6 -t 10 \
+       --checkpoint run.ckpt --checkpoint-every 5
+     dune exec bin/echoc.exe -- --train 20 -H 24 -b 6 -t 10 \
+       --checkpoint run.ckpt --resume
+     dune exec bin/echoc.exe -- --train 20 -H 24 --faults "oom@3=50%" *)
 
 open Cmdliner
 open Echo_models
@@ -79,9 +89,102 @@ let build_graph choice ~batch ~seq_len ~hidden ~layers =
   in
   model
 
+(* --train: drive the fault-tolerant training loop instead of the
+   policy-report path. LM family only (the synthetic corpus is a token
+   stream). *)
+let train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
+    ~device
+    ~runtime ~budget_bytes ~faults_spec ~checkpoint_path ~checkpoint_every
+    ~resume =
+  let cell =
+    match model_choice with
+    | Lm -> Recurrent.Lstm
+    | Peephole_lm -> Recurrent.Peephole
+    | Gru_lm -> Recurrent.Gru
+    | Rnn_lm -> Recurrent.Vanilla
+    | Nmt_model | Ds2 | Transformer_model ->
+      failwith
+        "--train drives the LM family only (lm, peephole-lm, gru-lm, rnn-lm)"
+  in
+  let d = Language_model.ptb_default in
+  let cfg =
+    {
+      d with
+      Language_model.cell;
+      batch = Option.value batch ~default:d.Language_model.batch;
+      seq_len = Option.value seq_len ~default:d.Language_model.seq_len;
+      hidden = Option.value hidden ~default:d.Language_model.hidden;
+      embed = Option.value hidden ~default:d.Language_model.embed;
+      layers = Option.value layers ~default:d.Language_model.layers;
+      vocab = Option.value vocab ~default:d.Language_model.vocab;
+    }
+  in
+  let lm = Language_model.build cfg in
+  Format.printf "%a@." Model.describe lm.Language_model.model;
+  let training = Model.training lm.Language_model.model in
+  let corpus =
+    Echo_workloads.Corpus.generate ~seed:5 ~vocab:cfg.Language_model.vocab
+      ~length:
+        (((steps + 2) * cfg.Language_model.batch * cfg.Language_model.seq_len)
+        + 1)
+  in
+  let batches =
+    List.map
+      (fun (tokens, labels) ->
+        [
+          (lm.Language_model.token_input, tokens);
+          (lm.Language_model.label_input, labels);
+        ])
+      (Echo_workloads.Corpus.lm_batches corpus ~batch:cfg.Language_model.batch
+         ~seq_len:cfg.Language_model.seq_len ~steps)
+  in
+  let faults =
+    match faults_spec with
+    | Some s -> Echo_runtime.Fault.parse s
+    | None -> Echo_runtime.Fault.of_env ()
+  in
+  let checkpoint =
+    Option.map
+      (fun path -> { Echo_train.Loop.path; every = checkpoint_every; resume })
+      checkpoint_path
+  in
+  let train () =
+    Echo_train.Loop.train ~graph:training.Echo_autodiff.Grad.graph
+      ~params:(Params.bindings lm.Language_model.model.Model.params)
+      ~optimizer:(Echo_train.Optimizer.create (Echo_train.Optimizer.Sgd { lr = 0.5 }))
+      ~clip_norm:5.0
+      ~on_step:(fun s ->
+        Format.printf "step %4d  loss %.6f  ppl %.2f  |g| %.4f@."
+          s.Echo_train.Loop.step s.Echo_train.Loop.loss
+          (Echo_train.Loop.perplexity s.Echo_train.Loop.loss)
+          s.Echo_train.Loop.grad_norm)
+      ~on_event:(fun e ->
+        Format.printf "[recovery] %s@." (Echo_runtime.Event.to_string e))
+      ?budget_bytes ~faults ?checkpoint ~device ~runtime ~batches ()
+  in
+  let result =
+    try train ()
+    with Echo_compiler.Executor.Budget_exceeded { requested_bytes; budget_bytes }
+    ->
+      failwith
+        (Printf.sprintf
+           "out of memory: the run needs at least %d bytes but the device \
+            allows %d, and no policy on the escalation ladder (up to \
+            recompute-all) fits — shrink the model or raise the budget"
+           requested_bytes budget_bytes)
+  in
+  match List.rev result.Echo_train.Loop.losses with
+  | final :: _ ->
+    Format.printf "trained %d step(s); final loss %.6f (ppl %.2f)@."
+      (List.length result.Echo_train.Loop.losses)
+      final
+      (Echo_train.Loop.perplexity final)
+  | [] -> Format.printf "trained 0 steps (all skipped)@."
+
 let run model_choice batch seq_len hidden layers policy budget all breakdown
     profile optimize dot_file trace_file save_file load_file device_name
-    domains compile =
+    domains compile train_steps vocab budget_bytes faults_spec checkpoint_path
+    checkpoint_every resume =
   let device =
     match Echo_gpusim.Device.by_name device_name with
     | Some d -> d
@@ -94,6 +197,12 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
     | Some d -> Echo_tensor.Parallel.set_default_domains d
     | None -> Echo_tensor.Parallel.default ()
   in
+  match train_steps with
+  | Some steps ->
+    train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
+      ~device ~runtime ~budget_bytes ~faults_spec ~checkpoint_path
+      ~checkpoint_every ~resume
+  | None ->
   if compile then
     Format.printf "kernel runtime: %d domain(s)@."
       (Echo_tensor.Parallel.domains runtime);
@@ -218,11 +327,66 @@ let cmd =
           ~doc:"Also lower through plan+compile to the slot executor and \
                 print the per-stage summary.")
   in
+  let train_steps =
+    Arg.(
+      value & opt (some int) None
+      & info [ "train" ]
+          ~doc:
+            "Train for $(docv) steps on a synthetic corpus through the \
+             fault-tolerant loop (LM-family models only)." ~docv:"STEPS")
+  in
+  let vocab =
+    Arg.(
+      value & opt (some int) None
+      & info [ "vocab" ]
+          ~doc:
+            "Vocabulary size for --train (small vocabularies shrink the \
+             softmax buffers the recomputation ladder cannot help with).")
+  in
+  let budget_bytes =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget-bytes" ]
+          ~doc:
+            "Hard arena ceiling for --train; a violation re-plans through \
+             the recomputation escalation ladder.")
+  in
+  let faults =
+    Arg.(
+      value & opt (some string) None
+      & info [ "faults" ]
+          ~doc:
+            "Fault-injection plan for --train, e.g. \
+             'oom@3=1048576;transient@5;nan@7' (defaults to \
+             \\$(b,ECHO_FAULTS)).")
+  in
+  let checkpoint_path =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~doc:"Checkpoint file for --train.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 10
+      & info [ "checkpoint-every" ]
+          ~doc:"Write the checkpoint every $(docv) steps (with --checkpoint)."
+          ~docv:"N")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume --train from --checkpoint if it exists; the resumed run \
+             reproduces the uninterrupted one exactly.")
+  in
   let term =
     Term.(
       const run $ model $ batch $ seq_len $ hidden $ layers $ policy $ budget
       $ all $ breakdown $ profile $ optimize $ dot_file $ trace_file
-      $ save_file $ load_file $ device $ domains $ compile)
+      $ save_file $ load_file $ device $ domains $ compile $ train_steps
+      $ vocab $ budget_bytes $ faults $ checkpoint_path $ checkpoint_every
+      $ resume)
   in
   Cmd.v (Cmd.info "echoc" ~doc:"Echo compiler pass driver") term
 

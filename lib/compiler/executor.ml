@@ -25,9 +25,21 @@ type t = {
   max_workspace_bytes : int;
 }
 
+exception Budget_exceeded of { requested_bytes : int; budget_bytes : int }
+
+let () =
+  Printexc.register_printer (function
+    | Budget_exceeded { requested_bytes; budget_bytes } ->
+      Some
+        (Printf.sprintf
+           "Executor.Budget_exceeded { requested_bytes = %d; budget_bytes = \
+            %d }"
+           requested_bytes budget_bytes)
+    | _ -> None)
+
 let nop () = ()
 
-let compile ?(inplace = true) ?runtime graph =
+let compile ?(inplace = true) ?budget_bytes ?runtime graph =
   let runtime =
     match runtime with Some r -> r | None -> Parallel.default ()
   in
@@ -58,6 +70,17 @@ let compile ?(inplace = true) ?runtime graph =
     | None -> Hashtbl.replace pool numel (ref [ b ])
   in
   let transient_bytes = ref 0 in
+  (* Budget enforcement happens here, during allocation, so the raise
+     carries the running arena total at the moment it first crosses the
+     ceiling — a simulated device OOM, not a post-hoc check. *)
+  let check_budget () =
+    match budget_bytes with
+    | Some budget ->
+      let total = !persistent_bytes + !transient_bytes + !max_ws in
+      if total > budget then
+        raise (Budget_exceeded { requested_bytes = total; budget_bytes = budget })
+    | None -> ()
+  in
   let buf_of_slot : buf option array = Array.make n None in
   let transferred : (int, unit) Hashtbl.t = Hashtbl.create 256 in
   let inplace_buf step node =
@@ -107,6 +130,7 @@ let compile ?(inplace = true) ?runtime graph =
         b.writers <- b.writers + 1;
         buf_of_slot.(step) <- Some b;
         values.(step) <- Tensor.create (Node.shape node) b.arr);
+      check_budget ();
       List.iter
         (fun dying ->
           if not (Hashtbl.mem transferred (Node.id dying)) then begin

@@ -27,10 +27,23 @@ open Echo_ir
 
 type t
 
-val compile : ?inplace:bool -> ?runtime:Parallel.t -> Graph.t -> t
+exception Budget_exceeded of { requested_bytes : int; budget_bytes : int }
+(** Raised by {!compile} when buffer allocation crosses [budget_bytes]: the
+    simulated device ran out of memory. [requested_bytes] is the arena total
+    (persistent + transient pool + max workspace) at the moment it first
+    exceeded the ceiling, so it is a lower bound on the full footprint. The
+    fault-tolerant training loop ([Echo_train.Loop]) catches this and
+    re-plans through the recomputation escalation ladder. *)
+
+val compile : ?inplace:bool -> ?budget_bytes:int -> ?runtime:Parallel.t -> Graph.t -> t
 (** Compile the graph's schedule into instructions and bind buffers.
     [inplace] (default [true]) mirrors the planner's in-place optimisation;
     disable it to match [Memplan.plan ~inplace:false].
+
+    [budget_bytes] is a hard ceiling on the device-accounted arena: buffer
+    allocation that crosses it aborts compilation with {!Budget_exceeded}.
+    An executor compiled under a budget always satisfies
+    [footprint_bytes <= budget_bytes].
 
     [runtime] (default {!Echo_tensor.Parallel.default}, i.e. sized by the
     [ECHO_DOMAINS] environment variable) is baked into every compiled

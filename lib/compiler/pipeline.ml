@@ -85,18 +85,19 @@ let plan ?(offsets = false) (rw : rewritten) =
 
 type executable = { planned : planned; executor : Executor.t }
 
-let compile ?runtime (pl : planned) =
-  { planned = pl; executor = Executor.compile ?runtime pl.graph }
+let compile ?budget_bytes ?runtime (pl : planned) =
+  { planned = pl; executor = Executor.compile ?budget_bytes ?runtime pl.graph }
 
 let executor e = e.executor
 
-let compile_graph ?runtime graph =
-  of_training_graph graph |> optimize ~enabled:false |> rewrite |> plan
-  |> compile ?runtime
+let compile_graph ?budget_bytes ?policy ?runtime graph =
+  of_training_graph graph |> optimize ~enabled:false |> rewrite ?policy |> plan
+  |> compile ?budget_bytes ?runtime
 
-let compile_source ?device ?optimize:(opt_enabled = true) ?policy ?runtime src =
+let compile_source ?device ?optimize:(opt_enabled = true) ?policy ?budget_bytes
+    ?runtime src =
   let opt = optimize ~enabled:opt_enabled (differentiate src) in
-  compile ?runtime (plan (rewrite ?device ?policy opt))
+  compile ?budget_bytes ?runtime (plan (rewrite ?device ?policy opt))
 
 let validated_eval (pl : planned) ~feeds = Echo_exec.Arena_exec.eval pl.graph ~feeds
 

@@ -114,26 +114,37 @@ val validated_eval : planned -> feeds:Echo_exec.Interp.feeds -> Echo_tensor.Tens
 
 type executable = { planned : planned; executor : Executor.t }
 
-val compile : ?runtime:Echo_tensor.Parallel.t -> planned -> executable
+val compile :
+  ?budget_bytes:int -> ?runtime:Echo_tensor.Parallel.t -> planned -> executable
 (** Lower to the slot executor. [runtime] selects the kernel runtime the
     executor's instructions partition work over (default
     [Parallel.default ()], sized by [ECHO_DOMAINS]); this is the single
     place the training loop, [echoc], bench and examples pick multicore
-    execution. *)
+    execution.
+
+    [budget_bytes] is passed through to {!Executor.compile}: compilation
+    aborts with {!Executor.Budget_exceeded} if the arena would cross it. *)
 
 val executor : executable -> Executor.t
 
 (** {1 Shorthands} *)
 
-val compile_graph : ?runtime:Echo_tensor.Parallel.t -> Graph.t -> executable
-(** [of_training_graph |> optimize ~enabled:false |> rewrite (Stash_all)
-    |> plan |> compile]: compile an existing training graph as-is. This is
-    what [Loop.train] uses. *)
+val compile_graph :
+  ?budget_bytes:int ->
+  ?policy:Echo_core.Pass.policy ->
+  ?runtime:Echo_tensor.Parallel.t ->
+  Graph.t ->
+  executable
+(** [of_training_graph |> optimize ~enabled:false |> rewrite ?policy
+    |> plan |> compile]: compile an existing training graph (default policy
+    [Stash_all], i.e. as-is). This is what [Loop.train] uses, both on the
+    initial compile and when re-planning under a shrunk [budget_bytes]. *)
 
 val compile_source :
   ?device:Echo_gpusim.Device.t ->
   ?optimize:bool ->
   ?policy:Echo_core.Pass.policy ->
+  ?budget_bytes:int ->
   ?runtime:Echo_tensor.Parallel.t ->
   source ->
   executable

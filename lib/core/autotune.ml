@@ -22,6 +22,28 @@ let for_memory_target ~device graph ~target_bytes =
   let baseline = run_one ~device Pass.Stash_all graph in
   if fits baseline then Some baseline else escalate escalation
 
+let fit_ladder =
+  Pass.Stash_all
+  :: List.map (fun b -> Pass.Echo { overhead_budget = b }) escalation
+  @ [ Pass.Checkpoint_sqrt; Pass.Recompute_all ]
+
+let fit_footprint outcome =
+  outcome.report.Pass.optimised_mem.Memplan.arena_bytes
+
+(* Unlike [for_memory_target], fitting here is judged on [arena_bytes] — the
+   exact footprint of the compiled slot executor
+   ([Executor.footprint_bytes]) — so a plan accepted under a budget is
+   guaranteed to also compile under that budget. *)
+let fit_memory ~device graph ~budget_bytes =
+  let rec escalate = function
+    | [] -> None
+    | policy :: rest ->
+      let outcome = run_one ~device policy graph in
+      if fit_footprint outcome <= budget_bytes then Some outcome
+      else escalate rest
+  in
+  escalate fit_ladder
+
 let best_throughput ~device graph ~budget_bytes ~candidates =
   List.fold_left
     (fun best policy ->

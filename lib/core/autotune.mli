@@ -15,6 +15,27 @@ type outcome = {
   report : Pass.report;
 }
 
+val escalation : float list
+(** The Echo overhead-budget ladder:
+    [0.01; 0.03; 0.05; 0.10; 0.20; 0.30; 0.50; 1.0]. *)
+
+val fit_ladder : Pass.policy list
+(** The full escalation ladder the fault-tolerant runtime re-plans through,
+    cheapest (in recompute overhead) first: [Stash_all], then
+    [Echo {overhead_budget}] for each rung of {!escalation}, then
+    [Checkpoint_sqrt], then [Recompute_all]. *)
+
+val fit_memory :
+  device:Device.t -> Graph.t -> budget_bytes:int -> outcome option
+(** First rung of {!fit_ladder} whose planned {e arena} footprint
+    ([Memplan.report.arena_bytes] — exactly what the compiled slot executor
+    allocates, see [Echo_compiler.Executor.footprint_bytes]) fits
+    [budget_bytes]. [None] when even [Recompute_all] does not fit. This is
+    what [Echo_train.Loop] uses to recover from [Budget_exceeded]. *)
+
+val fit_footprint : outcome -> int
+(** The arena footprint {!fit_memory} judged the outcome by. *)
+
 val for_memory_target :
   device:Device.t -> Graph.t -> target_bytes:int -> outcome option
 (** Cheapest Echo plan (by simulated overhead) whose measured peak footprint

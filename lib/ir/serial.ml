@@ -172,6 +172,33 @@ let op_of_tokens line tokens =
       { stride = i stride; pad = i pad; kernel_shape = shape_of_string line s }
   | _ -> fail line "unknown operator"
 
+(* Tensor <-> single token: SHAPE:V0,V1,... with %h floats so round-trips
+   are bit-exact. Used by the checkpoint format in [Echo_runtime]. *)
+let tensor_to_string t =
+  let values =
+    Array.to_list (Array.map (Printf.sprintf "%h") (Tensor.to_array t))
+  in
+  shape_to_string (Tensor.shape t) ^ ":" ^ String.concat "," values
+
+let tensor_of_string s =
+  match String.index_opt s ':' with
+  | None -> fail s "missing ':' in tensor"
+  | Some colon ->
+    let shape = shape_of_string s (String.sub s 0 colon) in
+    let body = String.sub s (colon + 1) (String.length s - colon - 1) in
+    let values =
+      if body = "" then [||]
+      else
+        Array.of_list
+          (List.map
+             (fun v ->
+               try float_of_string v with _ -> fail s ("bad float " ^ v))
+             (String.split_on_char ',' body))
+    in
+    if Array.length values <> Shape.numel shape then
+      fail s "tensor element count does not match shape";
+    Tensor.create shape values
+
 let header = "echo-graph v1"
 
 let to_string graph =

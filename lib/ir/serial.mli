@@ -15,3 +15,22 @@ val of_string : string -> Graph.t
 
 val to_file : Graph.t -> string -> unit
 val of_file : string -> Graph.t
+
+(** {1 Shared encoding helpers}
+
+    Used by the checkpoint format in [Echo_runtime]; exposed so every
+    on-disk artifact escapes strings and encodes tensors the same way. *)
+
+val escape : string -> string
+(** Percent-escape spaces, ['%'] and newlines so a string fits in one
+    space-separated token. *)
+
+val unescape : string -> string
+(** Inverse of {!escape}. @raise Parse_error on a malformed escape. *)
+
+val tensor_to_string : Echo_tensor.Tensor.t -> string
+(** One token, [SHAPE:v0,v1,...], with [%h] hex floats — round-trips are
+    bit-exact. *)
+
+val tensor_of_string : string -> Echo_tensor.Tensor.t
+(** @raise Parse_error on malformed input. *)

@@ -1,0 +1,36 @@
+(** Atomic, checksummed training checkpoints.
+
+    A checkpoint captures everything [Echo_train.Loop.train] needs to resume
+    a run so that the resumed process reproduces the uninterrupted run
+    bit-exactly: the step counter, the RNG state, the full loss history so
+    far, the parameter tensors, and the optimizer's slot tensors (velocity /
+    second-moment, keyed positionally by parameter index so they survive
+    crossing a process boundary where node ids differ).
+
+    The on-disk format is line-oriented text built on [Echo_ir.Serial]'s
+    bit-exact tensor encoding, ending in an FNV-1a 64 checksum line. Writes
+    go to a temporary file in the same directory followed by [Sys.rename],
+    so a crash mid-write never leaves a truncated checkpoint under the
+    target path. *)
+
+type t = {
+  step : int;  (** number of completed training steps *)
+  rng_state : int64 option;  (** data-pipeline RNG, if the loop owns one *)
+  opt_steps : int;  (** optimizer's own step counter (Adam bias correction) *)
+  losses : float list;  (** recorded losses, oldest first *)
+  params : (string * Echo_tensor.Tensor.t) list;
+      (** parameter values, in the loop's parameter order *)
+  slots : (string * (int * Echo_tensor.Tensor.t) list) list;
+      (** optimizer state: [(slot_name, [(param_index, tensor); ...])] *)
+}
+
+exception Corrupt of string
+(** Raised by {!load} on a missing file, bad header, malformed line, or
+    checksum mismatch; the payload says which. *)
+
+val save : path:string -> t -> unit
+(** Atomically write [t] to [path] (via [path ^ ".tmp"] + rename). *)
+
+val load : string -> t
+(** @raise Corrupt if the file is unreadable, malformed or fails its
+    checksum. *)

@@ -1,0 +1,35 @@
+type t =
+  | Budget_hit of { step : int; requested_bytes : int; budget_bytes : int }
+  | Replan of {
+      step : int;
+      policy : string;
+      footprint_bytes : int;
+      budget_bytes : int;
+    }
+  | Retry of { step : int; attempt : int; reason : string }
+  | Skip of { step : int; reason : string }
+  | Nan_guard of { step : int; loss : float; grad_norm : float }
+  | Checkpoint_write of { step : int; path : string }
+  | Checkpoint_load of { step : int; path : string }
+
+let to_string = function
+  | Budget_hit { step; requested_bytes; budget_bytes } ->
+    Printf.sprintf "step %d: budget hit (%d bytes needed, %d allowed)" step
+      requested_bytes budget_bytes
+  | Replan { step; policy; footprint_bytes; budget_bytes } ->
+    Printf.sprintf "step %d: replanned to %s (%d bytes under a %d-byte budget)"
+      step policy footprint_bytes budget_bytes
+  | Retry { step; attempt; reason } ->
+    Printf.sprintf "step %d: retry %d after transient failure (%s)" step attempt
+      reason
+  | Skip { step; reason } -> Printf.sprintf "step %d: skipped (%s)" step reason
+  | Nan_guard { step; loss; grad_norm } ->
+    Printf.sprintf "step %d: non-finite guard (loss %g, grad norm %g); update \
+                    skipped"
+      step loss grad_norm
+  | Checkpoint_write { step; path } ->
+    Printf.sprintf "step %d: checkpoint written to %s" step path
+  | Checkpoint_load { step; path } ->
+    Printf.sprintf "step %d: resumed from checkpoint %s" step path
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)

@@ -1,0 +1,30 @@
+(** Recovery observability: every action the fault-tolerant training runtime
+    takes — re-planning after a budget violation, retrying a transient
+    kernel failure, skipping a poisoned step, writing or loading a
+    checkpoint — is surfaced as one of these events through the
+    [?on_event] callback of [Echo_train.Loop.train]. *)
+
+type t =
+  | Budget_hit of { step : int; requested_bytes : int; budget_bytes : int }
+      (** Execution needed [requested_bytes] but the (possibly
+          fault-shrunk) device budget allows only [budget_bytes]. *)
+  | Replan of {
+      step : int;
+      policy : string;  (** surviving policy, [Echo_core.Pass.policy_name] *)
+      footprint_bytes : int;  (** footprint of the re-compiled executor *)
+      budget_bytes : int;
+    }
+      (** The runtime escalated through the recomputation ladder and
+          re-compiled at the cheapest policy that fits. *)
+  | Retry of { step : int; attempt : int; reason : string }
+      (** A transient kernel failure; the step is being re-executed. *)
+  | Skip of { step : int; reason : string }
+      (** Retries exhausted; the step was dropped (no parameter update,
+          no recorded loss). *)
+  | Nan_guard of { step : int; loss : float; grad_norm : float }
+      (** Non-finite loss or gradient norm; the update was skipped. *)
+  | Checkpoint_write of { step : int; path : string }
+  | Checkpoint_load of { step : int; path : string }
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,113 @@
+open Echo_tensor
+
+type kind =
+  | Oom of { budget_bytes : int }
+  | Oom_shrink of { fraction : float }
+  | Transient of string
+  | Nan_poison
+
+type spec = { step : int; kind : kind }
+
+type t = {
+  mutable specs : spec list;  (* unfired, in plan order *)
+  flaky : (int * int) option;  (* seed, permille *)
+  mutable flaky_done : int;  (* last step a flaky draw was consumed for *)
+}
+
+exception Transient_failure of string
+exception Bad_spec of string
+
+let grammar =
+  "expected semicolon-separated entries: oom@STEP=BYTES | oom@STEP=PCT% | \
+   transient@STEP[=WHY] | nan@STEP | flaky@SEED=PERMILLE"
+
+let bad entry = raise (Bad_spec (Printf.sprintf "ECHO_FAULTS entry %S: %s" entry grammar))
+
+let none = { specs = []; flaky = None; flaky_done = -1 }
+let of_specs ?flaky specs = { specs; flaky; flaky_done = -1 }
+
+let parse_int entry s =
+  match int_of_string_opt (String.trim s) with Some n -> n | None -> bad entry
+
+let parse_entry entry =
+  match String.index_opt entry '@' with
+  | None -> bad entry
+  | Some at ->
+    let kind_s = String.sub entry 0 at in
+    let rest = String.sub entry (at + 1) (String.length entry - at - 1) in
+    let step_s, arg =
+      match String.index_opt rest '=' with
+      | None -> (rest, None)
+      | Some eq ->
+        ( String.sub rest 0 eq,
+          Some (String.sub rest (eq + 1) (String.length rest - eq - 1)) )
+    in
+    let step = parse_int entry step_s in
+    (match (String.lowercase_ascii (String.trim kind_s), arg) with
+    | "oom", Some a when String.length a > 0 && a.[String.length a - 1] = '%' ->
+      let pct = parse_int entry (String.sub a 0 (String.length a - 1)) in
+      `Spec { step; kind = Oom_shrink { fraction = float_of_int pct /. 100.0 } }
+    | "oom", Some a -> `Spec { step; kind = Oom { budget_bytes = parse_int entry a } }
+    | "oom", None -> bad entry
+    | "transient", reason ->
+      `Spec { step; kind = Transient (Option.value reason ~default:"injected") }
+    | "nan", None -> `Spec { step; kind = Nan_poison }
+    | "flaky", Some permille -> `Flaky (step, parse_int entry permille)
+    | _ -> bad entry)
+
+let parse text =
+  let entries =
+    List.filter
+      (fun s -> String.trim s <> "")
+      (String.split_on_char ';' text)
+  in
+  List.fold_left
+    (fun plan entry ->
+      match parse_entry (String.trim entry) with
+      | `Spec s -> { plan with specs = plan.specs @ [ s ] }
+      | `Flaky f -> { plan with flaky = Some f })
+    none entries
+
+let of_env () =
+  match Sys.getenv_opt "ECHO_FAULTS" with
+  | None -> none
+  | Some s when String.trim s = "" -> none
+  | Some s -> parse s
+
+let is_empty t = t.specs = [] && t.flaky = None
+
+(* One draw per (seed, step), independent of call order: the generator is
+   seeded from both, so retries and replans observe the same verdict. *)
+let flaky_fires seed permille step =
+  Rng.float (Rng.create ((seed * 1_000_003) + step)) < float_of_int permille /. 1000.0
+
+let take t ~step =
+  let rec split acc = function
+    | [] -> None
+    | s :: rest when s.step = step ->
+      t.specs <- List.rev_append acc rest;
+      Some s.kind
+    | s :: rest -> split (s :: acc) rest
+  in
+  match split [] t.specs with
+  | Some _ as fired -> fired
+  | None -> (
+    match t.flaky with
+    | Some (seed, permille) when t.flaky_done <> step ->
+      t.flaky_done <- step;
+      if flaky_fires seed permille step then Some (Transient "flaky") else None
+    | Some _ | None -> None)
+
+let kind_to_string step = function
+  | Oom { budget_bytes } -> Printf.sprintf "oom@%d=%d" step budget_bytes
+  | Oom_shrink { fraction } ->
+    Printf.sprintf "oom@%d=%.0f%%" step (100.0 *. fraction)
+  | Transient reason -> Printf.sprintf "transient@%d=%s" step reason
+  | Nan_poison -> Printf.sprintf "nan@%d" step
+
+let to_string t =
+  String.concat ";"
+    (List.map (fun s -> kind_to_string s.step s.kind) t.specs
+    @ match t.flaky with
+      | Some (seed, permille) -> [ Printf.sprintf "flaky@%d=%d" seed permille ]
+      | None -> [])

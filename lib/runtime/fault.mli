@@ -1,0 +1,71 @@
+(** Deterministic fault injection for the training runtime.
+
+    A fault plan is a set of scheduled faults (fire at an exact step) plus an
+    optional seeded "flaky" source that fires pseudo-random transient
+    failures — deterministically: the draw at step [s] is a pure function of
+    [(seed, s)], so two runs with the same plan observe the same faults.
+
+    Plans come from the [ECHO_FAULTS] environment variable or are built
+    programmatically with {!of_specs}. The grammar is semicolon-separated
+    entries:
+
+    {v
+      oom@STEP=BYTES        simulated OOM: device budget shrinks to BYTES
+      oom@STEP=PCT%         ... to PCT% of the current executor footprint
+      transient@STEP        transient kernel failure (bounded retry)
+      transient@STEP=WHY    ... with a reason string
+      nan@STEP              poison the step's loss with a NaN
+      flaky@SEED=PERMILLE   seeded random transients: at each step a
+                            deterministic draw from SEED fires a transient
+                            with probability PERMILLE/1000
+    v}
+
+    e.g. [ECHO_FAULTS="oom@3=1048576;transient@5;nan@7"]. *)
+
+type kind =
+  | Oom of { budget_bytes : int }
+      (** The simulated device shrank to [budget_bytes]; execution above the
+          ceiling must raise [Echo_compiler.Executor.Budget_exceeded]. *)
+  | Oom_shrink of { fraction : float }
+      (** Relative variant: ceiling = [fraction] of the current footprint
+          (always fires a budget violation for [fraction < 1]). *)
+  | Transient of string  (** transient kernel failure; retry is expected *)
+  | Nan_poison  (** the step's loss reads as NaN *)
+
+type spec = { step : int; kind : kind }
+
+type t
+
+exception Transient_failure of string
+(** The simulated kernel failure a [Transient] fault raises. *)
+
+exception Bad_spec of string
+(** Raised by {!parse} / {!of_env} on a malformed entry; the payload names
+    the offending entry and the accepted grammar. *)
+
+val none : t
+(** The empty plan (never fires). *)
+
+val of_specs : ?flaky:int * int -> spec list -> t
+(** Programmatic plan. [flaky] is [(seed, permille)]. Each spec fires at
+    most once; multiple specs may share a step (they fire on successive
+    {!take} calls, e.g. across retries). *)
+
+val parse : string -> t
+(** Parse the [ECHO_FAULTS] grammar. @raise Bad_spec on malformed input. *)
+
+val of_env : unit -> t
+(** Plan from [ECHO_FAULTS] ([none] when unset or empty).
+    @raise Bad_spec on malformed input. *)
+
+val is_empty : t -> bool
+(** No scheduled faults remain and no flaky source is armed. *)
+
+val take : t -> step:int -> kind option
+(** The fault to fire at [step], if any: the earliest-added unfired spec
+    scheduled for [step], else one deterministic flaky draw per step. Each
+    call consumes what it returns, so a retry of the same step sees the
+    next scheduled fault or none. *)
+
+val to_string : t -> string
+(** Remaining plan, in {!parse} syntax (diagnostics). *)

@@ -22,6 +22,14 @@ let int64 t =
 
 let split t = { state = int64 t; cached_normal = None }
 
+let state t = t.state
+
+let set_state t s =
+  t.state <- s;
+  (* A cached Box-Muller sample belongs to the stream position it was drawn
+     at; keeping it across a state reset would desynchronise [normal]. *)
+  t.cached_normal <- None
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
   (* Keep 62 bits: OCaml's native int is 63-bit signed, so a 63-bit value

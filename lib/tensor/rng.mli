@@ -16,6 +16,14 @@ val copy : t -> t
 val split : t -> t
 (** Draw a new, statistically independent generator from [t]'s stream. *)
 
+val state : t -> int64
+(** Current raw state, for checkpointing. *)
+
+val set_state : t -> int64 -> unit
+(** Restore a state captured with {!state}. The generator then replays the
+    same future stream (any buffered normal sample is discarded, matching a
+    freshly-seeded generator at that state). *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -1,10 +1,15 @@
 open Echo_tensor
 open Echo_ir
 module Executor = Echo_compiler.Executor
+module Pipeline = Echo_compiler.Pipeline
+module Fault = Echo_runtime.Fault
+module Event = Echo_runtime.Event
+module Checkpoint = Echo_runtime.Checkpoint
 
 type batch = (Node.t * Tensor.t) list
 type step_stats = { step : int; loss : float; grad_norm : float }
 type result = { losses : float list; params : (Node.t * Tensor.t) list }
+type checkpoint_spec = { path : string; every : int; resume : bool }
 
 let global_norm grads =
   sqrt
@@ -14,20 +19,63 @@ let global_norm grads =
          acc +. (n *. n))
        0.0 grads)
 
-let train ~graph ~params ~optimizer ?clip_norm ?on_step ?runtime ~batches () =
-  (* Compile once; every step is then a slot-indexed executor sweep — no
-     per-step scheduling, no hashtable, no feed-list append. *)
-  let exe =
-    Echo_compiler.Pipeline.executor
-      (Echo_compiler.Pipeline.compile_graph ?runtime graph)
-  in
+let missing_feed_error ~step names =
+  invalid_arg
+    (Printf.sprintf
+       "Loop.train: step %d has no feed for %s — the batch must supply a \
+        tensor for every placeholder the graph reads; check the batch \
+        construction (and that ids/labels entries were not dropped)"
+       step names)
+
+let train ~graph ~params ~optimizer ?clip_norm ?on_step ?on_event ?budget_bytes
+    ?(faults = Fault.of_env ()) ?checkpoint
+    ?(device = Echo_gpusim.Device.titan_xp) ?(max_retries = 2) ?rng ?runtime
+    ~batches () =
+  let emit = match on_event with Some f -> f | None -> fun _ -> () in
   let param_nodes = Array.of_list (List.map fst params) in
   let n_params = Array.length param_nodes in
   let param_values = ref (Array.of_list (List.map snd params)) in
+  (* The device budget is mutable: a simulated OOM fault shrinks it mid-run
+     and the loop re-plans the *original* graph through the escalation
+     ladder, so recompute clones never stack on top of earlier rewrites. *)
+  let budget = ref budget_bytes in
+  let current_graph = ref graph in
+  let compile_current () =
+    Pipeline.executor
+      (Pipeline.compile_graph ?budget_bytes:!budget ?runtime !current_graph)
+  in
+  let replan ~step ~requested_bytes ~allowed =
+    emit (Event.Budget_hit { step; requested_bytes; budget_bytes = allowed });
+    match Echo_core.Autotune.fit_memory ~device graph ~budget_bytes:allowed with
+    | None ->
+      raise
+        (Executor.Budget_exceeded { requested_bytes; budget_bytes = allowed })
+    | Some outcome ->
+      current_graph := outcome.Echo_core.Autotune.graph;
+      let e = compile_current () in
+      emit
+        (Event.Replan
+           {
+             step;
+             policy = Echo_core.Pass.policy_name outcome.Echo_core.Autotune.policy;
+             footprint_bytes = Executor.footprint_bytes e;
+             budget_bytes = allowed;
+           });
+      e
+  in
+  let compile_recovering ~step () =
+    try compile_current ()
+    with Executor.Budget_exceeded { requested_bytes; budget_bytes = allowed } ->
+      replan ~step ~requested_bytes ~allowed
+  in
+  (* Compile once; every step is then a slot-indexed executor sweep — no
+     per-step scheduling, no hashtable, no feed-list append. Re-compilation
+     only happens on recovery. *)
+  let exe = ref (compile_recovering ~step:0 ()) in
   (* Parameters the loss does not depend on may be absent from the graph
      (their Zeros gradient node carries no reference to them); [feed]
      ignores those, as the interpreter's feed list did. *)
-  let n_outputs = Array.length (Executor.outputs exe) in
+  let n_outputs = Array.length (Executor.outputs !exe) in
   if n_outputs = 0 then invalid_arg "Loop.train: graph has no outputs";
   if n_outputs - 1 <> n_params then
     invalid_arg
@@ -36,33 +84,163 @@ let train ~graph ~params ~optimizer ?clip_norm ?on_step ?runtime ~batches () =
          (n_outputs - 1) n_params);
   let step = ref 0 in
   let losses = ref [] in
-  List.iter
-    (fun batch ->
-      List.iter (fun (node, tensor) -> Executor.feed exe node tensor) batch;
+  let write_checkpoint path =
+    let snap = Optimizer.snapshot optimizer ~param_nodes in
+    Checkpoint.save ~path
+      {
+        Checkpoint.step = !step;
+        rng_state = Option.map Rng.state rng;
+        opt_steps = snap.Optimizer.steps;
+        losses = List.rev !losses;
+        params =
+          Array.to_list
+            (Array.map2
+               (fun node v -> (Node.name node, v))
+               param_nodes !param_values);
+        slots =
+          [
+            ("velocity", snap.Optimizer.velocity);
+            ("second", snap.Optimizer.second);
+          ];
+      };
+    emit (Event.Checkpoint_write { step = !step; path })
+  in
+  let batches =
+    match checkpoint with
+    | Some { path; resume = true; _ } when Sys.file_exists path ->
+      let ckpt = Checkpoint.load path in
+      let n_saved = List.length ckpt.Checkpoint.params in
+      if n_saved <> n_params then
+        invalid_arg
+          (Printf.sprintf
+             "Loop.train: checkpoint %s holds %d parameter(s), the model has \
+              %d"
+             path n_saved n_params);
+      List.iteri
+        (fun i (name, tensor) ->
+          let node = param_nodes.(i) in
+          if name <> Node.name node then
+            invalid_arg
+              (Printf.sprintf
+                 "Loop.train: checkpoint %s parameter %d is %S, the model's \
+                  is %S — wrong checkpoint for this model?"
+                 path i name (Node.name node));
+          !param_values.(i) <- tensor)
+        ckpt.Checkpoint.params;
+      Optimizer.restore optimizer ~param_nodes
+        {
+          Optimizer.steps = ckpt.Checkpoint.opt_steps;
+          velocity =
+            Option.value ~default:[]
+              (List.assoc_opt "velocity" ckpt.Checkpoint.slots);
+          second =
+            Option.value ~default:[]
+              (List.assoc_opt "second" ckpt.Checkpoint.slots);
+        };
+      (match (rng, ckpt.Checkpoint.rng_state) with
+      | Some r, Some s -> Rng.set_state r s
+      | _ -> ());
+      losses := List.rev ckpt.Checkpoint.losses;
+      step := ckpt.Checkpoint.step;
+      emit (Event.Checkpoint_load { step = ckpt.Checkpoint.step; path });
+      (* The caller regenerates the full deterministic batch stream; skip
+         the prefix the interrupted run already consumed. *)
+      let rec drop n l =
+        if n <= 0 then l
+        else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+      in
+      drop ckpt.Checkpoint.step batches
+    | _ -> batches
+  in
+  let run_batch batch =
+    (* One execution attempt: consult the fault plan, feed, run, read. A
+       retry re-enters here, so a second fault scheduled at the same step
+       fires on the retry. *)
+    let run_once () =
+      let poisoned = ref false in
+      (match Fault.take faults ~step:!step with
+      | Some (Fault.Oom { budget_bytes = b }) ->
+        budget := Some b;
+        exe := compile_recovering ~step:!step ()
+      | Some (Fault.Oom_shrink { fraction }) ->
+        let b =
+          max 1
+            (int_of_float
+               (fraction *. float_of_int (Executor.footprint_bytes !exe)))
+        in
+        budget := Some b;
+        exe := compile_recovering ~step:!step ()
+      | Some (Fault.Transient why) -> raise (Fault.Transient_failure why)
+      | Some Fault.Nan_poison -> poisoned := true
+      | None -> ());
+      let e = !exe in
+      List.iter (fun (node, tensor) -> Executor.feed e node tensor) batch;
       let values = !param_values in
       for i = 0 to n_params - 1 do
-        Executor.feed exe param_nodes.(i) values.(i)
+        Executor.feed e param_nodes.(i) values.(i)
       done;
-      Executor.run exe;
-      let outs = Executor.outputs exe in
-      let loss = Tensor.get1 outs.(0) 0 in
-      let grads = Array.sub outs 1 n_params in
+      (try Executor.run e
+       with Echo_exec.Interp.Missing_feed names ->
+         missing_feed_error ~step:!step names);
+      let outs = Executor.outputs e in
+      let loss = if !poisoned then Float.nan else Tensor.get1 outs.(0) 0 in
+      (loss, Array.sub outs 1 n_params)
+    in
+    let rec attempt retries =
+      match run_once () with
+      | outcome -> `Ran outcome
+      | exception Fault.Transient_failure why ->
+        if retries < max_retries then begin
+          emit (Event.Retry { step = !step; attempt = retries + 1; reason = why });
+          attempt (retries + 1)
+        end
+        else begin
+          emit
+            (Event.Skip
+               {
+                 step = !step;
+                 reason =
+                   Printf.sprintf "%s (still failing after %d retries)" why
+                     retries;
+               });
+          `Skipped
+        end
+    in
+    (match attempt 0 with
+    | `Skipped -> () (* batch consumed; no loss recorded, no update *)
+    | `Ran (loss, grads) ->
       let grads =
         match clip_norm with
         | None -> grads
         | Some max_norm -> Optimizer.clip_by_global_norm_arrays ~max_norm grads
       in
-      (match on_step with
-      | Some f -> f { step = !step; loss; grad_norm = global_norm grads }
-      | None -> ());
-      param_values :=
-        Optimizer.step_arrays optimizer ~param_nodes ~params:values ~grads;
-      losses := loss :: !losses;
-      incr step)
-    batches;
+      let grad_norm = global_norm grads in
+      if not (Float.is_finite loss && Float.is_finite grad_norm) then begin
+        (* Keep the loss visible in the history, but protect the parameters
+           from a poisoned update. *)
+        emit (Event.Nan_guard { step = !step; loss; grad_norm });
+        losses := loss :: !losses
+      end
+      else begin
+        (match on_step with
+        | Some f -> f { step = !step; loss; grad_norm }
+        | None -> ());
+        param_values :=
+          Optimizer.step_arrays optimizer ~param_nodes ~params:!param_values
+            ~grads;
+        losses := loss :: !losses
+      end);
+    incr step;
+    match checkpoint with
+    | Some { path; every; _ } when every > 0 && !step mod every = 0 ->
+      write_checkpoint path
+    | _ -> ()
+  in
+  List.iter run_batch batches;
   {
     losses = List.rev !losses;
-    params = List.combine (Array.to_list param_nodes) (Array.to_list !param_values);
+    params =
+      List.combine (Array.to_list param_nodes) (Array.to_list !param_values);
   }
 
 let perplexity loss = exp loss

@@ -1,13 +1,36 @@
-(** The training loop: compiles the training graph once through
-    [Echo_compiler.Pipeline] and drives the slot-based executor over it,
-    one mini-batch per step — parameters live in arrays and are fed by
+(** The fault-tolerant training loop: compiles the training graph once
+    through [Echo_compiler.Pipeline] and drives the slot-based executor over
+    it, one mini-batch per step — parameters live in arrays and are fed by
     slot, so the steady-state step does no scheduling and no tensor
     allocation inside the graph.
 
     The loop is graph-agnostic: give it any graph whose outputs are the loss
     followed by the gradients in parameter order — the stash-all baseline
     and every Echo/checkpoint rewrite of it train identically (and, being
-    deterministic, bit-identically when the rewrite preserves semantics). *)
+    deterministic, bit-identically when the rewrite preserves semantics).
+
+    {2 Recovery}
+
+    The loop survives the failures a long training run actually meets:
+
+    - {b OOM / budget violations.} [budget_bytes] (static, or shrunk mid-run
+      by an injected {!Echo_runtime.Fault} OOM) is a hard arena ceiling.
+      When compilation crosses it, the loop re-plans the {e original} graph
+      through {!Echo_core.Autotune.fit_memory}'s escalation ladder
+      (stash-all → Echo at rising overhead budgets → √n checkpointing →
+      recompute-all), re-compiles once at the cheapest surviving policy, and
+      continues the same run. Because every policy computes the same math,
+      losses stay bit-identical to an unfaulted run at that policy. If even
+      recompute-all does not fit, {!Echo_compiler.Executor.Budget_exceeded}
+      escapes to the caller.
+    - {b Transient failures.} A step that raises
+      {!Echo_runtime.Fault.Transient_failure} is retried up to [max_retries]
+      times (default 2), then skipped: the batch is consumed but no loss is
+      recorded and no update applied.
+    - {b Non-finite steps.} A NaN/Inf loss or gradient norm records the loss
+      but skips the parameter update.
+
+    Every recovery action is surfaced through [on_event]. *)
 
 open Echo_tensor
 open Echo_ir
@@ -18,8 +41,19 @@ type batch = (Node.t * Tensor.t) list
 type step_stats = { step : int; loss : float; grad_norm : float }
 
 type result = {
-  losses : float list;  (** per-step training loss, in step order *)
+  losses : float list;
+      (** per-step training loss, in step order (skipped steps absent) *)
   params : (Node.t * Tensor.t) list;  (** final parameter values *)
+}
+
+type checkpoint_spec = {
+  path : string;  (** checkpoint file ({!Echo_runtime.Checkpoint} format) *)
+  every : int;  (** write every [every] consumed batches ([<= 0] disables) *)
+  resume : bool;
+      (** when [path] exists, restore params, optimizer state, RNG state,
+          loss history and step counter from it, skip the already-consumed
+          prefix of [batches], and continue — reproducing the uninterrupted
+          run bit-exactly *)
 }
 
 val train :
@@ -28,6 +62,13 @@ val train :
   optimizer:Optimizer.t ->
   ?clip_norm:float ->
   ?on_step:(step_stats -> unit) ->
+  ?on_event:(Echo_runtime.Event.t -> unit) ->
+  ?budget_bytes:int ->
+  ?faults:Echo_runtime.Fault.t ->
+  ?checkpoint:checkpoint_spec ->
+  ?device:Echo_gpusim.Device.t ->
+  ?max_retries:int ->
+  ?rng:Rng.t ->
   ?runtime:Parallel.t ->
   batches:batch list ->
   unit ->
@@ -35,7 +76,24 @@ val train :
 (** [graph]'s outputs must be [loss :: grads] aligned with [params]. Applies
     optional global-norm clipping before each update. [runtime] selects the
     multicore kernel runtime for the compiled executor (default: sized by
-    [ECHO_DOMAINS]; training results are bit-identical either way). *)
+    [ECHO_DOMAINS]; training results are bit-identical either way).
+
+    [budget_bytes] caps the executor arena (see {e Recovery} above);
+    [device] is the simulated device the escalation ladder re-plans
+    against. [faults] is a deterministic fault-injection plan; when omitted
+    the loop builds one from the [ECHO_FAULTS] environment variable
+    ({!Echo_runtime.Fault.of_env} — {!Echo_runtime.Fault.none} when unset),
+    which is how the chaos test rule injects faults into the whole train
+    suite. [rng] is the data-pipeline generator whose state is
+    checkpointed and restored, so resumed runs draw the same stream.
+
+    @raise Invalid_argument on output/parameter arity mismatch, a missing
+    placeholder feed (named, with a hint), or a checkpoint that does not
+    match the model.
+    @raise Echo_compiler.Executor.Budget_exceeded when no policy on the
+    escalation ladder fits the budget.
+    @raise Echo_runtime.Checkpoint.Corrupt when resuming from a damaged
+    checkpoint file. *)
 
 val perplexity : float -> float
 (** [exp loss], the language-modelling quality metric. *)

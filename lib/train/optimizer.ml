@@ -77,6 +77,46 @@ let step_arrays t ~param_nodes ~params ~grads =
   t.steps <- t.steps + 1;
   Array.mapi (fun i value -> update t param_nodes.(i) value grads.(i)) params
 
+type snapshot = {
+  steps : int;
+  velocity : (int * Tensor.t) list;
+  second : (int * Tensor.t) list;
+}
+
+(* State is keyed by node id in memory, but node ids are process-local:
+   snapshots key by parameter *index* so a checkpoint written in one process
+   restores correctly in another. *)
+let snapshot (t : t) ~param_nodes =
+  let collect tbl =
+    let entries = ref [] in
+    Array.iteri
+      (fun i node ->
+        match Hashtbl.find_opt tbl (Node.id node) with
+        | Some tensor -> entries := (i, Tensor.copy tensor) :: !entries
+        | None -> ())
+      param_nodes;
+    List.rev !entries
+  in
+  { steps = t.steps; velocity = collect t.velocity; second = collect t.second }
+
+let restore (t : t) ~param_nodes snap =
+  let n = Array.length param_nodes in
+  let fill tbl entries =
+    Hashtbl.reset tbl;
+    List.iter
+      (fun (i, tensor) ->
+        if i < 0 || i >= n then
+          invalid_arg
+            (Printf.sprintf
+               "Optimizer.restore: slot index %d out of range (%d parameters)"
+               i n);
+        Hashtbl.replace tbl (Node.id param_nodes.(i)) (Tensor.copy tensor))
+      entries
+  in
+  t.steps <- snap.steps;
+  fill t.velocity snap.velocity;
+  fill t.second snap.second
+
 let clip_by_global_norm ~max_norm grads =
   let total_sq =
     List.fold_left

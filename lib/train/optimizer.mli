@@ -32,6 +32,28 @@ val step_arrays :
     the update rule — and the optimizer state — with {!step}.
     @raise Invalid_argument naming the three lengths on a mismatch. *)
 
+(** {1 Checkpointing} *)
+
+type snapshot = {
+  steps : int;  (** the optimizer's step counter (Adam bias correction) *)
+  velocity : (int * Tensor.t) list;
+      (** momentum / Adam first moment, keyed by parameter index *)
+  second : (int * Tensor.t) list;  (** Adam second moment, same keying *)
+}
+(** Optimizer state detached from process-local node ids: slot tensors are
+    deep-copied and keyed by position in [param_nodes], so a snapshot
+    serialised by [Echo_runtime.Checkpoint] restores exactly in a fresh
+    process whose rebuilt graph has different ids. *)
+
+val snapshot : t -> param_nodes:Node.t array -> snapshot
+(** Capture current state. Parameters with no slot yet (e.g. before the
+    first step, or plain SGD) are simply absent from the lists. *)
+
+val restore : t -> param_nodes:Node.t array -> snapshot -> unit
+(** Replace [t]'s entire state with [snapshot], re-keying by [param_nodes].
+    Subsequent updates are bit-identical to an optimizer that never paused.
+    @raise Invalid_argument if a snapshot index is out of range. *)
+
 val clip_by_global_norm : max_norm:float -> (Node.t * Tensor.t) list
   -> (Node.t * Tensor.t) list
 (** Standard RNN-training gradient clipping. *)

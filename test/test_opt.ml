@@ -277,6 +277,77 @@ let test_autotune_best_throughput () =
       (o.Echo_core.Autotune.policy = Echo_core.Pass.Stash_all)
   | None -> Alcotest.fail "budget was generous"
 
+(* fit_memory — the fault-tolerant runtime's escalation ladder. Rungs are
+   judged by planned *arena* footprint (what the compiled slot executor
+   actually allocates) and the first fit wins. The arena itself is not
+   monotone along the ladder (recompute clones add buffers on small graphs),
+   but first-fit escalation is: a smaller budget never picks an earlier
+   rung. *)
+
+let ladder_arenas g =
+  List.map
+    (fun policy ->
+      let _, report = Echo_core.Pass.run ~device:dev policy g in
+      (policy, report.Echo_core.Pass.optimised_mem.Memplan.arena_bytes))
+    Echo_core.Autotune.fit_ladder
+
+let test_fit_memory_below_floor () =
+  let g, _ = lm_graph () in
+  let arenas = ladder_arenas g in
+  let floor = List.fold_left (fun acc (_, a) -> min acc a) max_int arenas in
+  (match Echo_core.Autotune.fit_memory ~device:dev g ~budget_bytes:(floor - 1) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "below the whole ladder: must be infeasible");
+  match Echo_core.Autotune.fit_memory ~device:dev g ~budget_bytes:floor with
+  | Some o ->
+    check_int "floor budget fits exactly" floor (Echo_core.Autotune.fit_footprint o)
+  | None -> Alcotest.fail "the ladder floor itself must fit"
+
+let test_fit_memory_exact_rung () =
+  let g, _ = lm_graph () in
+  let arenas = ladder_arenas g in
+  (* budget pinned exactly to a mid-ladder rung's arena *)
+  let _, budget = List.nth arenas 2 (* Echo {overhead_budget = 0.03} *) in
+  let expected_policy, expected_arena = List.find (fun (_, a) -> a <= budget) arenas in
+  match Echo_core.Autotune.fit_memory ~device:dev g ~budget_bytes:budget with
+  | None -> Alcotest.fail "a rung fits by construction"
+  | Some o ->
+    check_bool "first fitting rung chosen" true
+      (o.Echo_core.Autotune.policy = expected_policy);
+    check_int "footprint is that rung's arena" expected_arena
+      (Echo_core.Autotune.fit_footprint o)
+
+let test_fit_memory_first_fit_monotone () =
+  let g, _ = lm_graph () in
+  let arenas = ladder_arenas g in
+  let floor = List.fold_left (fun acc (_, a) -> min acc a) max_int arenas in
+  let top = List.fold_left (fun acc (_, a) -> max acc a) 0 arenas in
+  let index policy =
+    let rec go i = function
+      | [] -> Alcotest.fail "policy not on the ladder"
+      | p :: _ when p = policy -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 Echo_core.Autotune.fit_ladder
+  in
+  let budgets =
+    List.sort_uniq
+      (fun a b -> compare b a)
+      ((top + 1) :: floor :: List.map snd arenas)
+  in
+  let last = ref (-1) in
+  List.iter
+    (fun budget ->
+      match Echo_core.Autotune.fit_memory ~device:dev g ~budget_bytes:budget with
+      | None -> Alcotest.fail "budgets at or above the floor must fit"
+      | Some o ->
+        check_bool "fits its budget" true
+          (Echo_core.Autotune.fit_footprint o <= budget);
+        let i = index o.Echo_core.Autotune.policy in
+        check_bool "escalation is monotone as budgets shrink" true (i >= !last);
+        last := i)
+    budgets
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   [
@@ -321,5 +392,8 @@ let suite =
       [
         t "memory target" test_autotune_memory_target;
         t "best throughput" test_autotune_best_throughput;
+        t "fit_memory below floor" test_fit_memory_below_floor;
+        t "fit_memory exact rung" test_fit_memory_exact_rung;
+        t "fit_memory first-fit monotone" test_fit_memory_first_fit_monotone;
       ] );
   ]
