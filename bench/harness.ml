@@ -109,37 +109,49 @@ let row fmt = Format.printf fmt
    speedups. *)
 let wall () = Unix.gettimeofday ()
 
-(* Machine-readable results (E15/E16) so the perf trajectory can be
-   compared across PRs. Sections accumulate in run order and [json_flush]
-   writes them once at process exit; nothing is written when no perf
-   experiment ran. *)
-let json_fragments : (string * (string * float) list) list ref = ref []
+(* Machine-readable results so the perf trajectory can be compared across
+   PRs: E15/E16/E17 land in BENCH_E15.json (the default path), E18 in
+   BENCH_E18.json. Sections accumulate in run order, keyed by output file,
+   and [json_flush] writes each file once at process exit; a file is only
+   written when one of its experiments ran. *)
+let json_fragments : (string * string * (string * float) list) list ref =
+  ref []
 
-let record_json section fields =
-  json_fragments := !json_fragments @ [ (section, fields) ]
+let record_json ?(path = "BENCH_E15.json") section fields =
+  json_fragments := !json_fragments @ [ (path, section, fields) ]
 
-let json_flush path =
-  match !json_fragments with
-  | [] -> ()
-  | sections ->
-    let buf = Buffer.create 1024 in
-    Buffer.add_string buf "{\n";
-    List.iteri
-      (fun i (section, fields) ->
-        if i > 0 then Buffer.add_string buf ",\n";
-        Buffer.add_string buf (Printf.sprintf "  %S: {\n" section);
-        List.iteri
-          (fun j (k, v) ->
-            if j > 0 then Buffer.add_string buf ",\n";
-            Buffer.add_string buf (Printf.sprintf "    %S: %.6g" k v))
-          fields;
-        Buffer.add_string buf "\n  }")
-      sections;
-    Buffer.add_string buf "\n}\n";
-    let oc = open_out path in
-    output_string oc (Buffer.contents buf);
-    close_out oc;
-    Format.printf "wrote %s@." path
+let json_flush () =
+  let paths =
+    List.fold_left
+      (fun acc (p, _, _) -> if List.mem p acc then acc else acc @ [ p ])
+      [] !json_fragments
+  in
+  List.iter
+    (fun path ->
+      let sections =
+        List.filter_map
+          (fun (p, s, f) -> if p = path then Some (s, f) else None)
+          !json_fragments
+      in
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (section, fields) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (Printf.sprintf "  %S: {\n" section);
+          List.iteri
+            (fun j (k, v) ->
+              if j > 0 then Buffer.add_string buf ",\n";
+              Buffer.add_string buf (Printf.sprintf "    %S: %.6g" k v))
+            fields;
+          Buffer.add_string buf "\n  }")
+        sections;
+      Buffer.add_string buf "\n}\n";
+      let oc = open_out path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Format.printf "wrote %s@." path)
+    paths
 
 (* Pearson correlation. *)
 let pearson xs ys =

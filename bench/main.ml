@@ -1,5 +1,5 @@
 (* The experiment harness: regenerates every table/figure of the paper's
-   evaluation (reconstructed index E1..E15 — see DESIGN.md) on the simulated
+   evaluation (reconstructed index E1..E18 — see DESIGN.md) on the simulated
    GPU substrate, plus a Bechamel micro-suite over the host kernels.
 
      dune exec bench/main.exe                 # everything
@@ -733,11 +733,174 @@ let e17 () =
     [ 1.02; 0.98; 0.92; 0.87; 0.855; 0.84 ];
   record_json "E17" (List.rev !json)
 
+(* E18: fused elementwise codegen — steps/sec, active instruction count and
+   arena footprint with the fusion stage off vs on, sequential and on
+   Domain pools of 2/4, across LM (the E15 configuration), NMT and DS2
+   training graphs. Every fused executor's outputs are checked bitwise
+   against its unfused twin before timing; numbers land in
+   BENCH_E18.json. *)
+let e18 () =
+  heading "E18" "fused elementwise codegen (fusion off vs on)";
+  let module Executor = Echo_compiler.Executor in
+  let json = ref [] in
+  let record key v = json := (key, v) :: !json in
+  let steps = match !scale with Full -> 10 | Quick -> 3 in
+  let bench tag ~id_bound model =
+    let graph = training_graph model in
+    let rng = Rng.create 11 in
+    let feeds =
+      List.map
+        (fun node ->
+          match Shape.rank (Node.shape node) with
+          | 4 -> (node, Tensor.normal rng (Node.shape node) ~mean:0.0 ~std:1.0)
+          | _ ->
+            ( node,
+              Tensor.init (Node.shape node) (fun _ ->
+                  float_of_int (Rng.int rng id_bound)) ))
+        model.Model.placeholders
+      @ Params.bindings model.Model.params
+    in
+    let fusion = Fuse.analyse graph in
+    let steps_per_sec exe =
+      let run () =
+        List.iter (fun (n, t) -> Executor.feed exe n t) feeds;
+        Executor.run exe
+      in
+      run () (* warm-up *);
+      let t0 = wall () in
+      for _ = 1 to steps do run () done;
+      float_of_int steps /. Float.max (wall () -. t0) 1e-9
+    in
+    let unfused_seq = Executor.compile ~runtime:Parallel.sequential graph in
+    let fused_seq =
+      Executor.compile ~runtime:Parallel.sequential ~fusion graph
+    in
+    let identical =
+      List.for_all2 Tensor.equal
+        (Executor.eval unfused_seq ~feeds)
+        (Executor.eval fused_seq ~feeds)
+    in
+    row
+      "%-5s %4d nodes, %3d groups fusing %3d interiors; instrs %4d -> %4d, \
+       arena %s -> %s (outputs %s)@."
+      tag (Graph.node_count graph) (Fuse.group_count fusion)
+      (Fuse.interior_count fusion)
+      (Executor.active_instruction_count unfused_seq)
+      (Executor.active_instruction_count fused_seq)
+      (Footprint.human (Executor.footprint_bytes unfused_seq))
+      (Footprint.human (Executor.footprint_bytes fused_seq))
+      (if identical then "bit-identical" else "MISMATCH");
+    record (tag ^ "_groups") (float_of_int (Fuse.group_count fusion));
+    record (tag ^ "_interiors") (float_of_int (Fuse.interior_count fusion));
+    record
+      (tag ^ "_instrs_off")
+      (float_of_int (Executor.active_instruction_count unfused_seq));
+    record
+      (tag ^ "_instrs_on")
+      (float_of_int (Executor.active_instruction_count fused_seq));
+    record
+      (tag ^ "_arena_off")
+      (float_of_int (Executor.footprint_bytes unfused_seq));
+    record
+      (tag ^ "_arena_on")
+      (float_of_int (Executor.footprint_bytes fused_seq));
+    record (tag ^ "_identical") (if identical then 1.0 else 0.0);
+    (* The pool-less arena shows the elision itself (with the exact-size
+       pool and in-place transfers on, chains already recycle to ~one
+       buffer, so the default arena is equal rather than smaller); the
+       simulated device time shows the launch savings that motivate fusion
+       on a real GPU, where every interior also costs a kernel launch and a
+       memory round-trip. *)
+    let noinplace fusion =
+      (Memplan.plan ~inplace:false ?fusion graph).Memplan.arena_bytes
+    in
+    let arena_off = noinplace None and arena_on = noinplace (Some fusion) in
+    let sim_off = Echo_gpusim.Costmodel.graph_time device graph in
+    let sim_on = Echo_opt.Fusion.fused_graph_time device graph in
+    row
+      "%-5s pool-less arena %s -> %s (-%.1f%%); simulated device %.2f -> \
+       %.2f ms/iter (%.2fx)@."
+      tag
+      (Footprint.human arena_off)
+      (Footprint.human arena_on)
+      (100.0 *. float_of_int (arena_off - arena_on) /. float_of_int arena_off)
+      (ms sim_off) (ms sim_on) (sim_off /. sim_on);
+    record (tag ^ "_arena_noinplace_off") (float_of_int arena_off);
+    record (tag ^ "_arena_noinplace_on") (float_of_int arena_on);
+    record (tag ^ "_sim_ms_off") (ms sim_off);
+    record (tag ^ "_sim_ms_on") (ms sim_on);
+    record (tag ^ "_sim_speedup") (sim_off /. sim_on);
+    let time label off on =
+      let off_sps = steps_per_sec off and on_sps = steps_per_sec on in
+      row "%-5s %-12s %8.2f -> %8.2f steps/s  (%.2fx)@." tag label off_sps
+        on_sps (on_sps /. off_sps);
+      record (tag ^ "_" ^ label ^ "_off") off_sps;
+      record (tag ^ "_" ^ label ^ "_on") on_sps;
+      on_sps /. off_sps
+    in
+    let seq_speedup = time "seq" unfused_seq fused_seq in
+    List.iter
+      (fun domains ->
+        let runtime = Parallel.create ~domains () in
+        ignore
+          (time
+             (Printf.sprintf "%dd" domains)
+             (Executor.compile ~runtime graph)
+             (Executor.compile ~runtime ~fusion graph));
+        Parallel.shutdown runtime)
+      [ 2; 4 ];
+    seq_speedup
+  in
+  let lm_cfg =
+    match !scale with
+    | Full ->
+      { Language_model.ptb_default with vocab = 2000; embed = 64; hidden = 64;
+        layers = 2; seq_len = 35; batch = 16 }
+    | Quick ->
+      { Language_model.ptb_default with vocab = 300; embed = 32; hidden = 32;
+        layers = 2; seq_len = 10; batch = 8 }
+  in
+  let nmt_cfg =
+    match !scale with
+    | Full ->
+      { Nmt.gnmt_like with src_vocab = 1000; tgt_vocab = 1000; embed = 48;
+        hidden = 48; enc_layers = 2; dec_layers = 2; src_len = 12;
+        tgt_len = 12; batch = 8 }
+    | Quick ->
+      { Nmt.gnmt_like with src_vocab = 200; tgt_vocab = 200; embed = 16;
+        hidden = 16; enc_layers = 1; dec_layers = 1; src_len = 6; tgt_len = 6;
+        batch = 4 }
+  in
+  let ds2_cfg =
+    match !scale with
+    | Full ->
+      { Deepspeech.ds2_like with Deepspeech.batch = 2; time = 24;
+        rnn_hidden = 48; rnn_layers = 2; classes = 20 }
+    | Quick ->
+      { Deepspeech.ds2_like with Deepspeech.batch = 1; time = 12; freq = 8;
+        conv_channels = 2; rnn_hidden = 16; rnn_layers = 1; classes = 10 }
+  in
+  let lm_speedup =
+    bench "lm" ~id_bound:(min 20 lm_cfg.Language_model.vocab)
+      (Language_model.build lm_cfg).Language_model.model
+  in
+  ignore
+    (bench "nmt"
+       ~id_bound:(min 20 (min nmt_cfg.Nmt.src_vocab nmt_cfg.Nmt.tgt_vocab))
+       (Nmt.build nmt_cfg).Nmt.model);
+  ignore
+    (bench "ds2"
+       ~id_bound:(min 20 ds2_cfg.Deepspeech.classes)
+       (Deepspeech.build ds2_cfg).Deepspeech.model);
+  row "LM sequential fused speedup: %.2fx@." lm_speedup;
+  record_json ~path:"BENCH_E18.json" "E18" (List.rev !json)
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
+    ("E18", e18);
   ]
 
 let () =
@@ -784,5 +947,5 @@ let () =
   in
   let t0 = Sys.time () in
   List.iter (fun (_, f) -> f ()) selected;
-  json_flush "BENCH_E15.json";
+  json_flush ();
   Format.printf "@.done in %.1f s (cpu)@." (Sys.time () -. t0)

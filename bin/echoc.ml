@@ -95,7 +95,7 @@ let build_graph choice ~batch ~seq_len ~hidden ~layers =
 let train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
     ~device
     ~runtime ~budget_bytes ~faults_spec ~checkpoint_path ~checkpoint_every
-    ~resume =
+    ~resume ~no_fuse =
   let cell =
     match model_choice with
     | Lm -> Recurrent.Lstm
@@ -160,7 +160,9 @@ let train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
           s.Echo_train.Loop.grad_norm)
       ~on_event:(fun e ->
         Format.printf "[recovery] %s@." (Echo_runtime.Event.to_string e))
-      ?budget_bytes ~faults ?checkpoint ~device ~runtime ~batches ()
+      ?budget_bytes ~faults ?checkpoint ~device ~runtime
+      ?fuse:(if no_fuse then Some false else None)
+      ~batches ()
   in
   let result =
     try train ()
@@ -184,7 +186,7 @@ let train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
 let run model_choice batch seq_len hidden layers policy budget all breakdown
     profile optimize dot_file trace_file save_file load_file device_name
     domains compile train_steps vocab budget_bytes faults_spec checkpoint_path
-    checkpoint_every resume =
+    checkpoint_every resume no_fuse dump_fusion =
   let device =
     match Echo_gpusim.Device.by_name device_name with
     | Some d -> d
@@ -201,7 +203,7 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
   | Some steps ->
     train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
       ~device ~runtime ~budget_bytes ~faults_spec ~checkpoint_path
-      ~checkpoint_every ~resume
+      ~checkpoint_every ~resume ~no_fuse
   | None ->
   if compile then
     Format.printf "kernel runtime: %d domain(s)@."
@@ -244,10 +246,20 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
       let report = rw.Pipeline.report in
       let rewritten = rw.Pipeline.graph in
       Format.printf "%a@." Pass.pp_report report;
+      if dump_fusion then begin
+        let fp = Echo_ir.Fuse.analyse rewritten in
+        Format.printf "fusion groups (%s):@.%a@." (Pass.policy_name p)
+          Echo_ir.Fuse.pp_plan fp
+      end;
       if compile then begin
-        (* Stage 5-6: plan + lower to the slot executor on the selected
-           kernel runtime, and report what came out. *)
-        let exe = Pipeline.compile ~runtime (Pipeline.plan rw) in
+        (* Stage 5-7: plan + fuse + lower to the slot executor on the
+           selected kernel runtime, and report what came out. *)
+        let planned = Pipeline.plan rw in
+        let fused =
+          if no_fuse then Pipeline.fuse ~enabled:false planned
+          else Pipeline.fuse planned
+        in
+        let exe = Pipeline.compile ~runtime fused in
         Format.printf "%a@." Pipeline.describe exe
       end;
       if breakdown then
@@ -380,13 +392,30 @@ let cmd =
             "Resume --train from --checkpoint if it exists; the resumed run \
              reproduces the uninterrupted one exactly.")
   in
+  let no_fuse =
+    Arg.(
+      value & flag
+      & info [ "no-fuse" ]
+          ~doc:
+            "Disable the elementwise fusion codegen stage (for --compile and \
+             --train). Results are bit-identical either way; only \
+             instruction count, arena size and speed change.")
+  in
+  let dump_fusion =
+    Arg.(
+      value & flag
+      & info [ "dump-fusion" ]
+          ~doc:
+            "Print the fusion groups of the rewritten graph: members, \
+             external inputs, and the interior buffers fusion elides.")
+  in
   let term =
     Term.(
       const run $ model $ batch $ seq_len $ hidden $ layers $ policy $ budget
       $ all $ breakdown $ profile $ optimize $ dot_file $ trace_file
       $ save_file $ load_file $ device $ domains $ compile $ train_steps
       $ vocab $ budget_bytes $ faults $ checkpoint_path $ checkpoint_every
-      $ resume)
+      $ resume $ no_fuse $ dump_fusion)
   in
   Cmd.v (Cmd.info "echoc" ~doc:"Echo compiler pass driver") term
 

@@ -1,6 +1,7 @@
 (* Quickstart: lower a small LSTM language model through the full staged
    compilation pipeline — source -> training -> optimized -> rewritten ->
-   planned -> executable — and verify that the compiled slot-based executor
+   planned -> fused -> executable — and verify that the compiled slot-based
+   executor
    (a) computes bitwise-identical results to the reference interpreter and
    (b) the Echo rewrite needs less simulated GPU memory.
 
@@ -61,9 +62,11 @@ let () =
     (fun policy ->
       let exe =
         Pipeline.rewrite ~device ~policy optimized |> Pipeline.plan
-        |> Pipeline.compile ~runtime
+        |> Pipeline.fuse |> Pipeline.compile ~runtime
       in
-      let report = exe.Pipeline.planned.Pipeline.rewritten.Pipeline.report in
+      let report =
+        (Pipeline.planned_of exe).Pipeline.rewritten.Pipeline.report
+      in
       (* The rewritten graph runs through the compiled slot-based executor;
          the unrewritten baseline ran through the reference interpreter. *)
       let outputs = Executor.eval (Pipeline.executor exe) ~feeds in

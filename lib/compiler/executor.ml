@@ -23,6 +23,8 @@ type t = {
   transient_bytes : int;
   persistent_bytes : int;
   max_workspace_bytes : int;
+  fused_groups : int;
+  fused_interiors : int;
 }
 
 exception Budget_exceeded of { requested_bytes : int; budget_bytes : int }
@@ -39,11 +41,30 @@ let () =
 
 let nop () = ()
 
-let compile ?(inplace = true) ?budget_bytes ?runtime graph =
+let compile ?(inplace = true) ?budget_bytes ?runtime ?fusion graph =
   let runtime =
     match runtime with Some r -> r | None -> Parallel.default ()
   in
-  let liveness = Liveness.analyse graph in
+  let liveness = Liveness.analyse ?fusion graph in
+  (* Fused interiors get no buffer, no tensor and no instruction; a group
+     root compiles to one fused instruction over the group's external
+     inputs. Both follow the same [Fuse.plan] the planner used, so the
+     measured footprint still equals [Memplan.plan ?fusion]'s arena. *)
+  let interior node =
+    match fusion with
+    | Some f -> Fuse.is_interior f (Node.id node)
+    | None -> false
+  in
+  let group_of_root node =
+    match fusion with
+    | Some f -> Fuse.group_of_root f (Node.id node)
+    | None -> None
+  in
+  let inplace_inputs node =
+    match fusion with
+    | Some f -> Fuse.inplace_candidates f node
+    | None -> Node.inputs node
+  in
   let nodes = Array.of_list (Graph.nodes graph) in
   let n = Array.length nodes in
   let slot_of_id = Hashtbl.create (2 * n) in
@@ -97,7 +118,7 @@ let compile ?(inplace = true) ?budget_bytes ?runtime graph =
         | itv -> itv.Liveness.last_step = step
         | exception Not_found -> false
       in
-      match List.find_opt eligible (Node.inputs node) with
+      match List.find_opt eligible (inplace_inputs node) with
       | None -> None
       | Some input ->
         Hashtbl.replace transferred (Node.id input) ();
@@ -115,6 +136,10 @@ let compile ?(inplace = true) ?budget_bytes ?runtime graph =
         is_persistent_slot.(step) <- true;
         persistent := (node, step) :: !persistent;
         persistent_bytes := !persistent_bytes + Node.size_bytes node
+      | _ when interior node ->
+        (* Lives in registers inside the group root's fused kernel:
+           [values.(step)] is never read and no instruction is emitted. *)
+        ()
       | _ ->
         let numel = Shape.numel (Node.shape node) in
         let b =
@@ -234,10 +259,78 @@ let compile ?(inplace = true) ?budget_bytes ?runtime graph =
         in
         I.blit ~src:(Interp.eval_node op out_shape ins) ~dst
   in
+  (* One instruction per fused group: per output element the whole chain
+     folds in a register, reading only the group's external inputs and
+     writing only the root's buffer. The steps are built from the same named
+     scalar kernels the unfused instructions use ([Tensor.f_*]), so the
+     fused instruction is bit-identical to running the members one at a
+     time. Operand tensors are re-fetched from [values] on every run because
+     persistent slots rebind on feed. *)
+  let build_fused g dst =
+    let externals = Array.of_list g.Fuse.externals in
+    let opslots =
+      Array.map (fun e -> Hashtbl.find slot_of_id (Node.id e)) externals
+    in
+    let next_ext = ref 0 in
+    let take () =
+      let j = !next_ext in
+      incr next_ext;
+      j
+    in
+    (* Externals appear in evaluation order: the head's first input is the
+       seed (operand 0); each binary member's second input is the next
+       index. *)
+    let step_of ~is_head member =
+      if is_head then ignore (take ());
+      match Node.op member with
+      | Op.Neg -> Tensor.f_neg
+      | Op.Scale k -> Tensor.f_scale k
+      | Op.AddScalar k -> Tensor.f_add_scalar k
+      | Op.PowConst p -> Tensor.f_pow_const p
+      | Op.Sigmoid -> Tensor.f_sigmoid
+      | Op.Tanh -> Tensor.f_tanh
+      | Op.Relu -> Tensor.f_relu
+      | Op.Exp -> Tensor.f_exp
+      | Op.Log -> Tensor.f_log
+      | Op.Sqrt -> Tensor.f_sqrt
+      | Op.Sq -> Tensor.f_sq
+      | Op.Recip -> Tensor.f_recip
+      | Op.Sign -> Tensor.f_sign
+      | Op.Add -> Tensor.f_add (take ())
+      | Op.Sub -> Tensor.f_sub (take ())
+      | Op.Mul -> Tensor.f_mul (take ())
+      | Op.Div -> Tensor.f_div (take ())
+      | Op.ScaleBy -> Tensor.f_scale_by (take ())
+      | _ -> assert false (* [Fuse.elementwise] members only *)
+    in
+    let steps =
+      match g.Fuse.members with
+      | [] -> assert false
+      | head :: rest ->
+        let h = step_of ~is_head:true head in
+        let r =
+          List.rev
+            (List.fold_left
+               (fun acc m -> step_of ~is_head:false m :: acc)
+               [] rest)
+        in
+        Array.of_list (h :: r)
+    in
+    assert (!next_ext = Array.length externals);
+    let operands = Array.make (Array.length opslots) (Tensor.scalar 0.0) in
+    fun () ->
+      for i = 0 to Array.length opslots - 1 do
+        Array.unsafe_set operands i values.(Array.unsafe_get opslots i)
+      done;
+      Tensor.Into.fused ~runtime steps operands ~dst
+  in
   Array.iteri
     (fun step node ->
       match buf_of_slot.(step) with
-      | Some b -> instrs.(step) <- build node values.(step) b
+      | Some b -> (
+        match group_of_root node with
+        | Some g -> instrs.(step) <- build_fused g values.(step)
+        | None -> instrs.(step) <- build node values.(step) b)
       | None -> ())
     nodes;
   let output_slots =
@@ -263,11 +356,20 @@ let compile ?(inplace = true) ?budget_bytes ?runtime graph =
     transient_bytes = !transient_bytes;
     persistent_bytes = !persistent_bytes;
     max_workspace_bytes = !max_ws;
+    fused_groups =
+      (match fusion with Some f -> Fuse.group_count f | None -> 0);
+    fused_interiors =
+      (match fusion with Some f -> Fuse.interior_count f | None -> 0);
   }
 
 let graph e = e.graph
 let runtime e = e.runtime
 let instruction_count e = Array.length e.instrs
+let fused_group_count e = e.fused_groups
+let fused_interior_count e = e.fused_interiors
+
+let active_instruction_count e =
+  Array.fold_left (fun acc f -> if f == nop then acc else acc + 1) 0 e.instrs
 
 let footprint_bytes e =
   e.persistent_bytes + e.transient_bytes + e.max_workspace_bytes

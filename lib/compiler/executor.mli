@@ -35,7 +35,13 @@ exception Budget_exceeded of { requested_bytes : int; budget_bytes : int }
     fault-tolerant training loop ([Echo_train.Loop]) catches this and
     re-plans through the recomputation escalation ladder. *)
 
-val compile : ?inplace:bool -> ?budget_bytes:int -> ?runtime:Parallel.t -> Graph.t -> t
+val compile :
+  ?inplace:bool ->
+  ?budget_bytes:int ->
+  ?runtime:Parallel.t ->
+  ?fusion:Fuse.plan ->
+  Graph.t ->
+  t
 (** Compile the graph's schedule into instructions and bind buffers.
     [inplace] (default [true]) mirrors the planner's in-place optimisation;
     disable it to match [Memplan.plan ~inplace:false].
@@ -49,7 +55,16 @@ val compile : ?inplace:bool -> ?budget_bytes:int -> ?runtime:Parallel.t -> Graph
     [ECHO_DOMAINS] environment variable) is baked into every compiled
     instruction: heavy kernels partition their output rows across its
     domains. Results are bit-identical at every domain count — see
-    {!Echo_tensor.Parallel}. *)
+    {!Echo_tensor.Parallel}.
+
+    [fusion] (default absent: nothing fuses) compiles each group of the
+    given {!Echo_ir.Fuse.plan} into a single fused instruction — one pass
+    over the root's buffer with the chain folding in registers, via
+    {!Echo_tensor.Tensor.Into.fused}. Interiors get no buffer, no tensor
+    and no instruction, so [footprint_bytes] equals
+    [(Memplan.plan ~fusion graph).arena_bytes], and results stay
+    bit-identical to the unfused executor (same scalar kernels, same
+    partitioning). *)
 
 (** {1 Running} *)
 
@@ -86,6 +101,22 @@ val runtime : t -> Parallel.t
 (** The kernel runtime baked in at compile time. *)
 
 val instruction_count : t -> int
+(** Length of the instruction array — one entry per schedule slot, including
+    nops (buried constants, fused interiors). *)
+
+val active_instruction_count : t -> int
+(** Instructions that actually execute at run time. Fusion lowers this: a
+    group of [k] members costs one instruction instead of [k]; compile-time
+    buried constants don't count either. *)
+
+val fused_group_count : t -> int
+(** Number of fused groups compiled; [0] without [?fusion]. Matches
+    [Echo_opt.Fusion.stats] on the same graph by construction (both derive
+    from {!Echo_ir.Fuse.analyse}). *)
+
+val fused_interior_count : t -> int
+(** Chain members that were folded into a fused instruction and got no
+    buffer, tensor or instruction of their own. *)
 
 val footprint_bytes : t -> int
 (** Device-accounted (4 bytes/element) footprint of the compiled artifact:

@@ -83,26 +83,60 @@ let plan ?(offsets = false) (rw : rewritten) =
     offsets = (if offsets then Some (Echo_exec.Assign.assign rw.graph) else None);
   }
 
-type executable = { planned : planned; executor : Executor.t }
+type fused = {
+  planned : planned;
+  graph : Graph.t;
+  fusion : Fuse.plan option;
+  fused_memplan : Echo_exec.Memplan.report;
+}
 
-let compile ?budget_bytes ?runtime (pl : planned) =
-  { planned = pl; executor = Executor.compile ?budget_bytes ?runtime pl.graph }
+let fuse ?enabled (pl : planned) =
+  let enabled =
+    match enabled with Some e -> e | None -> Fuse.env_enabled ()
+  in
+  if enabled then begin
+    let f = Fuse.analyse pl.graph in
+    {
+      planned = pl;
+      graph = pl.graph;
+      fusion = Some f;
+      fused_memplan = Echo_exec.Memplan.plan ~fusion:f pl.graph;
+    }
+  end
+  else
+    (* Stage disabled: the fused plan is the unfused plan. *)
+    { planned = pl; graph = pl.graph; fusion = None; fused_memplan = pl.memplan }
+
+(* Alias so shorthands can take a [?fuse] flag without shadowing the stage. *)
+let fuse_stage = fuse
+
+type executable = { fused : fused; executor : Executor.t }
+
+let compile ?budget_bytes ?runtime (f : fused) =
+  {
+    fused = f;
+    executor =
+      Executor.compile ?budget_bytes ?runtime ?fusion:f.fusion f.graph;
+  }
 
 let executor e = e.executor
+let planned_of e = e.fused.planned
 
-let compile_graph ?budget_bytes ?policy ?runtime graph =
+let compile_graph ?budget_bytes ?policy ?runtime ?fuse graph =
   of_training_graph graph |> optimize ~enabled:false |> rewrite ?policy |> plan
+  |> fuse_stage ?enabled:fuse
   |> compile ?budget_bytes ?runtime
 
 let compile_source ?device ?optimize:(opt_enabled = true) ?policy ?budget_bytes
-    ?runtime src =
+    ?runtime ?fuse src =
   let opt = optimize ~enabled:opt_enabled (differentiate src) in
-  compile ?budget_bytes ?runtime (plan (rewrite ?device ?policy opt))
+  compile ?budget_bytes ?runtime
+    (fuse_stage ?enabled:fuse (plan (rewrite ?device ?policy opt)))
 
 let validated_eval (pl : planned) ~feeds = Echo_exec.Arena_exec.eval pl.graph ~feeds
 
 let describe fmt e =
-  let pl = e.planned in
+  let pl = e.fused.planned in
   let rw = pl.rewritten in
   let opt = rw.optimized in
   let src = opt.training.source in
@@ -123,6 +157,17 @@ let describe fmt e =
       (Echo_exec.Assign.arena_size a)
       (List.length (Echo_exec.Assign.slots a))
   | None -> ());
-  Format.fprintf fmt "  executable: %d instructions, footprint %.1f MiB@]"
+  (match e.fused.fusion with
+  | Some f ->
+    Format.fprintf fmt
+      "  fused: %d groups, %d interiors elided, arena %.1f -> %.1f MiB@,"
+      (Fuse.group_count f) (Fuse.interior_count f)
+      (float_of_int pl.memplan.Echo_exec.Memplan.arena_bytes /. (1024. *. 1024.))
+      (float_of_int e.fused.fused_memplan.Echo_exec.Memplan.arena_bytes
+      /. (1024. *. 1024.))
+  | None -> Format.fprintf fmt "  fused: (stage disabled)@,");
+  Format.fprintf fmt
+    "  executable: %d instructions (%d active), footprint %.1f MiB@]"
     (Executor.instruction_count e.executor)
+    (Executor.active_instruction_count e.executor)
     (float_of_int (Executor.footprint_bytes e.executor) /. (1024. *. 1024.))

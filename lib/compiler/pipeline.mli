@@ -9,7 +9,8 @@
       training    --optimize------->  optimized    (fold + CSE)
       optimized   --rewrite-------->  rewritten    (the Echo pass)
       rewritten   --plan----------->  planned      (liveness + memplan + assign)
-      planned     --compile-------->  executable   (slot-based executor)
+      planned     --fuse----------->  fused        (elementwise chain groups)
+      fused       --compile-------->  executable   (slot-based executor)
     v}
 
     The stages compose with [|>]:
@@ -18,7 +19,7 @@
         Pipeline.of_model model |> Pipeline.differentiate
         |> Pipeline.optimize
         |> Pipeline.rewrite ~policy:(Echo { overhead_budget = 0.03 })
-        |> Pipeline.plan |> Pipeline.compile
+        |> Pipeline.plan |> Pipeline.fuse |> Pipeline.compile
       in
       let outputs = Executor.eval (Pipeline.executor exe) ~feeds
     ]} *)
@@ -110,12 +111,32 @@ val validated_eval : planned -> feeds:Echo_exec.Interp.feeds -> Echo_tensor.Tens
     {!Echo_exec.Arena_exec} — certifies that the plan's death steps are
     sound. @raise Echo_exec.Arena_exec.Freed_too_early on a planner bug. *)
 
+(** {1 Fused stage} *)
+
+type fused = {
+  planned : planned;
+  graph : Graph.t;
+  fusion : Fuse.plan option;
+      (** [None] when the stage is disabled — nothing fuses *)
+  fused_memplan : Echo_exec.Memplan.report;
+      (** the plan the executor's footprint will match: planned under the
+          fusion plan when enabled, identical to [planned.memplan] when
+          disabled *)
+}
+
+val fuse : ?enabled:bool -> planned -> fused
+(** Group maximal single-consumer elementwise chains ({!Echo_ir.Fuse}) and
+    re-plan memory for the fused instruction stream — interiors get no
+    buffer, so the fused arena is never larger than the unfused one.
+    [enabled] defaults to {!Echo_ir.Fuse.env_enabled} ([ECHO_FUSION],
+    on unless set to [0]/[off]/[false]/[no]). *)
+
 (** {1 Executable stage} *)
 
-type executable = { planned : planned; executor : Executor.t }
+type executable = { fused : fused; executor : Executor.t }
 
 val compile :
-  ?budget_bytes:int -> ?runtime:Echo_tensor.Parallel.t -> planned -> executable
+  ?budget_bytes:int -> ?runtime:Echo_tensor.Parallel.t -> fused -> executable
 (** Lower to the slot executor. [runtime] selects the kernel runtime the
     executor's instructions partition work over (default
     [Parallel.default ()], sized by [ECHO_DOMAINS]); this is the single
@@ -127,17 +148,22 @@ val compile :
 
 val executor : executable -> Executor.t
 
+val planned_of : executable -> planned
+(** The planned stage the executable was compiled from. *)
+
 (** {1 Shorthands} *)
 
 val compile_graph :
   ?budget_bytes:int ->
   ?policy:Echo_core.Pass.policy ->
   ?runtime:Echo_tensor.Parallel.t ->
+  ?fuse:bool ->
   Graph.t ->
   executable
 (** [of_training_graph |> optimize ~enabled:false |> rewrite ?policy
-    |> plan |> compile]: compile an existing training graph (default policy
-    [Stash_all], i.e. as-is). This is what [Loop.train] uses, both on the
+    |> plan |> fuse |> compile]: compile an existing training graph (default
+    policy [Stash_all], i.e. as-is; [fuse] defaults to the [ECHO_FUSION]
+    environment setting). This is what [Loop.train] uses, both on the
     initial compile and when re-planning under a shrunk [budget_bytes]. *)
 
 val compile_source :
@@ -146,6 +172,7 @@ val compile_source :
   ?policy:Echo_core.Pass.policy ->
   ?budget_bytes:int ->
   ?runtime:Echo_tensor.Parallel.t ->
+  ?fuse:bool ->
   source ->
   executable
 (** The whole pipeline in one call. *)

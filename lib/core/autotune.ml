@@ -27,19 +27,28 @@ let fit_ladder =
   :: List.map (fun b -> Pass.Echo { overhead_budget = b }) escalation
   @ [ Pass.Checkpoint_sqrt; Pass.Recompute_all ]
 
-let fit_footprint outcome =
-  outcome.report.Pass.optimised_mem.Memplan.arena_bytes
+let fit_footprint ?fuse outcome =
+  let fuse =
+    match fuse with Some f -> f | None -> Echo_ir.Fuse.env_enabled ()
+  in
+  if fuse then
+    let g = outcome.graph in
+    (Memplan.plan ~fusion:(Echo_ir.Fuse.analyse g) g).Memplan.arena_bytes
+  else outcome.report.Pass.optimised_mem.Memplan.arena_bytes
 
 (* Unlike [for_memory_target], fitting here is judged on [arena_bytes] — the
    exact footprint of the compiled slot executor
    ([Executor.footprint_bytes]) — so a plan accepted under a budget is
-   guaranteed to also compile under that budget. *)
-let fit_memory ~device graph ~budget_bytes =
+   guaranteed to also compile under that budget. [fuse] must match the
+   fusion setting of that later compile: the fused planner skips group
+   interiors but extends external lifetimes, so the two arenas differ in
+   both directions. *)
+let fit_memory ~device ?fuse graph ~budget_bytes =
   let rec escalate = function
     | [] -> None
     | policy :: rest ->
       let outcome = run_one ~device policy graph in
-      if fit_footprint outcome <= budget_bytes then Some outcome
+      if fit_footprint ?fuse outcome <= budget_bytes then Some outcome
       else escalate rest
   in
   escalate fit_ladder

@@ -26,14 +26,20 @@ val fit_ladder : Pass.policy list
     [Checkpoint_sqrt], then [Recompute_all]. *)
 
 val fit_memory :
-  device:Device.t -> Graph.t -> budget_bytes:int -> outcome option
+  device:Device.t -> ?fuse:bool -> Graph.t -> budget_bytes:int -> outcome option
 (** First rung of {!fit_ladder} whose planned {e arena} footprint
     ([Memplan.report.arena_bytes] — exactly what the compiled slot executor
     allocates, see [Echo_compiler.Executor.footprint_bytes]) fits
     [budget_bytes]. [None] when even [Recompute_all] does not fit. This is
-    what [Echo_train.Loop] uses to recover from [Budget_exceeded]. *)
+    what [Echo_train.Loop] uses to recover from [Budget_exceeded].
 
-val fit_footprint : outcome -> int
+    [fuse] must match the fusion setting the accepted graph will later be
+    compiled with (default: the [ECHO_FUSION] environment setting, like
+    [Echo_compiler.Pipeline.fuse]): when on, fitting is judged on the fused
+    arena ([Memplan.plan ~fusion]), which is what the fused executor
+    allocates. *)
+
+val fit_footprint : ?fuse:bool -> outcome -> int
 (** The arena footprint {!fit_memory} judged the outcome by. *)
 
 val for_memory_target :

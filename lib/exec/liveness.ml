@@ -22,21 +22,35 @@ let is_persistent node =
   | Op.Conv2d _ | Op.Conv2dGradInput _ | Op.Conv2dGradKernel _ ->
     false
 
-let analyse graph =
+let analyse ?fusion graph =
   let schedule = Graph.nodes graph in
   let position = Hashtbl.create 1024 in
   List.iteri (fun i n -> Hashtbl.replace position (Node.id n) i) schedule;
+  (* Under fusion, a group member's reads happen when the group's root
+     instruction runs, so every buffer a member consumes must stay live to
+     the root's step (the fused kernel reads it there); and interiors never
+     materialize, so they get no interval at all. *)
+  let read_pos c =
+    match fusion with
+    | Some f -> Hashtbl.find position (Node.id (Fuse.reader f c))
+    | None -> Hashtbl.find position (Node.id c)
+  in
+  let interior node =
+    match fusion with
+    | Some f -> Fuse.is_interior f (Node.id node)
+    | None -> false
+  in
   let by_id = Hashtbl.create 1024 in
   let deaths = Hashtbl.create 1024 in
   let ordered = ref [] in
   List.iteri
     (fun i node ->
-      if not (is_persistent node) then begin
+      if (not (is_persistent node)) && not (interior node) then begin
         let last =
           if Graph.is_output graph (Node.id node) then max_int
           else
             List.fold_left
-              (fun acc c -> max acc (Hashtbl.find position (Node.id c)))
+              (fun acc c -> max acc (read_pos c))
               i
               (Graph.consumers graph (Node.id node))
         in

@@ -15,7 +15,10 @@ type interval = {
 
 type t
 
-val analyse : Graph.t -> t
+val analyse : ?fusion:Fuse.plan -> Graph.t -> t
+(** With [?fusion], fused interiors get no interval (they never
+    materialize), and every buffer a group member reads stays live to the
+    group root's step — that is where the fused kernel actually reads it. *)
 
 val intervals : t -> interval list
 (** One interval per non-persistent node, in schedule order. *)

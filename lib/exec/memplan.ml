@@ -31,9 +31,22 @@ let inplace_capable node =
   | Op.Conv2dGradInput _ | Op.Conv2dGradKernel _ ->
     false
 
-let plan ?(reuse = true) ?(inplace = true) graph =
-  let liveness = Liveness.analyse graph in
+let plan ?(reuse = true) ?(inplace = true) ?fusion graph =
+  let liveness = Liveness.analyse ?fusion graph in
   let schedule = Graph.nodes graph in
+  (* Fused interiors never materialize: no allocation, no liveness, and the
+     in-place candidates of a group root are the group's external inputs —
+     the buffers its fused instruction actually reads. *)
+  let interior node =
+    match fusion with
+    | Some f -> Fuse.is_interior f (Node.id node)
+    | None -> false
+  in
+  let inplace_inputs node =
+    match fusion with
+    | Some f -> Fuse.inplace_candidates f node
+    | None -> Node.inputs node
+  in
   let weight_bytes = ref 0 and input_bytes = ref 0 in
   List.iter
     (fun n ->
@@ -91,7 +104,7 @@ let plan ?(reuse = true) ?(inplace = true) graph =
       | itv -> itv.Liveness.last_step = step
       | exception Not_found -> false
     in
-    match List.find_opt eligible (Node.inputs node) with
+    match List.find_opt eligible (inplace_inputs node) with
     | None -> false
     | Some input ->
       Hashtbl.replace transferred (Node.id input) ();
@@ -105,7 +118,7 @@ let plan ?(reuse = true) ?(inplace = true) graph =
     (fun step node ->
       if !bwd_start = None && Node.region node = Node.Backward then
         bwd_start := Some step;
-      if not (Liveness.is_persistent node) then begin
+      if (not (Liveness.is_persistent node)) && not (interior node) then begin
         if not (inplace && try_inplace step node liveness) then begin
           let size = Node.size_bytes node in
           if not (reuse && pool_take size) then arena := !arena + size;

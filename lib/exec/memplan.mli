@@ -38,13 +38,18 @@ val inplace_capable : Node.t -> bool
     softmax/softmax-xent kernels). Shared with [Echo_compiler.Executor] so
     the executor's buffer discipline is the planner's by construction. *)
 
-val plan : ?reuse:bool -> ?inplace:bool -> Graph.t -> report
+val plan : ?reuse:bool -> ?inplace:bool -> ?fusion:Fuse.plan -> Graph.t -> report
 (** [reuse] (default [true]) enables the exact-size pool; with [~reuse:false]
     every transient allocation is fresh, so [arena_bytes] degenerates to the
     sum of all transient buffers — the "no memory planning" strawman.
     [inplace] (default [true]) lets same-shape elementwise operators write
     into a dying input's buffer (MXNet's in-place optimisation) — gradient
-    accumulation chains then cost one buffer instead of one per step. *)
+    accumulation chains then cost one buffer instead of one per step.
+    [fusion] plans for the fused executor: group interiors get no buffer,
+    external inputs of a group stay live to the root's step, and a root's
+    in-place candidates are the group's externals. The resulting
+    [arena_bytes] equals the fused executor's measured footprint, exactly as
+    in the unfused case. *)
 
 val reduction_factor : baseline:report -> report -> float
 (** Ratio of arena footprints (baseline / optimised). *)

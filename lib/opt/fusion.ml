@@ -4,88 +4,48 @@ open Echo_gpusim
 
 type stats = { groups : int; fused_nodes : int; launches_saved : int }
 
-let elementwise node =
-  match Node.op node with
-  | Op.Neg | Op.Scale _ | Op.AddScalar _ | Op.PowConst _ | Op.Sigmoid | Op.Tanh
-  | Op.Relu | Op.Exp | Op.Log | Op.Sqrt | Op.Sq | Op.Recip | Op.Sign | Op.Add
-  | Op.Sub | Op.Mul | Op.Div | Op.ScaleBy ->
-    true
-  | Op.Placeholder | Op.Variable | Op.Zeros | Op.ConstFill _ | Op.DropoutMask _
-  | Op.Matmul _ | Op.AddBias | Op.Slice _ | Op.PadSlice _ | Op.Concat _
-  | Op.Reshape _ | Op.Transpose2d | Op.ReduceSum _ | Op.ReduceMean _
-  | Op.BroadcastAxis _ | Op.Softmax | Op.LogSoftmax | Op.CrossEntropy
-  | Op.CrossEntropyGrad | Op.Embedding | Op.EmbeddingGrad _ | Op.Conv2d _
-  | Op.Conv2dGradInput _ | Op.Conv2dGradKernel _ ->
-    false
-
-(* A node joins its producer's group when it is elementwise, same-shaped as
-   the producer, the producer is elementwise, and it is the producer's only
-   consumer (single-consumer chains keep the analysis conservative: no
-   recomputation or extra liveness is introduced by fusing them). *)
-let member_of graph node =
-  if not (elementwise node) then None
-  else begin
-    match Node.inputs node with
-    | [] -> None
-    | producer :: _ ->
-      if
-        elementwise producer
-        && Shape.equal (Node.shape producer) (Node.shape node)
-        && Node.region producer = Node.region node
-        && List.length (Graph.consumers graph (Node.id producer)) = 1
-      then Some producer
-      else None
-  end
+(* The grouping itself lives in [Echo_ir.Fuse] — one analysis shared with
+   the memory planner and the compiled executor, so these statistics
+   describe exactly what the fused backend runs. *)
+let elementwise = Fuse.elementwise
+let member_of = Fuse.member_of
 
 let analyse graph =
-  (* head id -> member count; nodes attach to their producer's group. *)
-  let group_of : (int, int) Hashtbl.t = Hashtbl.create 256 in
-  let sizes : (int, int) Hashtbl.t = Hashtbl.create 256 in
-  List.iter
-    (fun node ->
-      match member_of graph node with
-      | None -> ()
-      | Some producer ->
-        let head =
-          match Hashtbl.find_opt group_of (Node.id producer) with
-          | Some h -> h
-          | None -> Node.id producer
-        in
-        Hashtbl.replace group_of (Node.id node) head;
-        Hashtbl.replace sizes head
-          (1 + try Hashtbl.find sizes head with Not_found -> 1))
-    (Graph.nodes graph);
-  let groups = ref 0 and fused = ref 0 and saved = ref 0 in
-  Hashtbl.iter
-    (fun _ size ->
-      if size >= 2 then begin
-        incr groups;
-        fused := !fused + size;
-        saved := !saved + (size - 1)
-      end)
-    sizes;
-  { groups = !groups; fused_nodes = !fused; launches_saved = !saved }
+  let p = Fuse.analyse graph in
+  let fused_nodes =
+    List.fold_left (fun a g -> a + List.length g.Fuse.members) 0 (Fuse.groups p)
+  in
+  {
+    groups = Fuse.group_count p;
+    fused_nodes;
+    launches_saved = Fuse.interior_count p;
+  }
+
+(* A fused group costs one launch and one roofline pass: compute is the sum
+   of the members' flops (every scalar op still executes), but bytes are
+   counted once — the external inputs are read once and only the root is
+   written, which is precisely what [Tensor.Into.fused] does. *)
+let group_time device g =
+  let flops =
+    List.fold_left (fun a m -> a +. Costmodel.node_flops m) 0.0 g.Fuse.members
+  in
+  let numels =
+    List.fold_left
+      (fun a e -> a + Shape.numel (Node.shape e))
+      (Shape.numel (Node.shape g.Fuse.root))
+      g.Fuse.externals
+  in
+  let bytes = 4.0 *. float_of_int numels in
+  device.Device.launch_overhead_s
+  +. Float.max (flops /. device.Device.peak_flops) (bytes /. device.Device.bandwidth)
 
 let fused_graph_time device graph =
-  let group_of : (int, int) Hashtbl.t = Hashtbl.create 256 in
-  List.iter
-    (fun node ->
-      match member_of graph node with
-      | None -> ()
-      | Some producer ->
-        let head =
-          match Hashtbl.find_opt group_of (Node.id producer) with
-          | Some h -> h
-          | None -> Node.id producer
-        in
-        Hashtbl.replace group_of (Node.id node) head)
-    (Graph.nodes graph);
+  let p = Fuse.analyse graph in
   List.fold_left
     (fun acc node ->
-      let t = Costmodel.node_time device node in
-      if t = 0.0 then acc
-      else if Hashtbl.mem group_of (Node.id node) then
-        (* group member: keep the roofline part, drop the launch *)
-        acc +. Float.max 0.0 (t -. device.Device.launch_overhead_s)
-      else acc +. t)
+      if Fuse.is_interior p (Node.id node) then acc
+      else
+        match Fuse.group_of_root p (Node.id node) with
+        | Some g -> acc +. group_time device g
+        | None -> acc +. Costmodel.node_time device node)
     0.0 (Graph.nodes graph)

@@ -1,15 +1,12 @@
-(** Elementwise-fusion analysis.
+(** Elementwise-fusion statistics for the cost model.
 
     Chains of cheap elementwise operators that real compilers (XLA, TVM)
-    fuse into single kernels are identified as {e fusion groups}: maximal
-    single-consumer chains of same-shape elementwise nodes. The analysis
-    does not rewrite the graph — the IR stays one-op-per-node so the memory
-    planner and the Echo pass see every buffer — instead it informs the cost
-    model: a fused group pays one kernel launch instead of one per member.
-
-    This quantifies how much of the launch-bound recomputation overhead a
-    fusing backend would erase — the cross-cutting optimisation the paper's
-    discussion positions Echo alongside. *)
+    fuse into single kernels are identified as {e fusion groups} by
+    {!Echo_ir.Fuse} — the same analysis the memory planner and the compiled
+    executor consume, so these statistics describe exactly what the fused
+    backend runs (the test suite asserts the counts match the executor's).
+    The IR itself stays one-op-per-node; fusion is a property of the
+    compiled instruction stream, not a graph rewrite. *)
 
 open Echo_ir
 open Echo_gpusim
@@ -17,12 +14,20 @@ open Echo_gpusim
 type stats = {
   groups : int;  (** fusion groups with at least 2 members *)
   fused_nodes : int;  (** elementwise nodes inside those groups *)
-  launches_saved : int;  (** kernel launches a fusing backend avoids *)
+  launches_saved : int;  (** kernel launches the fused executor avoids *)
 }
+
+val elementwise : Node.t -> bool
+(** Re-export of {!Echo_ir.Fuse.elementwise}. *)
+
+val member_of : Graph.t -> Node.t -> Node.t option
+(** Re-export of {!Echo_ir.Fuse.member_of}. *)
 
 val analyse : Graph.t -> stats
 
 val fused_graph_time : Device.t -> Graph.t -> float
-(** Simulated iteration time assuming every fusion group launches once:
-    member kernels keep their roofline cost, but only the group head pays
-    the launch overhead. *)
+(** Simulated iteration time with every fusion group launched once: a group
+    costs one launch plus a single roofline pass whose compute is the sum of
+    the members' flops and whose traffic counts each external input and the
+    root output exactly once — interiors move no bytes, matching the fused
+    kernel. Unfused nodes keep their {!Costmodel.node_time}. *)

@@ -76,23 +76,72 @@ let k_sq x = x *. x
 let k_recip x = 1.0 /. x
 let k_sign x = if x > 0.0 then 1.0 else if x < 0.0 then -1.0 else 0.0
 
-let add = map2 ( +. )
-let sub = map2 ( -. )
-let mul = map2 ( *. )
-let div = map2 ( /. )
-let neg = map k_neg
-let scale k = map (fun x -> k *. x)
-let add_scalar k = map (fun x -> k +. x)
-let sigmoid = map k_sigmoid
-let tanh_ = map tanh
-let relu = map k_relu
-let exp_ = map exp
-let log_ = map log
-let sqrt_ = map sqrt
-let sq = map k_sq
-let pow_const p = map (fun x -> Float.pow x p)
-let recip = map k_recip
-let sign = map k_sign
+(* The allocating elementwise wrappers ([add], [sigmoid], ...) are defined
+   after [Into]: each allocates [dst] and delegates to the corresponding
+   [Into] kernel, so there is exactly one loop body per op. *)
+
+(* {1 Fused elementwise chains}
+
+   A fused chain folds one scalar accumulator per output element through a
+   sequence of steps: the accumulator is seeded from element [i] of
+   [operands.(0)], each step transforms it (optionally reading element [i]
+   of another operand), and only the final value is stored. Interior values
+   of the chain live in registers — they are never materialized. The steps
+   are built from the {e same named scalar kernels} the [Into] kernels use,
+   so a fused chain is bit-identical to running its members one at a
+   time. *)
+
+(* A closed opcode variant rather than a chain of closures: the kernel's
+   inner loop dispatches each step with a match the compiler turns into a
+   jump table, and every op body (the same named scalar kernels the [Into]
+   kernels use) is applied directly — composed closures would cost two
+   indirect calls and a float boxing per step per element, losing to the
+   separate unfused passes they replace. Binary steps carry the index of
+   the operand they read. *)
+type fused_step =
+  | F_neg
+  | F_scale of float
+  | F_add_scalar of float
+  | F_pow_const of float
+  | F_sigmoid
+  | F_tanh
+  | F_relu
+  | F_exp
+  | F_log
+  | F_sqrt
+  | F_sq
+  | F_recip
+  | F_sign
+  | F_add of int
+  | F_sub of int
+  | F_mul of int
+  | F_div of int
+  | F_scale_by of int
+
+let f_neg = F_neg
+let f_scale k = F_scale k
+let f_add_scalar k = F_add_scalar k
+let f_pow_const p = F_pow_const p
+let f_sigmoid = F_sigmoid
+let f_tanh = F_tanh
+let f_relu = F_relu
+let f_exp = F_exp
+let f_log = F_log
+let f_sqrt = F_sqrt
+let f_sq = F_sq
+let f_recip = F_recip
+let f_sign = F_sign
+let f_add j = F_add j
+let f_sub j = F_sub j
+let f_mul j = F_mul j
+let f_div j = F_div j
+let f_scale_by j = F_scale_by j
+
+let fused_step_operand = function
+  | F_add j | F_sub j | F_mul j | F_div j | F_scale_by j -> Some j
+  | F_neg | F_scale _ | F_add_scalar _ | F_pow_const _ | F_sigmoid | F_tanh
+  | F_relu | F_exp | F_log | F_sqrt | F_sq | F_recip | F_sign ->
+    None
 
 (* {1 Linear algebra} *)
 
@@ -244,9 +293,8 @@ let reduce_sum ~axis ~keepdims t =
   done;
   create (reduce_shape ~axis ~keepdims t.shape) out
 
-let reduce_mean ~axis ~keepdims t =
-  let d = float_of_int t.shape.(axis) in
-  scale (1.0 /. d) (reduce_sum ~axis ~keepdims t)
+(* [reduce_mean] is defined after [Into] (it delegates to
+   [Into.reduce_mean]). *)
 
 let broadcast_axis ~axis ~n t =
   if axis < 0 || axis >= Shape.rank t.shape then invalid_arg "Tensor.broadcast_axis: bad axis";
@@ -1248,6 +1296,70 @@ module Into = struct
               out.((id * d) + j) <- out.((id * d) + j) +. g.((i * d) + j)
             done
         done)
+
+  (* One pass over the output: per element the whole chain folds in a
+     register, dispatched by a jump-table match over the step opcodes with
+     each scalar kernel applied directly (see [fused_step]). Binary steps'
+     data arrays resolve up front; [F_scale_by] reads its multiplier
+     per-element like [scale_by] reads it once — same value either way.
+     [dst] may alias any operand: element [i] of every operand is read
+     before element [i] of [dst] is written, and parallel chunks are
+     disjoint. The partition is the same flat-index [ew_grain] chunking as
+     [unary]/[binary], so results are bit-identical at every domain count
+     and to running the chain unfused. *)
+  let fused ?(runtime = Parallel.sequential) steps operands ~dst =
+    if Array.length operands = 0 then
+      invalid_arg "Tensor.Into.fused: no operands";
+    let seed = operands.(0) in
+    check "fused" dst seed.shape;
+    let datas =
+      Array.map
+        (fun step ->
+          match fused_step_operand step with
+          | Some j ->
+            let o = operands.(j) in
+            (match step with
+            | F_scale_by _ -> () (* a [1]-shaped multiplier *)
+            | _ -> check "fused" dst o.shape);
+            o.data
+          | None -> seed.data)
+        steps
+    in
+    let k = Array.length steps in
+    let s = seed.data and d = dst.data in
+    Parallel.parallel_for runtime ~grain:ew_grain ~n:(Array.length d)
+      (fun lo hi ->
+        let acc = ref 0.0 in
+        for i = lo to hi - 1 do
+          acc := Array.unsafe_get s i;
+          for st = 0 to k - 1 do
+            match Array.unsafe_get steps st with
+            | F_neg -> acc := k_neg !acc
+            | F_scale c -> acc := c *. !acc
+            | F_add_scalar c -> acc := c +. !acc
+            | F_pow_const p -> acc := Float.pow !acc p
+            | F_sigmoid -> acc := k_sigmoid !acc
+            | F_tanh -> acc := tanh !acc
+            | F_relu -> acc := k_relu !acc
+            | F_exp -> acc := exp !acc
+            | F_log -> acc := log !acc
+            | F_sqrt -> acc := sqrt !acc
+            | F_sq -> acc := k_sq !acc
+            | F_recip -> acc := k_recip !acc
+            | F_sign -> acc := k_sign !acc
+            | F_add _ ->
+              acc := !acc +. Array.unsafe_get (Array.unsafe_get datas st) i
+            | F_sub _ ->
+              acc := !acc -. Array.unsafe_get (Array.unsafe_get datas st) i
+            | F_mul _ ->
+              acc := !acc *. Array.unsafe_get (Array.unsafe_get datas st) i
+            | F_div _ ->
+              acc := !acc /. Array.unsafe_get (Array.unsafe_get datas st) i
+            | F_scale_by _ ->
+              acc := Array.unsafe_get (Array.unsafe_get datas st) 0 *. !acc
+          done;
+          Array.unsafe_set d i !acc
+        done)
 end
 
 (* {1 Allocating wrappers over [Into]} *)
@@ -1274,6 +1386,41 @@ let transpose2d t =
   if Shape.rank t.shape <> 2 then invalid_arg "Tensor.transpose2d: expects 2-D";
   let dst = zeros [| t.shape.(1); t.shape.(0) |] in
   Into.transpose2d t ~dst;
+  dst
+
+(* Elementwise: allocate and delegate, one loop body per op. *)
+
+let ew1 kernel src =
+  let dst = zeros src.shape in
+  kernel src ~dst;
+  dst
+
+let ew2 kernel a b =
+  let dst = zeros a.shape in
+  kernel a b ~dst;
+  dst
+
+let add a b = ew2 (Into.add ?runtime:None) a b
+let sub a b = ew2 (Into.sub ?runtime:None) a b
+let mul a b = ew2 (Into.mul ?runtime:None) a b
+let div a b = ew2 (Into.div ?runtime:None) a b
+let neg t = ew1 (Into.neg ?runtime:None) t
+let scale k t = ew1 (Into.scale ?runtime:None k) t
+let add_scalar k t = ew1 (Into.add_scalar ?runtime:None k) t
+let sigmoid t = ew1 (Into.sigmoid ?runtime:None) t
+let tanh_ t = ew1 (Into.tanh_ ?runtime:None) t
+let relu t = ew1 (Into.relu ?runtime:None) t
+let exp_ t = ew1 (Into.exp_ ?runtime:None) t
+let log_ t = ew1 (Into.log_ ?runtime:None) t
+let sqrt_ t = ew1 (Into.sqrt_ ?runtime:None) t
+let sq t = ew1 (Into.sq ?runtime:None) t
+let pow_const p t = ew1 (Into.pow_const ?runtime:None p) t
+let recip t = ew1 (Into.recip ?runtime:None) t
+let sign t = ew1 (Into.sign ?runtime:None) t
+
+let reduce_mean ~axis ~keepdims t =
+  let dst = zeros (reduce_shape ~axis ~keepdims t.shape) in
+  Into.reduce_mean ~axis ~keepdims t ~dst;
   dst
 
 (* {1 Comparison and printing} *)

@@ -73,6 +73,44 @@ val pow_const : float -> t -> t
 val recip : t -> t
 val sign : t -> t
 
+(** {1 Fused elementwise chains}
+
+    A chain folds one scalar accumulator per output element: seeded from
+    element [i] of operand 0, transformed by each step in order (a zip step
+    additionally reads element [i] of the operand it indexes), and stored
+    once at the end — interior values stay in registers. The constructors
+    below reuse the exact scalar kernels of the corresponding {!Into}
+    operations, so a fused chain is bit-identical to running its members
+    unfused. *)
+
+type fused_step
+
+val f_neg : fused_step
+val f_scale : float -> fused_step
+val f_add_scalar : float -> fused_step
+val f_pow_const : float -> fused_step
+val f_sigmoid : fused_step
+val f_tanh : fused_step
+val f_relu : fused_step
+val f_exp : fused_step
+val f_log : fused_step
+val f_sqrt : fused_step
+val f_sq : fused_step
+val f_recip : fused_step
+val f_sign : fused_step
+
+val f_add : int -> fused_step
+(** [f_add j]: accumulator [+.] element [i] of operand [j]. Likewise below;
+    operand indices refer to the array passed to {!Into.fused}. *)
+
+val f_sub : int -> fused_step
+val f_mul : int -> fused_step
+val f_div : int -> fused_step
+
+val f_scale_by : int -> fused_step
+(** Multiply by the scalar tensor at operand [j] (its element 0, read once
+    per kernel launch, exactly like {!Into.scale_by}). *)
+
 (** {1 Linear algebra} *)
 
 val matmul : ?trans_a:bool -> ?trans_b:bool -> t -> t -> t
@@ -188,6 +226,17 @@ module Into : sig
 
   val scale_by : ?runtime:Parallel.t -> t -> t -> dst:t -> unit
   (** [scale_by x s ~dst] scales [x] by the scalar tensor [s]. *)
+
+  val fused : ?runtime:Parallel.t -> fused_step array -> t array -> dst:t -> unit
+  (** [fused steps operands ~dst] evaluates a fused elementwise chain in one
+      pass: per element the accumulator is seeded from [operands.(0)], each
+      step applies in order, and only the final value is written to [dst].
+      [dst] may alias any operand (element [i] of every operand is read
+      before element [i] of [dst] is written). Partitioned with the same
+      flat-index chunking as the unfused elementwise kernels, so results are
+      bit-identical at every domain count and to the unfused chain.
+      @raise Invalid_argument if a zip operand's shape differs from the
+      seed's. *)
 
   val matmul :
     ?runtime:Parallel.t -> ?trans_a:bool -> ?trans_b:bool -> t -> t -> dst:t -> unit

@@ -30,7 +30,7 @@ let missing_feed_error ~step names =
 let train ~graph ~params ~optimizer ?clip_norm ?on_step ?on_event ?budget_bytes
     ?(faults = Fault.of_env ()) ?checkpoint
     ?(device = Echo_gpusim.Device.titan_xp) ?(max_retries = 2) ?rng ?runtime
-    ~batches () =
+    ?fuse ~batches () =
   let emit = match on_event with Some f -> f | None -> fun _ -> () in
   let param_nodes = Array.of_list (List.map fst params) in
   let n_params = Array.length param_nodes in
@@ -42,11 +42,14 @@ let train ~graph ~params ~optimizer ?clip_norm ?on_step ?on_event ?budget_bytes
   let current_graph = ref graph in
   let compile_current () =
     Pipeline.executor
-      (Pipeline.compile_graph ?budget_bytes:!budget ?runtime !current_graph)
+      (Pipeline.compile_graph ?budget_bytes:!budget ?runtime ?fuse
+         !current_graph)
   in
   let replan ~step ~requested_bytes ~allowed =
     emit (Event.Budget_hit { step; requested_bytes; budget_bytes = allowed });
-    match Echo_core.Autotune.fit_memory ~device graph ~budget_bytes:allowed with
+    match
+      Echo_core.Autotune.fit_memory ~device ?fuse graph ~budget_bytes:allowed
+    with
     | None ->
       raise
         (Executor.Budget_exceeded { requested_bytes; budget_bytes = allowed })

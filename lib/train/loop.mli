@@ -70,13 +70,16 @@ val train :
   ?max_retries:int ->
   ?rng:Rng.t ->
   ?runtime:Parallel.t ->
+  ?fuse:bool ->
   batches:batch list ->
   unit ->
   result
 (** [graph]'s outputs must be [loss :: grads] aligned with [params]. Applies
     optional global-norm clipping before each update. [runtime] selects the
     multicore kernel runtime for the compiled executor (default: sized by
-    [ECHO_DOMAINS]; training results are bit-identical either way).
+    [ECHO_DOMAINS]; training results are bit-identical either way). [fuse]
+    enables the elementwise fusion stage (default: the [ECHO_FUSION]
+    environment setting); losses are bit-identical fused or not.
 
     [budget_bytes] caps the executor arena (see {e Recovery} above);
     [device] is the simulated device the escalation ladder re-plans

@@ -217,7 +217,7 @@ let test_pipeline_stages_compose () =
   check_bool "echo-rewritten executable bit-identical" true
     (List.for_all2 Tensor.equal reference compiled);
   (* The arena-validating reference executor accepts the same plan. *)
-  let validated = Pipeline.validated_eval exe.Pipeline.planned ~feeds in
+  let validated = Pipeline.validated_eval (Pipeline.planned_of exe) ~feeds in
   check_bool "arena exec agrees" true
     (List.for_all2 Tensor.equal reference validated)
 
@@ -292,6 +292,222 @@ let test_runtime_differential () =
         [ 1; 2; 4 ])
     [ max_int; 0 ]
 
+(* Fused elementwise codegen: the fusion stage must be invisible in the
+   results — bit-identical to the unfused executor at every domain count —
+   and visible in the instruction stream and the arena. *)
+
+let prop_fused_differential =
+  QCheck.Test.make ~name:"fused == unfused on random elementwise DAGs"
+    ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let pool = ref [ Node.placeholder [| 4; 4 |]; Node.variable [| 4; 4 |] ] in
+      for _ = 1 to 30 do
+        let pick () = List.nth !pool (Rng.int rng (List.length !pool)) in
+        let n =
+          match Rng.int rng 13 with
+          | 0 -> Node.add (pick ()) (pick ())
+          | 1 -> Node.sub (pick ()) (pick ())
+          | 2 -> Node.mul (pick ()) (pick ())
+          | 3 -> Node.neg (pick ())
+          | 4 -> Node.sigmoid (pick ())
+          | 5 -> Node.tanh_ (pick ())
+          | 6 -> Node.relu (pick ())
+          | 7 -> Node.sq (pick ())
+          | 8 -> Node.scale 0.5 (pick ())
+          | 9 -> Node.add_scalar 0.25 (pick ())
+          | 10 -> Node.sqrt_ (Node.sq (pick ()))
+          | 11 -> Node.div (pick ()) (Node.add_scalar 2.0 (Node.sq (pick ())))
+          | _ -> Node.matmul (pick ()) (pick ())
+        in
+        pool := n :: !pool
+      done;
+      let g = Graph.create [ List.hd !pool ] in
+      let fusion = Fuse.analyse g in
+      let fused = Executor.compile ~fusion g in
+      let unfused = Executor.compile g in
+      let feeds = synthetic_feeds seed g in
+      let a = Executor.eval fused ~feeds in
+      let b = Executor.eval unfused ~feeds in
+      List.for_all2 bits_equal a b
+      && Executor.footprint_bytes fused
+         = (Echo_exec.Memplan.plan ~fusion g).Echo_exec.Memplan.arena_bytes
+      && Executor.fused_group_count fused = Fuse.group_count fusion
+      && Executor.fused_interior_count fused = Fuse.interior_count fusion)
+
+(* Real training graphs — loss and every gradient — fused vs unfused,
+   sequential and at 1/2/4 domains, all on raw bits. *)
+let fused_model_differential ?(id_bound = 20) model =
+  let g = (Model.training model).Echo_autodiff.Grad.graph in
+  let rng = Rng.create 11 in
+  let feeds =
+    List.map
+      (fun node ->
+        match Shape.rank (Node.shape node) with
+        | 4 -> (node, Tensor.normal rng (Node.shape node) ~mean:0.0 ~std:1.0)
+        | _ ->
+          ( node,
+            Tensor.init (Node.shape node) (fun _ ->
+                float_of_int (Rng.int rng id_bound)) ))
+      model.Model.placeholders
+    @ Params.bindings model.Model.params
+  in
+  let eval exe = Executor.eval (Pipeline.executor exe) ~feeds in
+  let reference = eval (Pipeline.compile_graph ~fuse:false g) in
+  check_bool (model.Model.name ^ " has fusable chains") true
+    (Fuse.group_count (Fuse.analyse g) > 0);
+  check_bool (model.Model.name ^ " fused bit-identical") true
+    (List.for_all2 bits_equal reference
+       (eval (Pipeline.compile_graph ~fuse:true g)));
+  List.iter
+    (fun d ->
+      let pool = Parallel.create ~domains:d () in
+      Fun.protect ~finally:(fun () -> Parallel.shutdown pool) @@ fun () ->
+      check_bool
+        (Printf.sprintf "%s fused %d-domain bit-identical" model.Model.name d)
+        true
+        (List.for_all2 bits_equal reference
+           (eval (Pipeline.compile_graph ~fuse:true ~runtime:pool g))))
+    [ 1; 2; 4 ]
+
+let test_fused_lm_differential () =
+  let lm =
+    Language_model.build
+      {
+        Language_model.ptb_default with
+        vocab = 40;
+        embed = 8;
+        hidden = 8;
+        layers = 2;
+        seq_len = 5;
+        batch = 3;
+        dropout = 0.2;
+      }
+  in
+  fused_model_differential lm.Language_model.model
+
+let test_fused_nmt_differential () =
+  let nmt =
+    Nmt.build
+      {
+        Nmt.gnmt_like with
+        src_vocab = 15;
+        tgt_vocab = 15;
+        embed = 4;
+        hidden = 4;
+        enc_layers = 1;
+        dec_layers = 1;
+        src_len = 3;
+        tgt_len = 3;
+        batch = 2;
+        dropout = 0.1;
+      }
+  in
+  fused_model_differential ~id_bound:15 nmt.Nmt.model
+
+(* Group interiors never see the arena: the fused executor runs one
+   instruction for the whole chain, its measured footprint equals the fused
+   planner's prediction, and the planner's fused arena is strictly smaller
+   than the unfused one once in-place transfers are taken out of the
+   picture. *)
+let test_fused_interiors_slotless () =
+  let x = Node.placeholder [| 256 |] in
+  let y = Node.sq (Node.tanh_ (Node.sigmoid (Node.neg x))) in
+  let g = Graph.create [ y ] in
+  let fusion = Fuse.analyse g in
+  Alcotest.(check int) "one group" 1 (Fuse.group_count fusion);
+  Alcotest.(check int) "three interiors" 3 (Fuse.interior_count fusion);
+  Alcotest.(check int) "interior bytes" (3 * 256 * 4)
+    (List.fold_left
+       (fun acc g -> acc + Fuse.interior_bytes g)
+       0 (Fuse.groups fusion));
+  let exe = Executor.compile ~fusion g in
+  Alcotest.(check int) "one active instruction" 1
+    (Executor.active_instruction_count exe);
+  Alcotest.(check int) "measured footprint == fused plan"
+    (Echo_exec.Memplan.plan ~fusion g).Echo_exec.Memplan.arena_bytes
+    (Executor.footprint_bytes exe);
+  let arena ?fusion () =
+    (Echo_exec.Memplan.plan ~inplace:false ?fusion g).Echo_exec.Memplan
+      .arena_bytes
+  in
+  check_bool "interiors freed the arena" true (arena ~fusion () < arena ())
+
+(* The cost model and the executor must agree on what got fused: the
+   analysis the [Echo_opt.Fusion] stats report is the same plan the
+   executor compiled. *)
+let test_fusion_stats_match_executor () =
+  let lm =
+    Language_model.build
+      {
+        Language_model.ptb_default with
+        vocab = 40;
+        embed = 8;
+        hidden = 8;
+        layers = 2;
+        seq_len = 5;
+        batch = 3;
+        dropout = 0.2;
+      }
+  in
+  let g =
+    (Model.training lm.Language_model.model).Echo_autodiff.Grad.graph
+  in
+  let stats = Echo_opt.Fusion.analyse g in
+  let exe = Executor.compile ~fusion:(Fuse.analyse g) g in
+  Alcotest.(check int) "group counts agree" stats.Echo_opt.Fusion.groups
+    (Executor.fused_group_count exe);
+  Alcotest.(check int) "interior counts agree"
+    stats.Echo_opt.Fusion.launches_saved
+    (Executor.fused_interior_count exe)
+
+(* End to end through the training loop: the whole loss trajectory is
+   bit-identical with the fusion stage on and off. *)
+let test_fused_loss_trajectory () =
+  let lm =
+    Language_model.build
+      {
+        Language_model.ptb_default with
+        vocab = 40;
+        embed = 8;
+        hidden = 8;
+        layers = 2;
+        seq_len = 5;
+        batch = 3;
+        dropout = 0.2;
+      }
+  in
+  let model = lm.Language_model.model in
+  let graph = (Model.training model).Echo_autodiff.Grad.graph in
+  let params = Params.bindings model.Model.params in
+  let rng = Rng.create 23 in
+  let batches =
+    List.init 4 (fun _ ->
+        let ids n =
+          Tensor.init (Node.shape n) (fun _ -> float_of_int (Rng.int rng 40))
+        in
+        [
+          (lm.Language_model.token_input, ids lm.Language_model.token_input);
+          (lm.Language_model.label_input, ids lm.Language_model.label_input);
+        ])
+  in
+  let run fuse =
+    (Echo_train.Loop.train ~graph ~params
+       ~optimizer:
+         (Echo_train.Optimizer.create (Echo_train.Optimizer.Sgd { lr = 0.5 }))
+       ~clip_norm:5.0 ~faults:Echo_runtime.Fault.none ~fuse ~batches ())
+      .Echo_train.Loop.losses
+  in
+  let fused = run true and unfused = run false in
+  Alcotest.(check int) "same step count" (List.length unfused)
+    (List.length fused);
+  List.iter2
+    (fun a b ->
+      check_bool "loss bits identical" true
+        (Int64.bits_of_float a = Int64.bits_of_float b))
+    fused unfused
+
 (* Missing feeds are reported all at once, by name, by both engines. *)
 let test_missing_feeds_aggregated () =
   let a = Node.placeholder ~name:"tokens" [| 2 |] in
@@ -346,5 +562,14 @@ let suite =
         t "kernel runtime differential" test_runtime_differential;
         t "missing feeds aggregated" test_missing_feeds_aggregated;
         t "train arity message" test_train_arity_message;
+      ] );
+    ( "compiler.fusion",
+      [
+        QCheck_alcotest.to_alcotest prop_fused_differential;
+        t "LM fused differential" test_fused_lm_differential;
+        t "NMT fused differential" test_fused_nmt_differential;
+        t "interiors slotless" test_fused_interiors_slotless;
+        t "stats match executor" test_fusion_stats_match_executor;
+        t "loss trajectory fused == unfused" test_fused_loss_trajectory;
       ] );
   ]

@@ -197,8 +197,12 @@ let test_fusion_time_saves_launches () =
   let t_unfused = Echo_gpusim.Costmodel.graph_time dev g in
   let t_fused = Fusion.fused_graph_time dev g in
   let saved = t_unfused -. t_fused in
-  check_bool "saves ~3 launches" true
-    (Float.abs (saved -. (3.0 *. dev.Echo_gpusim.Device.launch_overhead_s)) < 1e-9)
+  (* The fused group pays one launch instead of four, and its interiors
+     never round-trip through memory, so the saving is the three launches
+     plus the avoided traffic — never less than the launches alone. *)
+  let three_launches = 3.0 *. dev.Echo_gpusim.Device.launch_overhead_s in
+  check_bool "saves at least 3 launches" true (saved >= three_launches -. 1e-15);
+  check_bool "also saves interior traffic" true (saved > three_launches)
 
 (* Timeline / profiler *)
 
@@ -287,8 +291,9 @@ let test_autotune_best_throughput () =
 let ladder_arenas g =
   List.map
     (fun policy ->
-      let _, report = Echo_core.Pass.run ~device:dev policy g in
-      (policy, report.Echo_core.Pass.optimised_mem.Memplan.arena_bytes))
+      let rewritten, report = Echo_core.Pass.run ~device:dev policy g in
+      let o = { Echo_core.Autotune.policy; graph = rewritten; report } in
+      (policy, Echo_core.Autotune.fit_footprint o))
     Echo_core.Autotune.fit_ladder
 
 let test_fit_memory_below_floor () =
