@@ -183,10 +183,109 @@ let train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
       (Echo_train.Loop.perplexity final)
   | [] -> Format.printf "trained 0 steps (all skipped)@."
 
+(* --lint: run the Echo-verify checkers over every stage artifact of the
+   compiled pipeline and print the collected diagnostics. --corrupt seeds
+   one deliberate corruption first, demonstrating (and letting scripts
+   assert, with --lint-strict's nonzero exit) that the checker for that
+   artifact actually fires. *)
+let lint_policy ~runtime ~no_fuse ~corrupt p rw =
+  let module Verify = Echo_analysis.Verify in
+  let module Mutate = Echo_analysis.Mutate in
+  let planned = Pipeline.plan ~offsets:true rw in
+  let fused =
+    if no_fuse then Pipeline.fuse ~enabled:false planned
+    else Pipeline.fuse planned
+  in
+  let exe = Pipeline.compile ~runtime fused in
+  let graph = fused.Pipeline.graph in
+  let report =
+    match corrupt with
+    | None -> Pipeline.verify (Pipeline.Executable exe)
+    | Some kind ->
+      let offsets =
+        match planned.Pipeline.offsets with
+        | Some a -> a
+        | None -> assert false
+      in
+      (* Binding corruptions work on an unfused executor: the mutators
+         reason about unfused liveness when picking their site. *)
+      let unfused_binding () =
+        let exe_u =
+          Pipeline.compile ~runtime (Pipeline.fuse ~enabled:false planned)
+        in
+        Echo_compiler.Executor.buffer_binding (Pipeline.executor exe_u)
+      in
+      let need what = function
+        | Some v -> v
+        | None ->
+          failwith
+            (Printf.sprintf
+               "--corrupt %s: this graph offers no site for that corruption \
+                (%s)"
+               kind what)
+      in
+      (match kind with
+      | "schedule" ->
+        let schedule = need "no node with inputs" (Mutate.swap_schedule graph) in
+        Verify.lint ~schedule graph
+      | "slot-overlap" ->
+        let offsets =
+          need "no pair of concurrent slots" (Mutate.overlap_slots offsets)
+        in
+        Verify.lint ~offsets graph
+      | "slot-escape" ->
+        let offsets = need "no slots at all" (Mutate.escape_slot offsets) in
+        Verify.lint ~offsets graph
+      | "alias" ->
+        let binding =
+          need "no two buffers live simultaneously"
+            (Mutate.alias_binding graph (unfused_binding ()))
+        in
+        Verify.lint ~binding graph
+      | "inplace-donor" ->
+        let binding =
+          need "no non-elementwise consumer of a dying input"
+            (Mutate.retarget_inplace graph (unfused_binding ()))
+        in
+        Verify.lint ~binding graph
+      | "clone-seed" ->
+        let graph =
+          need "no DropoutMask recomputation clone (pick a policy that \
+                mirrors dropout)"
+            (Mutate.reseed_clone graph)
+        in
+        Verify.lint graph
+      | "clone-hint" ->
+        let graph =
+          need "no recomputation clone (pick a recomputing policy)"
+            (Mutate.bad_clone_hint graph)
+        in
+        Verify.lint graph
+      | "fusion-region" ->
+        let fusion =
+          need "no backward elementwise node reading a same-shape forward one"
+            (Mutate.cross_region_group graph)
+        in
+        Verify.lint ~fusion graph
+      | other ->
+        failwith
+          (Printf.sprintf
+             "unknown corruption %S: one of schedule, slot-overlap, \
+              slot-escape, alias, inplace-donor, clone-seed, clone-hint, \
+              fusion-region"
+             other))
+  in
+  List.iter
+    (fun d -> Format.printf "%a@." Echo_diag.pp d)
+    (Echo_diag.Report.diags report);
+  Format.printf "lint (%s): %a@." (Pass.policy_name p)
+    Echo_diag.Report.pp_summary report;
+  Echo_diag.Report.has_errors report
+
 let run model_choice batch seq_len hidden layers policy budget all breakdown
     profile optimize dot_file trace_file save_file load_file device_name
     domains compile train_steps vocab budget_bytes faults_spec checkpoint_path
-    checkpoint_every resume no_fuse dump_fusion =
+    checkpoint_every resume no_fuse dump_fusion lint lint_strict corrupt =
   let device =
     match Echo_gpusim.Device.by_name device_name with
     | Some d -> d
@@ -239,6 +338,8 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
       | other -> failwith (Printf.sprintf "unknown policy %S" other)
     end
   in
+  let lint = lint || lint_strict || corrupt <> None in
+  let lint_failed = ref false in
   List.iter
     (fun p ->
       (* Stage 4: the Echo pass, with baseline + optimised measurement. *)
@@ -262,6 +363,9 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
         let exe = Pipeline.compile ~runtime fused in
         Format.printf "%a@." Pipeline.describe exe
       end;
+      if lint then
+        if lint_policy ~runtime ~no_fuse ~corrupt p rw then
+          lint_failed := true;
       if breakdown then
         Format.printf "%a" Footprint.pp_breakdown report.Pass.optimised_mem;
       if profile then begin
@@ -284,7 +388,8 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
           let tl = Echo_gpusim.Timeline.simulate device rewritten in
           write path (Echo_gpusim.Timeline.to_chrome_trace tl))
         trace_file)
-    policies
+    policies;
+  if lint_strict && !lint_failed then exit 1
 
 let model_conv =
   Arg.enum
@@ -409,13 +514,42 @@ let cmd =
             "Print the fusion groups of the rewritten graph: members, \
              external inputs, and the interior buffers fusion elides.")
   in
+  let lint =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Run the Echo-verify static checkers over every compiled \
+             artifact (schedule, recomputation clones, offset assignment, \
+             fusion plan, buffer binding, interpreter fallbacks) and print \
+             the collected diagnostics.")
+  in
+  let lint_strict =
+    Arg.(
+      value & flag
+      & info [ "lint-strict" ]
+          ~doc:"Like --lint, but exit nonzero when any error-severity \
+                finding is reported.")
+  in
+  let corrupt =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corrupt" ]
+          ~doc:
+            "With --lint: seed one deliberate corruption before checking — \
+             one of schedule, slot-overlap, slot-escape, alias, \
+             inplace-donor, clone-seed, clone-hint, fusion-region. The \
+             matching checker must fire; with --lint-strict the exit status \
+             proves it."
+          ~docv:"KIND")
+  in
   let term =
     Term.(
       const run $ model $ batch $ seq_len $ hidden $ layers $ policy $ budget
       $ all $ breakdown $ profile $ optimize $ dot_file $ trace_file
       $ save_file $ load_file $ device $ domains $ compile $ train_steps
       $ vocab $ budget_bytes $ faults $ checkpoint_path $ checkpoint_every
-      $ resume $ no_fuse $ dump_fusion)
+      $ resume $ no_fuse $ dump_fusion $ lint $ lint_strict $ corrupt)
   in
   Cmd.v (Cmd.info "echoc" ~doc:"Echo compiler pass driver") term
 

@@ -1,0 +1,82 @@
+(* Structured diagnostics: the one currency every validator and static
+   checker in the system trades in. A diagnostic names the check that
+   produced it, the pipeline stage it inspected, the implicated node ids and
+   a human explanation; a [Report] collects all of them instead of stopping
+   at the first, so one lint run shows every violation of a corrupted
+   artifact at once. *)
+
+type severity = Info | Warning | Error
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+type t = {
+  severity : severity;
+  check : string;
+  stage : string;
+  nodes : int list;
+  message : string;
+}
+
+let make severity ~check ~stage ~nodes message =
+  { severity; check; stage; nodes; message }
+
+let pp fmt d =
+  let nodes =
+    match d.nodes with
+    | [] -> ""
+    | ids ->
+      Printf.sprintf " nodes [%s]"
+        (String.concat "," (List.map string_of_int ids))
+  in
+  Format.fprintf fmt "[%s] %s@@%s%s: %s"
+    (severity_name d.severity)
+    d.check d.stage nodes d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+module Report = struct
+  type diag = t
+  type t = { mutable rev_diags : diag list }
+
+  let create () = { rev_diags = [] }
+  let add r d = r.rev_diags <- d :: r.rev_diags
+
+  let addf r severity ~check ~stage ~nodes fmt =
+    Printf.ksprintf (fun m -> add r (make severity ~check ~stage ~nodes m)) fmt
+
+  let errorf r ~check ~stage ~nodes fmt = addf r Error ~check ~stage ~nodes fmt
+  let warnf r ~check ~stage ~nodes fmt = addf r Warning ~check ~stage ~nodes fmt
+  let infof r ~check ~stage ~nodes fmt = addf r Info ~check ~stage ~nodes fmt
+  let diags r = List.rev r.rev_diags
+
+  let count severity r =
+    List.length (List.filter (fun d -> d.severity = severity) r.rev_diags)
+
+  let error_count = count Error
+  let warning_count = count Warning
+  let info_count = count Info
+  let has_errors r = List.exists (fun d -> d.severity = Error) r.rev_diags
+  let is_clean r = not (List.exists (fun d -> d.severity <> Info) r.rev_diags)
+
+  let errors r =
+    List.rev (List.filter (fun d -> d.severity = Error) r.rev_diags)
+
+  let with_check name r =
+    List.rev (List.filter (fun d -> d.check = name) r.rev_diags)
+
+  let append ~into r = into.rev_diags <- r.rev_diags @ into.rev_diags
+
+  let pp_summary fmt r =
+    Format.fprintf fmt "%d error(s), %d warning(s), %d info"
+      (error_count r) (warning_count r) (info_count r)
+
+  let pp fmt r =
+    match diags r with
+    | [] -> Format.fprintf fmt "clean (no diagnostics)"
+    | ds ->
+      List.iter (fun d -> Format.fprintf fmt "%a@," pp d) ds;
+      pp_summary fmt r
+end

@@ -1,0 +1,94 @@
+(** Structured diagnostics shared by every validator and static checker.
+
+    A diagnostic carries the severity, the name of the check that produced
+    it, the pipeline stage it inspected, the implicated node ids and a human
+    explanation. A {!Report} collects every finding instead of stopping at
+    the first, so a single lint run over a corrupted artifact surfaces all
+    of its violations at once. *)
+
+type severity = Info | Warning | Error
+
+val severity_name : severity -> string
+
+type t = {
+  severity : severity;
+  check : string;  (** checker name: ["alias"], ["fusion"], ["graph"], ... *)
+  stage : string;  (** pipeline stage the inspected artifact came from *)
+  nodes : int list;  (** implicated node ids, most relevant first *)
+  message : string;  (** human explanation of the violated invariant *)
+}
+
+val make :
+  severity -> check:string -> stage:string -> nodes:int list -> string -> t
+
+val pp : Format.formatter -> t -> unit
+(** One line: [[severity] check\@stage nodes [ids]: message]. *)
+
+val to_string : t -> string
+
+(** A mutable collector of diagnostics. *)
+module Report : sig
+  type diag := t
+  type t
+
+  val create : unit -> t
+  val add : t -> diag -> unit
+
+  val addf :
+    t ->
+    severity ->
+    check:string ->
+    stage:string ->
+    nodes:int list ->
+    ('a, unit, string, unit) format4 ->
+    'a
+  (** Printf-style [add]. *)
+
+  val errorf :
+    t ->
+    check:string ->
+    stage:string ->
+    nodes:int list ->
+    ('a, unit, string, unit) format4 ->
+    'a
+
+  val warnf :
+    t ->
+    check:string ->
+    stage:string ->
+    nodes:int list ->
+    ('a, unit, string, unit) format4 ->
+    'a
+
+  val infof :
+    t ->
+    check:string ->
+    stage:string ->
+    nodes:int list ->
+    ('a, unit, string, unit) format4 ->
+    'a
+
+  val diags : t -> diag list
+  (** In the order they were added. *)
+
+  val error_count : t -> int
+  val warning_count : t -> int
+  val info_count : t -> int
+
+  val has_errors : t -> bool
+  (** At least one [Error]-severity finding. *)
+
+  val is_clean : t -> bool
+  (** No errors and no warnings ([Info] findings are allowed). *)
+
+  val errors : t -> diag list
+
+  val with_check : string -> t -> diag list
+  (** Findings produced by the named check, in order. *)
+
+  val append : into:t -> t -> unit
+  (** Append every diagnostic of the second report into [into]. *)
+
+  val pp : Format.formatter -> t -> unit
+  val pp_summary : Format.formatter -> t -> unit
+end

@@ -1,0 +1,247 @@
+open Echo_ir
+module Assign = Echo_exec.Assign
+
+(* Schedule positions and re-derived last-read steps (unfused), the same
+   quantities Verify re-derives; the mutators use them to find a site where
+   the corruption actually violates the property under test. *)
+let positions graph =
+  let tbl = Hashtbl.create 1024 in
+  List.iteri (fun i n -> Hashtbl.replace tbl (Node.id n) i) (Graph.nodes graph);
+  tbl
+
+let last_read graph pos node def =
+  if Graph.is_output graph (Node.id node) then max_int
+  else
+    List.fold_left
+      (fun acc c ->
+        match Hashtbl.find_opt pos (Node.id c) with
+        | Some p -> max acc p
+        | None -> acc)
+      def
+      (Graph.consumers graph (Node.id node))
+
+let swap_schedule graph =
+  let schedule = Graph.nodes graph in
+  match List.find_opt (fun n -> Node.inputs n <> []) schedule with
+  | None -> None
+  | Some n ->
+    Some (n :: List.filter (fun m -> not (Node.equal m n)) schedule)
+
+let overlap_slots assignment =
+  let slots = Array.of_list (Assign.slots assignment) in
+  let concurrent a b =
+    a.Assign.def_step <= b.Assign.last_step
+    && b.Assign.def_step <= a.Assign.last_step
+  in
+  let found = ref None in
+  Array.iteri
+    (fun i a ->
+      if !found = None then
+        for j = i + 1 to Array.length slots - 1 do
+          let b = slots.(j) in
+          if
+            !found = None && concurrent a b
+            && not
+                 (a.Assign.offset < b.Assign.offset + b.Assign.size
+                 && b.Assign.offset < a.Assign.offset + a.Assign.size)
+          then found := Some (a, b)
+        done)
+    slots;
+  match !found with
+  | None -> None
+  | Some (a, b) ->
+    let slots =
+      List.map
+        (fun s ->
+          if s.Assign.node_id = b.Assign.node_id then
+            { s with Assign.offset = a.Assign.offset }
+          else s)
+        (Assign.slots assignment)
+    in
+    Some (Assign.of_slots ~arena:(Assign.arena_size assignment) slots)
+
+let escape_slot assignment =
+  match Assign.slots assignment with
+  | [] -> None
+  | first :: rest ->
+    let arena = Assign.arena_size assignment in
+    Some
+      (Assign.of_slots ~arena ({ first with Assign.offset = arena } :: rest))
+
+let alias_binding graph binding =
+  let pos = positions graph in
+  let bid_of = Hashtbl.create 256 in
+  List.iter (fun (n, bid) -> Hashtbl.replace bid_of (Node.id n) bid) binding;
+  (* A victim defined strictly inside a donor's live range, on a different
+     physical buffer: rebinding it aliases two simultaneously-live values. *)
+  let site =
+    List.find_opt
+      (fun (donor, dbid) ->
+        let d_def = Hashtbl.find pos (Node.id donor) in
+        let d_last = last_read graph pos donor d_def in
+        List.exists
+          (fun (victim, vbid) ->
+            vbid <> dbid
+            &&
+            let v_def = Hashtbl.find pos (Node.id victim) in
+            v_def > d_def && v_def < d_last)
+          binding)
+      binding
+  in
+  match site with
+  | None -> None
+  | Some (donor, dbid) ->
+    let d_def = Hashtbl.find pos (Node.id donor) in
+    let d_last = last_read graph pos donor d_def in
+    let victim, _ =
+      List.find
+        (fun (victim, vbid) ->
+          vbid <> dbid
+          &&
+          let v_def = Hashtbl.find pos (Node.id victim) in
+          v_def > d_def && v_def < d_last)
+        binding
+    in
+    Some
+      (List.map
+         (fun (n, bid) ->
+           if Node.equal n victim then (n, dbid) else (n, bid))
+         binding)
+
+let retarget_inplace graph binding =
+  let pos = positions graph in
+  let in_binding = Hashtbl.create 256 in
+  List.iter (fun (n, bid) -> Hashtbl.replace in_binding (Node.id n) bid) binding;
+  (* A consumer whose operator cannot write in place, reading an input that
+     dies exactly at its step: handing it the input's buffer is precisely
+     the corrupted transfer the in-place checker exists to reject. *)
+  let site =
+    List.find_opt
+      (fun (taker, _) ->
+        (not (Echo_exec.Memplan.inplace_capable taker))
+        && List.exists
+             (fun input ->
+               Hashtbl.mem in_binding (Node.id input)
+               &&
+               let i_def = Hashtbl.find pos (Node.id input) in
+               last_read graph pos input i_def
+               = Hashtbl.find pos (Node.id taker))
+             (Node.inputs taker))
+      binding
+  in
+  match site with
+  | None -> None
+  | Some (taker, _) ->
+    let donor =
+      List.find
+        (fun input ->
+          Hashtbl.mem in_binding (Node.id input)
+          &&
+          let i_def = Hashtbl.find pos (Node.id input) in
+          last_read graph pos input i_def = Hashtbl.find pos (Node.id taker))
+        (Node.inputs taker)
+    in
+    let donor_bid = Hashtbl.find in_binding (Node.id donor) in
+    Some
+      (List.map
+         (fun (n, bid) -> if Node.equal n taker then (n, donor_bid) else (n, bid))
+         binding)
+
+(* Rebuild the graph with [replace] applied to matching nodes and every
+   transitive consumer re-cloned onto the fresh inputs. *)
+let rebuild graph ~replace =
+  let rebuilt : (int, Node.t) Hashtbl.t = Hashtbl.create 1024 in
+  let resolve u =
+    match Hashtbl.find_opt rebuilt (Node.id u) with Some r -> r | None -> u
+  in
+  List.iter
+    (fun n ->
+      match replace n with
+      | Some fresh -> Hashtbl.replace rebuilt (Node.id n) fresh
+      | None ->
+        let inputs = List.map resolve (Node.inputs n) in
+        if
+          not (List.for_all2 (fun a b -> Node.equal a b) (Node.inputs n) inputs)
+        then Hashtbl.replace rebuilt (Node.id n) (Node.clone_with_inputs n inputs))
+    (Graph.nodes graph);
+  Graph.create (List.map resolve (Graph.outputs graph))
+
+let reseed_clone graph =
+  let target =
+    List.find_opt
+      (fun n ->
+        Echo_core.Rewrite.is_clone n
+        && match Node.op n with Op.DropoutMask _ -> true | _ -> false)
+      (Graph.nodes graph)
+  in
+  match target with
+  | None -> None
+  | Some t ->
+    let p, seed =
+      match Node.op t with
+      | Op.DropoutMask { p; seed } -> (p, seed)
+      | _ -> assert false
+    in
+    let fresh =
+      Node.create ~name:(Node.name t) ~region:(Node.region t)
+        ~shape:(Node.shape t) ~hint:(Node.hint t)
+        (Op.DropoutMask { p; seed = seed + 1 })
+        []
+    in
+    Some
+      (rebuild graph ~replace:(fun n ->
+           if Node.equal n t then Some fresh else None))
+
+let bad_clone_hint graph =
+  let target =
+    List.find_opt
+      (fun n ->
+        Echo_core.Rewrite.is_clone n && Graph.consumers graph (Node.id n) <> [])
+      (Graph.nodes graph)
+  in
+  match target with
+  | None -> None
+  | Some t ->
+    let earliest =
+      List.fold_left
+        (fun acc c -> Float.min acc (Node.hint c))
+        infinity
+        (Graph.consumers graph (Node.id t))
+    in
+    let fresh =
+      Node.clone_with_inputs ~hint:(earliest +. 1.0) t (Node.inputs t)
+    in
+    Some
+      (rebuild graph ~replace:(fun n ->
+           if Node.equal n t then Some fresh else None))
+
+let cross_region_group graph =
+  let site =
+    List.find_opt
+      (fun m ->
+        Node.region m = Node.Backward
+        && Fuse.elementwise m
+        && List.exists
+             (fun a ->
+               Node.region a = Node.Forward
+               && Fuse.elementwise a
+               && Echo_tensor.Shape.equal (Node.shape a) (Node.shape m))
+             (Node.inputs m))
+      (Graph.nodes graph)
+  in
+  match site with
+  | None -> None
+  | Some m ->
+    let a =
+      List.find
+        (fun a ->
+          Node.region a = Node.Forward
+          && Fuse.elementwise a
+          && Echo_tensor.Shape.equal (Node.shape a) (Node.shape m))
+        (Node.inputs m)
+    in
+    let externals =
+      Node.inputs a
+      @ List.filter (fun i -> not (Node.equal i a)) (Node.inputs m)
+    in
+    Some (Fuse.of_groups [ { Fuse.members = [ a; m ]; root = m; externals } ])

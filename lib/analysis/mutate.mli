@@ -1,0 +1,48 @@
+(** Mutation harness: seed one deliberate, realistic corruption into an
+    otherwise sound artifact so the test suite can prove each {!Verify}
+    checker actually fires. Every mutator returns [None] when the artifact
+    offers no site for its corruption (no clone to reseed, no slot pair to
+    overlap), so tests can assert presence explicitly instead of silently
+    passing on an empty mutation. *)
+
+open Echo_ir
+
+val swap_schedule : Graph.t -> Node.t list option
+(** A schedule with one node hoisted in front of its inputs — breaks
+    topological order for {!Verify.check_schedule}'s [?schedule]. *)
+
+val overlap_slots : Echo_exec.Assign.t -> Echo_exec.Assign.t option
+(** Force two simultaneously-live slots onto the same byte offset —
+    {!Verify.check_offsets} must report the address overlap. *)
+
+val escape_slot : Echo_exec.Assign.t -> Echo_exec.Assign.t option
+(** Push one slot's offset past the arena end — {!Verify.check_offsets}
+    must report the escape. *)
+
+val alias_binding :
+  Graph.t -> (Node.t * int) list -> (Node.t * int) list option
+(** Rebind a node onto the physical buffer of another node that is still
+    live at its definition — {!Verify.check_binding} must report the
+    alias. *)
+
+val retarget_inplace :
+  Graph.t -> (Node.t * int) list -> (Node.t * int) list option
+(** Hand a dying input's buffer to a consumer whose operator cannot write
+    in place — a corrupted in-place transfer {!Verify.check_binding} must
+    reject. *)
+
+val reseed_clone : Graph.t -> Graph.t option
+(** Rebuild the graph with one recomputation clone's [DropoutMask] seed
+    changed: the clone now recomputes a {e different} mask than was used in
+    the forward pass — {!Verify.check_recompute} must report the operator
+    divergence. *)
+
+val bad_clone_hint : Graph.t -> Graph.t option
+(** Rebuild the graph with one clone's scheduling hint pushed past its
+    earliest consumer's — recomputation is no longer just-in-time and
+    {!Verify.check_recompute} must say so. *)
+
+val cross_region_group : Graph.t -> Fuse.plan option
+(** A hand-indexed fusion plan whose single group chains a forward producer
+    into a backward consumer — {!Verify.check_fusion} must report the
+    region crossing. *)

@@ -4,8 +4,10 @@ open Echo_exec
 
 (* A physical transient buffer. [writers] counts the instructions that write
    into it across the whole schedule: a constant node owning a single-writer
-   buffer can be materialised once at compile time and skipped at run time. *)
-type buf = { arr : float array; mutable writers : int }
+   buffer can be materialised once at compile time and skipped at run time.
+   [bid] is a compile-time identity handed to the static verifier so it can
+   prove that nodes sharing a physical buffer never overlap in lifetime. *)
+type buf = { arr : float array; mutable writers : int; mutable bid : int }
 
 type t = {
   graph : Graph.t;
@@ -25,6 +27,9 @@ type t = {
   max_workspace_bytes : int;
   fused_groups : int;
   fused_interiors : int;
+  binding : (Node.t * int) list;
+      (** (node, physical buffer id) for every materialising transient slot *)
+  fallback_count : int;  (** instructions that evaluate through Interp *)
 }
 
 exception Budget_exceeded of { requested_bytes : int; budget_bytes : int }
@@ -150,7 +155,7 @@ let compile ?(inplace = true) ?budget_bytes ?runtime ?fusion graph =
             | Some b -> b
             | None ->
               transient_bytes := !transient_bytes + Node.size_bytes node;
-              { arr = Array.make numel 0.0; writers = 0 })
+              { arr = Array.make numel 0.0; writers = 0; bid = -1 })
         in
         b.writers <- b.writers + 1;
         buf_of_slot.(step) <- Some b;
@@ -340,6 +345,30 @@ let compile ?(inplace = true) ?budget_bytes ?runtime ?fusion graph =
          (Graph.outputs graph))
   in
   let persistent = Array.of_list (List.rev !persistent) in
+  (* Number the physical buffers in first-use order and record which buffer
+     each materialising slot ended up in — the artifact the alias sanitizer
+     re-derives lifetimes against. *)
+  let next_bid = ref 0 in
+  let binding = ref [] in
+  Array.iteri
+    (fun step node ->
+      match buf_of_slot.(step) with
+      | None -> ()
+      | Some b ->
+        if b.bid < 0 then begin
+          b.bid <- !next_bid;
+          incr next_bid
+        end;
+        binding := (node, b.bid) :: !binding)
+    nodes;
+  let fallback_count =
+    Array.fold_left
+      (fun acc node ->
+        match Node.op node with
+        | Op.Conv2d _ | Op.Conv2dGradInput _ | Op.Conv2dGradKernel _ -> acc + 1
+        | _ -> acc)
+      0 nodes
+  in
   {
     graph;
     runtime;
@@ -360,6 +389,8 @@ let compile ?(inplace = true) ?budget_bytes ?runtime ?fusion graph =
       (match fusion with Some f -> Fuse.group_count f | None -> 0);
     fused_interiors =
       (match fusion with Some f -> Fuse.interior_count f | None -> 0);
+    binding = List.rev !binding;
+    fallback_count;
   }
 
 let graph e = e.graph
@@ -376,6 +407,8 @@ let footprint_bytes e =
 
 let transient_bytes e = e.transient_bytes
 let persistent_bytes e = e.persistent_bytes
+let buffer_binding e = e.binding
+let interp_fallback_count e = e.fallback_count
 
 let slot_opt e node = Hashtbl.find_opt e.slot_of_id (Node.id node)
 

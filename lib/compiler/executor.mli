@@ -126,3 +126,16 @@ val footprint_bytes : t -> int
 
 val transient_bytes : t -> int
 val persistent_bytes : t -> int
+
+val buffer_binding : t -> (Node.t * int) list
+(** The compile-time buffer binding: [(node, physical buffer id)] for every
+    transient slot that materialises (fused interiors and buried constants
+    are absent), in schedule order. Two nodes share a physical buffer iff
+    they carry the same id — the verification layer
+    ({!Echo_analysis.Verify}) re-derives liveness from scratch and proves no
+    two overlapping-live nodes share one. *)
+
+val interp_fallback_count : t -> int
+(** Number of compiled instructions that evaluate through the reference
+    interpreter instead of a native compiled kernel (currently the conv2d
+    family). Surfaced by [echoc --lint] as an info diagnostic. *)

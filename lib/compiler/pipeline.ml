@@ -112,12 +112,55 @@ let fuse_stage = fuse
 
 type executable = { fused : fused; executor : Executor.t }
 
+(* The verification layer: every stage re-proven by the independent
+   checkers of Echo_analysis.Verify. Later stages verify everything the
+   earlier ones do plus their own artifact; the planned stage computes the
+   offset assignment itself when the caller skipped it, so a [verify] is
+   never weaker than the stage allows. *)
+type stage =
+  | Source of source
+  | Training of training
+  | Optimized of optimized
+  | Rewritten of rewritten
+  | Planned of planned
+  | Fused of fused
+  | Executable of executable
+
+let verify stage =
+  match stage with
+  | Source s -> Echo_analysis.Verify.lint (forward_graph s)
+  | Training t -> Echo_analysis.Verify.lint t.autodiff.Echo_autodiff.Grad.graph
+  | Optimized o -> Echo_analysis.Verify.lint o.graph
+  | Rewritten r -> Echo_analysis.Verify.lint r.graph
+  | Planned pl ->
+    let offsets =
+      match pl.offsets with
+      | Some a -> a
+      | None -> Echo_exec.Assign.assign pl.graph
+    in
+    Echo_analysis.Verify.lint ~offsets pl.graph
+  | Fused f ->
+    Echo_analysis.Verify.lint ?fusion:f.fusion
+      ?offsets:f.planned.offsets f.graph
+  | Executable e ->
+    let f = e.fused in
+    Echo_analysis.Verify.lint ?fusion:f.fusion ?offsets:f.planned.offsets
+      ~binding:(Executor.buffer_binding e.executor)
+      ~fallback_count:(Executor.interp_fallback_count e.executor)
+      f.graph
+
 let compile ?budget_bytes ?runtime (f : fused) =
-  {
-    fused = f;
-    executor =
-      Executor.compile ?budget_bytes ?runtime ?fusion:f.fusion f.graph;
-  }
+  let e =
+    {
+      fused = f;
+      executor =
+        Executor.compile ?budget_bytes ?runtime ?fusion:f.fusion f.graph;
+    }
+  in
+  (* ECHO_VERIFY=1: every compile self-certifies; error findings abort. *)
+  if Echo_analysis.Verify.env_enabled () then
+    Echo_analysis.Verify.check_exn (verify (Executable e));
+  e
 
 let executor e = e.executor
 let planned_of e = e.fused.planned

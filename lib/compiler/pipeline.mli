@@ -151,6 +151,32 @@ val executor : executable -> Executor.t
 val planned_of : executable -> planned
 (** The planned stage the executable was compiled from. *)
 
+(** {1 Verification}
+
+    The Echo-verify layer: the independent static checkers of
+    {!Echo_analysis.Verify} run over whatever stage value you hold. *)
+
+type stage =
+  | Source of source
+  | Training of training
+  | Optimized of optimized
+  | Rewritten of rewritten
+  | Planned of planned
+  | Fused of fused
+  | Executable of executable
+
+val verify : stage -> Echo_diag.Report.t
+(** Re-prove the artifacts the given stage carries: graph/schedule shape
+    and topology, determinism, recomputation-clone fidelity at every stage;
+    plus the offset assignment at [Planned] (computed on the spot if the
+    stage skipped it), the fusion plan at [Fused], and the compiled buffer
+    binding and interpreter-fallback count at [Executable]. Returns the
+    collected report; a sound artifact has no error findings.
+
+    {!compile} runs this automatically under [ECHO_VERIFY=1]
+    ({!Echo_analysis.Verify.env_enabled}) and raises
+    {!Echo_analysis.Verify.Verify_failed} on errors. *)
+
 (** {1 Shorthands} *)
 
 val compile_graph :

@@ -131,12 +131,15 @@ let mirror ?(share = true) graph ~mirror_ids =
     (Graph.nodes graph);
   Graph.create (List.map resolve (Graph.outputs graph))
 
-let clone_count graph =
-  List.length
-    (List.filter
-       (fun n ->
-         let name = Node.name n in
-         let slen = String.length clone_suffix in
-         String.length name >= slen
-         && String.sub name (String.length name - slen) slen = clone_suffix)
-       (Graph.nodes graph))
+let is_clone n =
+  let name = Node.name n in
+  let slen = String.length clone_suffix in
+  String.length name >= slen
+  && String.sub name (String.length name - slen) slen = clone_suffix
+
+let base_name n =
+  let name = Node.name n in
+  if is_clone n then String.sub name 0 (String.length name - String.length clone_suffix)
+  else name
+
+let clone_count graph = List.length (List.filter is_clone (Graph.nodes graph))

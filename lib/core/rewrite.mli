@@ -26,6 +26,14 @@ val mirror : ?share:bool -> Graph.t -> mirror_ids:Ids.Set.t -> Graph.t
     exactly: evaluating the result under the same feeds yields bitwise
     identical outputs. *)
 
+val is_clone : Node.t -> bool
+(** Is this node a recomputation clone (named with the ["~r"] suffix
+    convention used by [mirror])? *)
+
+val base_name : Node.t -> string
+(** The node's name with the clone suffix stripped, if present — the name of
+    the forward original a clone mirrors. *)
+
 val clone_count : Graph.t -> int
 (** Number of recomputation clones in a rewritten graph (nodes named with
     the ["~r"] suffix convention used by [mirror]). *)

@@ -88,6 +88,11 @@ let assign graph =
 let arena_size t = t.arena
 let slots t = t.slots
 
+(* Reconstruct an assignment from raw slots. The mutation harness uses this
+   to seed deliberate corruptions; [check] treats the result like any other
+   plan. *)
+let of_slots ~arena slots = { slots; arena }
+
 let total_with_persistent t graph =
   let persistent, max_ws =
     List.fold_left
@@ -102,7 +107,13 @@ let total_with_persistent t graph =
   in
   t.arena + persistent + max_ws
 
-let validate t =
+(* Soundness of the static plan, collect-all: arena-escape and address
+   overlap of live-overlapping slots each become one diagnostic. *)
+let check t =
+  let report = Echo_diag.Report.create () in
+  let err ~nodes fmt =
+    Echo_diag.Report.errorf report ~check:"assign" ~stage:"assign" ~nodes fmt
+  in
   let overlaps a b =
     a.offset < b.offset + b.size && b.offset < a.offset + a.size
   in
@@ -111,12 +122,25 @@ let validate t =
   Array.iteri
     (fun i a ->
       if a.offset < 0 || a.offset + a.size > t.arena then
-        failwith (Printf.sprintf "Assign.validate: slot %d escapes arena" a.node_id);
+        err ~nodes:[ a.node_id ]
+          "slot of node #%d ([%d, %d)) escapes the %d-byte arena" a.node_id
+          a.offset (a.offset + a.size) t.arena;
       for j = i + 1 to Array.length arr - 1 do
         let b = arr.(j) in
         if concurrent a b && overlaps a b then
-          failwith
-            (Printf.sprintf "Assign.validate: slots %d and %d overlap" a.node_id
-               b.node_id)
+          err
+            ~nodes:[ a.node_id; b.node_id ]
+            "slots of nodes #%d ([%d, %d), steps %d..%d) and #%d ([%d, %d), \
+             steps %d..%d) are live simultaneously and overlap in address \
+             space"
+            a.node_id a.offset (a.offset + a.size) a.def_step a.last_step
+            b.node_id b.offset (b.offset + b.size) b.def_step b.last_step
       done)
-    arr
+    arr;
+  report
+
+let validate t =
+  match Echo_diag.Report.errors (check t) with
+  | [] -> ()
+  | first :: _ ->
+    failwith (Printf.sprintf "Assign.validate: %s" first.Echo_diag.message)

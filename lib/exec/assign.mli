@@ -23,6 +23,11 @@ type t
 
 val assign : Graph.t -> t
 
+val of_slots : arena:int -> slot list -> t
+(** Reconstruct an assignment from raw slots. Exists for the mutation
+    harness (corrupt a plan, then prove {!check} catches it) and for
+    deserialised plans; no validation happens here. *)
+
 val arena_size : t -> int
 (** Bytes of the transient arena (persistent weights/inputs are outside). *)
 
@@ -33,6 +38,12 @@ val total_with_persistent : t -> Graph.t -> int
 (** Arena plus weights, inputs and the maximum kernel workspace — directly
     comparable to {!Memplan}'s metrics. *)
 
+val check : t -> Echo_diag.Report.t
+(** The planner's soundness condition, collect-all: one error-severity
+    diagnostic (check ["assign"]) per pair of live-overlapping slots that
+    overlap in address space and per slot escaping the arena; a sound plan
+    yields an empty report. *)
+
 val validate : t -> unit
-(** @raise Failure if two live-overlapping slots overlap in address space or
-    any slot escapes the arena — the planner's soundness condition. *)
+(** Raising wrapper over {!check} for callers that want the first error
+    only. @raise Failure on violation. *)

@@ -67,6 +67,25 @@ let member_of graph node =
    launch saving. *)
 let default_max_externals = 2
 
+(* Index a raw group list into a plan. [analyse] ends here; the mutation
+   harness also enters here directly, with deliberately illegal groups, to
+   prove the verifier rejects them. *)
+let of_groups groups =
+  let root_of = Hashtbl.create 256 in
+  let interior_tbl = Hashtbl.create 256 in
+  let by_root = Hashtbl.create 64 in
+  List.iter
+    (fun g ->
+      Hashtbl.replace by_root (Node.id g.root) g;
+      List.iter
+        (fun m ->
+          Hashtbl.replace root_of (Node.id m) g.root;
+          if Node.id m <> Node.id g.root then
+            Hashtbl.replace interior_tbl (Node.id m) ())
+        g.members)
+    groups;
+  { groups; root_of; interior_tbl; by_root }
+
 let analyse ?(max_externals = default_max_externals) graph =
   let schedule = Graph.nodes graph in
   (* producer id -> the member that absorbs it *)
@@ -132,20 +151,7 @@ let analyse ?(max_externals = default_max_externals) graph =
         else [])
       schedule
   in
-  let root_of = Hashtbl.create 256 in
-  let interior_tbl = Hashtbl.create 256 in
-  let by_root = Hashtbl.create 64 in
-  List.iter
-    (fun g ->
-      Hashtbl.replace by_root (Node.id g.root) g;
-      List.iter
-        (fun m ->
-          Hashtbl.replace root_of (Node.id m) g.root;
-          if Node.id m <> Node.id g.root then
-            Hashtbl.replace interior_tbl (Node.id m) ())
-        g.members)
-    groups;
-  { groups; root_of; interior_tbl; by_root }
+  of_groups groups
 
 let groups p = p.groups
 let group_count p = List.length p.groups

@@ -39,6 +39,12 @@ val default_max_externals : int
     patterns while keeping the fused arena no larger than the unfused
     one). *)
 
+val of_groups : group list -> plan
+(** Index a raw group list into a plan, with no legality checking —
+    [analyse] ends here, and the mutation harness enters here directly with
+    deliberately illegal groups to prove {!Echo_analysis.Verify} rejects
+    them. *)
+
 val analyse : ?max_externals:int -> Graph.t -> plan
 (** Identify fusion groups. Maximal chains are split so no group reads more
     than [max_externals] external buffers: every external stays live until

@@ -120,27 +120,44 @@ let forward_nodes g =
 let backward_nodes g =
   List.filter (fun n -> Node.region n = Node.Backward) g.schedule
 
-let validate g =
+(* Structural validation, collect-all: every violation becomes one
+   diagnostic instead of the walk stopping at the first. *)
+let check g =
+  let report = Echo_diag.Report.create () in
+  let err ~nodes fmt =
+    Echo_diag.Report.errorf report ~check:"graph" ~stage:"graph" ~nodes fmt
+  in
+  let describe n =
+    Printf.sprintf "%s %s (#%d)" (Op.to_string (Node.op n)) (Node.name n)
+      (Node.id n)
+  in
   let seen = Hashtbl.create 1024 in
   List.iter
     (fun n ->
       if Hashtbl.mem seen (Node.id n) then
-        failwith (Printf.sprintf "Graph.validate: duplicate id %d" (Node.id n));
+        err ~nodes:[ Node.id n ] "duplicate id: %s appears twice in the schedule"
+          (describe n);
       List.iter
         (fun i ->
           if not (Hashtbl.mem seen (Node.id i)) then
-            failwith
-              (Printf.sprintf
-                 "Graph.validate: node %d scheduled before its input %d"
-                 (Node.id n) (Node.id i)))
+            err
+              ~nodes:[ Node.id n; Node.id i ]
+              "%s is scheduled before its input %s" (describe n) (describe i))
         (Node.inputs n);
       Hashtbl.add seen (Node.id n) ())
     g.schedule;
   List.iter
     (fun o ->
       if not (Hashtbl.mem seen (Node.id o)) then
-        failwith "Graph.validate: output not reachable")
-    g.outputs
+        err ~nodes:[ Node.id o ] "output %s is not in the schedule" (describe o))
+    g.outputs;
+  report
+
+let validate g =
+  match Echo_diag.Report.errors (check g) with
+  | [] -> ()
+  | first :: _ ->
+    failwith (Printf.sprintf "Graph.validate: %s" first.Echo_diag.message)
 
 let total_output_bytes g =
   List.fold_left (fun acc n -> acc + Node.size_bytes n) 0 g.schedule

@@ -34,9 +34,15 @@ val is_output : t -> int -> bool
 val forward_nodes : t -> Node.t list
 val backward_nodes : t -> Node.t list
 
+val check : t -> Echo_diag.Report.t
+(** Internal consistency check, collect-all: every input of a member is a
+    member, ids are unique, schedule order is topological. Each violation is
+    one error-severity diagnostic (check ["graph"]) naming node ids and op
+    names; a consistent graph yields an empty report. *)
+
 val validate : t -> unit
-(** Internal consistency check: every input of a member is a member, ids are
-    unique, schedule order is topological. @raise Failure on violation. *)
+(** Raising wrapper over {!check} for callers that want the first error
+    only. @raise Failure on violation. *)
 
 val total_output_bytes : t -> int
 (** Sum of every member node's output size (an upper bound on transient
