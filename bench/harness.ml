@@ -66,19 +66,20 @@ let training_graph model =
   (Pipeline.differentiate (Pipeline.of_model model))
     .Pipeline.autodiff.Echo_autodiff.Grad.graph
 
-(* Policy comparison set used by the headline experiments. *)
+(* Policy comparison set used by the headline experiments — resolved
+   through the planner registry, like every other consumer. *)
 let policies =
   [
-    Pass.Stash_all;
-    Pass.Mirror_all_cheap;
-    Pass.Checkpoint_sqrt;
-    Pass.Echo { overhead_budget = 0.03 };
-    Pass.Echo { overhead_budget = 0.10 };
-    Pass.Echo { overhead_budget = 0.30 };
+    Planner.instantiate "stash-all";
+    Planner.instantiate "mirror-all-cheap";
+    Planner.instantiate "checkpoint-sqrt";
+    Planner.instantiate ~knobs:[ ("budget", 0.03) ] "echo";
+    Planner.instantiate ~knobs:[ ("budget", 0.10) ] "echo";
+    Planner.instantiate ~knobs:[ ("budget", 0.30) ] "echo";
   ]
 
 (* Memoised policy reports per named graph so E2/E3/E5/E7 share work. *)
-let report_cache : (string, (Pass.policy * Pass.report) list) Hashtbl.t =
+let report_cache : (string, (Planner.instance * Pass.report) list) Hashtbl.t =
   Hashtbl.create 8
 
 let policy_reports name graph =
@@ -90,7 +91,8 @@ let policy_reports name graph =
     in
     let rs =
       List.map
-        (fun p -> (p, (Pipeline.rewrite ~device ~policy:p optimized).Pipeline.report))
+        (fun inst ->
+          (inst, (Pipeline.rewrite ~device ~planner:inst optimized).Pipeline.report))
         policies
     in
     Hashtbl.replace report_cache name rs;

@@ -127,8 +127,8 @@ let e5 () =
     (fun entry ->
       let graph, model = graph_of entry in
       List.iter
-        (fun (policy, report) ->
-          let rewritten, _ = Pass.run ~device policy graph in
+        (fun (inst, report) ->
+          let rewritten, _ = Pass.run_instance ~device inst graph in
           let pt = Echo_gpusim.Costmodel.phase_times device rewritten in
           row "%-14s %-18s %10.2f %10.2f %+8.1f%%@." model.Model.name
             report.Pass.policy
@@ -196,15 +196,15 @@ let e7 () =
     (fun entry ->
       let graph, model = graph_of entry in
       List.iter
-        (fun (policy, report) ->
-          let rewritten, _ = Pass.run ~device policy graph in
+        (fun (inst, report) ->
+          let rewritten, _ = Pass.run_instance ~device inst graph in
           row "%-14s %-18s %9d %8d %12s %12s %9.1f%%@." model.Model.name
             report.Pass.policy report.Pass.mirrored_nodes report.Pass.clone_nodes
             (Footprint.human report.Pass.claimed_saving_bytes)
             (Footprint.human report.Pass.optimised_mem.Memplan.stash_bytes)
             (100.0 *. Pass.recompute_flops_ratio rewritten ~original:graph))
         (List.filter
-           (fun (p, _) -> match p with Pass.Stash_all -> false | _ -> true)
+           (fun (inst, _) -> Planner.label inst <> "stash-all")
            (policy_reports model.Model.name graph)))
     (List.filteri (fun i _ -> i < 2) (zoo ()))
 
@@ -895,12 +895,91 @@ let e18 () =
   row "LM sequential fused speedup: %.2fx@." lm_speedup;
   record_json ~path:"BENCH_E18.json" "E18" (List.rev !json)
 
+(* E19: the footprint-vs-overhead frontier of every planner in the
+   registry, over the model zoo. For each (model, planner) point: rewrite
+   through the registry and record live-peak footprint, reduction factor
+   and simulated time overhead. On graphs small enough for the
+   quadratic-ish static planners, also run the planner's own offset
+   assigner, prove the plan with Echo-verify's offset checker, and compare
+   the olla-arena solver's arena against the greedy best-fit plan it must
+   never regress from. Numbers land in BENCH_E19.json so the frontier is
+   tracked across PRs. *)
+let e19 () =
+  heading "E19" "planner frontier over the zoo (every registered planner)";
+  let module Pipeline = Echo_compiler.Pipeline in
+  let json = ref [] in
+  let record key v = json := (key, v) :: !json in
+  row "%-14s %-18s %12s %8s %9s %12s %7s@." "model" "planner" "peak" "factor"
+    "overhead" "static" "verify";
+  List.iter
+    (fun entry ->
+      let graph, model = graph_of entry in
+      let name = model.Model.name in
+      let optimized =
+        Pipeline.optimize ~enabled:false (Pipeline.of_training_graph ~name graph)
+      in
+      (* The static-plan leg (offset assignment + verification) is
+         quadratic-ish in the schedule; skip it on the big full-scale
+         graphs, as E2 does — the quick configs cover every model. *)
+      let small = Graph.node_count graph < 10_000 in
+      if not small then
+        row "%-14s static-plan legs skipped (%d nodes)@." name
+          (Graph.node_count graph);
+      List.iter
+        (fun planner ->
+          let inst = Planner.instantiate planner.Planner.name in
+          let label = Planner.label inst in
+          let rw = Pipeline.rewrite ~device ~planner:inst optimized in
+          let report = rw.Pipeline.report in
+          let key k = Printf.sprintf "%s/%s/%s" name label k in
+          let peak = report.Pass.optimised_mem.Memplan.live_peak_bytes in
+          record (key "peak_bytes") (float_of_int peak);
+          record (key "factor") (Pass.reduction report);
+          record (key "overhead") (Pass.overhead report);
+          let static, verified =
+            if not small then ("-", "-")
+            else begin
+              let offsets = Planner.assigner inst rw.Pipeline.graph in
+              let lint =
+                Echo_analysis.Verify.lint ~offsets rw.Pipeline.graph
+              in
+              let ok = not (Echo_diag.Report.has_errors lint) in
+              record (key "static_arena") (float_of_int (Assign.arena_size offsets));
+              record (key "verified") (if ok then 1.0 else 0.0);
+              if Planner.label inst = "olla-arena" then begin
+                let greedy = Assign.assign rw.Pipeline.graph in
+                let saving =
+                  Arena_solver.improvement rw.Pipeline.graph ~greedy
+                    ~solved:offsets
+                in
+                record (key "le_greedy")
+                  (if Assign.arena_size offsets <= Assign.arena_size greedy
+                   then 1.0 else 0.0);
+                record (key "saving_vs_greedy") saving;
+                row "%-14s %-18s solver vs greedy arena: %s vs %s (%.2f%% saved)@."
+                  name label
+                  (Footprint.human (Assign.arena_size offsets))
+                  (Footprint.human (Assign.arena_size greedy))
+                  (100.0 *. saving)
+              end;
+              (Footprint.human (Assign.arena_size offsets),
+               if ok then "ok" else "FAIL")
+            end
+          in
+          row "%-14s %-18s %12s %7.2fx %+8.1f%% %12s %7s@." name label
+            (Footprint.human peak) (Pass.reduction report)
+            (100.0 *. Pass.overhead report)
+            static verified)
+        (Planner.all ()))
+    (zoo ());
+  record_json ~path:"BENCH_E19.json" "E19" (List.rev !json)
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E18", e18);
+    ("E18", e18); ("E19", e19);
   ]
 
 let () =

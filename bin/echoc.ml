@@ -89,11 +89,36 @@ let build_graph choice ~batch ~seq_len ~hidden ~layers =
   in
   model
 
+(* Resolve the planner the run uses: the --policy flag if given, else the
+   ECHO_POLICY environment variable, else [default]. Specs go through the
+   registry parser, so `--policy dp-bptt:slots=8` and every future
+   registered planner work without touching this driver. *)
+let resolve_planner ?flag ~budget default =
+  let spec =
+    match flag with
+    | Some s -> Some s
+    | None -> Sys.getenv_opt "ECHO_POLICY"
+  in
+  let spec = Option.value spec ~default in
+  match Echo_core.Planner.parse spec with
+  | Error msg -> failwith msg
+  | Ok instance -> begin
+    (* The legacy --budget flag feeds any planner that declares a [budget]
+       knob the spec itself left unbound (spec knobs win). *)
+    match budget with
+    | Some b
+      when Echo_core.Planner.declares instance.Echo_core.Planner.planner
+             "budget"
+           && not (Echo_core.Planner.knob_is_set instance "budget") ->
+      Echo_core.Planner.with_knob instance "budget" b
+    | _ -> instance
+  end
+
 (* --train: drive the fault-tolerant training loop instead of the
    policy-report path. LM family only (the synthetic corpus is a token
    stream). *)
 let train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
-    ~device
+    ~device ~planner
     ~runtime ~budget_bytes ~faults_spec ~checkpoint_path ~checkpoint_every
     ~resume ~no_fuse =
   let cell =
@@ -162,7 +187,7 @@ let train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
         Format.printf "[recovery] %s@." (Echo_runtime.Event.to_string e))
       ?budget_bytes ~faults ?checkpoint ~device ~runtime
       ?fuse:(if no_fuse then Some false else None)
-      ~batches ()
+      ?planner ~batches ()
   in
   let result =
     try train ()
@@ -188,7 +213,7 @@ let train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
    one deliberate corruption first, demonstrating (and letting scripts
    assert, with --lint-strict's nonzero exit) that the checker for that
    artifact actually fires. *)
-let lint_policy ~runtime ~no_fuse ~corrupt p rw =
+let lint_policy ~runtime ~no_fuse ~corrupt label rw =
   let module Verify = Echo_analysis.Verify in
   let module Mutate = Echo_analysis.Mutate in
   let planned = Pipeline.plan ~offsets:true rw in
@@ -278,8 +303,7 @@ let lint_policy ~runtime ~no_fuse ~corrupt p rw =
   List.iter
     (fun d -> Format.printf "%a@." Echo_diag.pp d)
     (Echo_diag.Report.diags report);
-  Format.printf "lint (%s): %a@." (Pass.policy_name p)
-    Echo_diag.Report.pp_summary report;
+  Format.printf "lint (%s): %a@." label Echo_diag.Report.pp_summary report;
   Echo_diag.Report.has_errors report
 
 let run model_choice batch seq_len hidden layers policy budget all breakdown
@@ -298,10 +322,24 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
     | Some d -> Echo_tensor.Parallel.set_default_domains d
     | None -> Echo_tensor.Parallel.default ()
   in
+  (* --policy list: print the registry (name, description, knobs) and stop
+     before any model building — this is how scripts and the README table
+     enumerate what the build supports. *)
+  if policy = Some "list" then
+    Format.printf "%a@." Echo_core.Planner.pp_list ()
+  else
+  (* The user picked a planner explicitly (flag or ECHO_POLICY env); when
+     neither is given, --train keeps its historical default (no rewrite)
+     and the report path defaults to echo. *)
+  let explicit = policy <> None || Sys.getenv_opt "ECHO_POLICY" <> None in
   match train_steps with
   | Some steps ->
+    let planner =
+      if explicit then Some (resolve_planner ?flag:policy ~budget "echo")
+      else None
+    in
     train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
-      ~device ~runtime ~budget_bytes ~faults_spec ~checkpoint_path
+      ~device ~planner ~runtime ~budget_bytes ~faults_spec ~checkpoint_path
       ~checkpoint_every ~resume ~no_fuse
   | None ->
   if compile then
@@ -325,31 +363,24 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
   (match optimized.Pipeline.opt_stats with
   | Some stats -> Format.printf "optimised: %a@." Echo_opt.Pipeline.pp_stats stats
   | None -> ());
-  let policies =
-    if all then Pass.default_policies
-    else begin
-      match policy with
-      | "stash-all" -> [ Pass.Stash_all ]
-      | "mirror-all" -> [ Pass.Mirror_all_cheap ]
-      | "checkpoint" -> [ Pass.Checkpoint_sqrt ]
-      | "echo" -> [ Pass.Echo { overhead_budget = budget } ]
-      | "echo-cheap" -> [ Pass.Echo_cheap_only { overhead_budget = budget } ]
-      | "recompute-all" -> [ Pass.Recompute_all ]
-      | other -> failwith (Printf.sprintf "unknown policy %S" other)
-    end
+  let planners =
+    if all then Pass.default_instances
+    else [ resolve_planner ?flag:policy ~budget "echo" ]
   in
   let lint = lint || lint_strict || corrupt <> None in
   let lint_failed = ref false in
   List.iter
-    (fun p ->
-      (* Stage 4: the Echo pass, with baseline + optimised measurement. *)
-      let rw = Pipeline.rewrite ~device ~policy:p optimized in
+    (fun inst ->
+      (* Stage 4: the recomputation pass, with baseline + optimised
+         measurement. *)
+      let rw = Pipeline.rewrite ~device ~planner:inst optimized in
       let report = rw.Pipeline.report in
       let rewritten = rw.Pipeline.graph in
       Format.printf "%a@." Pass.pp_report report;
       if dump_fusion then begin
         let fp = Echo_ir.Fuse.analyse rewritten in
-        Format.printf "fusion groups (%s):@.%a@." (Pass.policy_name p)
+        Format.printf "fusion groups (%s):@.%a@."
+          (Echo_core.Planner.label inst)
           Echo_ir.Fuse.pp_plan fp
       end;
       if compile then begin
@@ -364,8 +395,11 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
         Format.printf "%a@." Pipeline.describe exe
       end;
       if lint then
-        if lint_policy ~runtime ~no_fuse ~corrupt p rw then
-          lint_failed := true;
+        if
+          lint_policy ~runtime ~no_fuse ~corrupt
+            (Echo_core.Planner.label inst)
+            rw
+        then lint_failed := true;
       if breakdown then
         Format.printf "%a" Footprint.pp_breakdown report.Pass.optimised_mem;
       if profile then begin
@@ -388,7 +422,7 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
           let tl = Echo_gpusim.Timeline.simulate device rewritten in
           write path (Echo_gpusim.Timeline.to_chrome_trace tl))
         trace_file)
-    policies;
+    planners;
   if lint_strict && !lint_failed then exit 1
 
 let model_conv =
@@ -413,12 +447,24 @@ let cmd =
   let layers = Arg.(value & opt (some int) None & info [ "l"; "layers" ] ~doc:"Layer count.") in
   let policy =
     Arg.(
-      value & opt string "echo"
+      value & opt (some string) None
       & info [ "p"; "policy" ]
-          ~doc:"One of stash-all, mirror-all, checkpoint, echo, echo-cheap, recompute-all.")
+          ~doc:
+            "Recomputation planner, resolved through the registry: \
+             $(b,name) or $(b,name:key=v,key2=v2) (e.g. \
+             $(b,echo:budget=0.05), $(b,dp-bptt:slots=8), \
+             $(b,olla-arena)). $(b,list) prints every registered planner \
+             with its knobs. Defaults to \\$(b,ECHO_POLICY), else \
+             $(b,echo).")
   in
   let budget =
-    Arg.(value & opt float 0.1 & info [ "budget" ] ~doc:"Echo overhead budget (fraction).")
+    Arg.(
+      value & opt (some float) None
+      & info [ "budget" ]
+          ~doc:
+            "Overhead/memory budget passed to any planner that declares a \
+             $(b,budget) knob the --policy spec left unbound (legacy \
+             shorthand for $(b,--policy echo:budget=...)).")
   in
   let all = Arg.(value & flag & info [ "all" ] ~doc:"Run the default policy comparison set.") in
   let breakdown = Arg.(value & flag & info [ "breakdown" ] ~doc:"Print the per-category breakdown.") in

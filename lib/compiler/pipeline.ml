@@ -55,14 +55,20 @@ let of_training_graph ?(name = "pre-built") graph =
 type rewritten = {
   optimized : optimized;
   graph : Graph.t;
-  policy : Echo_core.Pass.policy;
+  planner : Echo_core.Planner.instance;
   report : Echo_core.Pass.report;
 }
 
-let rewrite ?(device = Echo_gpusim.Device.titan_xp)
-    ?(policy = Echo_core.Pass.Stash_all) (opt : optimized) =
-  let graph, report = Echo_core.Pass.run ~device policy opt.graph in
-  { optimized = opt; graph; policy; report }
+let rewrite ?(device = Echo_gpusim.Device.titan_xp) ?policy ?planner
+    (opt : optimized) =
+  let planner =
+    match (planner, policy) with
+    | Some i, _ -> i
+    | None, Some p -> Echo_core.Pass.instance_of_policy p
+    | None, None -> Echo_core.Planner.instantiate "stash-all"
+  in
+  let graph, report = Echo_core.Pass.run_instance ~device planner opt.graph in
+  { optimized = opt; graph; planner; report }
 
 type planned = {
   rewritten : rewritten;
@@ -80,7 +86,11 @@ let plan ?(offsets = false) (rw : rewritten) =
     (* The rewrite stage already measured the rewritten graph; reuse it
        rather than planning a third time. *)
     memplan = rw.report.Echo_core.Pass.optimised_mem;
-    offsets = (if offsets then Some (Echo_exec.Assign.assign rw.graph) else None);
+    offsets =
+      (* The planner owns the static offset assigner: greedy best-fit
+         unless it overrides it (the OLLA-style arena solver does). *)
+      (if offsets then Some (Echo_core.Planner.assigner rw.planner rw.graph)
+       else None);
   }
 
 type fused = {
@@ -136,7 +146,7 @@ let verify stage =
     let offsets =
       match pl.offsets with
       | Some a -> a
-      | None -> Echo_exec.Assign.assign pl.graph
+      | None -> Echo_core.Planner.assigner pl.rewritten.planner pl.graph
     in
     Echo_analysis.Verify.lint ~offsets pl.graph
   | Fused f ->
@@ -165,16 +175,17 @@ let compile ?budget_bytes ?runtime (f : fused) =
 let executor e = e.executor
 let planned_of e = e.fused.planned
 
-let compile_graph ?budget_bytes ?policy ?runtime ?fuse graph =
-  of_training_graph graph |> optimize ~enabled:false |> rewrite ?policy |> plan
+let compile_graph ?budget_bytes ?policy ?planner ?runtime ?fuse graph =
+  of_training_graph graph |> optimize ~enabled:false |> rewrite ?policy ?planner
+  |> plan
   |> fuse_stage ?enabled:fuse
   |> compile ?budget_bytes ?runtime
 
-let compile_source ?device ?optimize:(opt_enabled = true) ?policy ?budget_bytes
-    ?runtime ?fuse src =
+let compile_source ?device ?optimize:(opt_enabled = true) ?policy ?planner
+    ?budget_bytes ?runtime ?fuse src =
   let opt = optimize ~enabled:opt_enabled (differentiate src) in
   compile ?budget_bytes ?runtime
-    (fuse_stage ?enabled:fuse (plan (rewrite ?device ?policy opt)))
+    (fuse_stage ?enabled:fuse (plan (rewrite ?device ?policy ?planner opt)))
 
 let validated_eval (pl : planned) ~feeds = Echo_exec.Arena_exec.eval pl.graph ~feeds
 
@@ -191,7 +202,7 @@ let describe fmt e =
     Format.fprintf fmt "  optimized: %a@," Echo_opt.Pipeline.pp_stats s
   | None -> Format.fprintf fmt "  optimized: (pass skipped)@,");
   Format.fprintf fmt "  rewritten: policy=%s clones=%d@,"
-    (Echo_core.Pass.policy_name rw.policy)
+    (Echo_core.Planner.label rw.planner)
     rw.report.Echo_core.Pass.clone_nodes;
   Format.fprintf fmt "  planned: %a@," Echo_exec.Memplan.pp pl.memplan;
   (match pl.offsets with

@@ -18,7 +18,8 @@
       let exe =
         Pipeline.of_model model |> Pipeline.differentiate
         |> Pipeline.optimize
-        |> Pipeline.rewrite ~policy:(Echo { overhead_budget = 0.03 })
+        |> Pipeline.rewrite
+             ~planner:(Echo_core.Planner.instantiate ~knobs:[ ("budget", 0.03) ] "echo")
         |> Pipeline.plan |> Pipeline.fuse |> Pipeline.compile
       in
       let outputs = Executor.eval (Pipeline.executor exe) ~feeds
@@ -77,7 +78,10 @@ val optimize : ?enabled:bool -> training -> optimized
 type rewritten = {
   optimized : optimized;
   graph : Graph.t;
-  policy : Echo_core.Pass.policy;
+  planner : Echo_core.Planner.instance;
+      (** the registry planner the stage ran — downstream stages resolve
+          planner-owned artifacts (e.g. the static offset assigner)
+          through it *)
   report : Echo_core.Pass.report;
       (** baseline + optimised footprint/time measurements *)
 }
@@ -85,10 +89,13 @@ type rewritten = {
 val rewrite :
   ?device:Echo_gpusim.Device.t ->
   ?policy:Echo_core.Pass.policy ->
+  ?planner:Echo_core.Planner.instance ->
   optimized ->
   rewritten
-(** Apply a recomputation policy (default [Stash_all], i.e. the framework
-    baseline, on {!Echo_gpusim.Device.titan_xp}). *)
+(** Apply a recomputation planner resolved through the
+    {!Echo_core.Planner} registry. [planner] wins over the legacy [policy]
+    constructor when both are given; the default is ["stash-all"] (the
+    framework baseline) on {!Echo_gpusim.Device.titan_xp}. *)
 
 (** {1 Planned stage} *)
 
@@ -103,8 +110,10 @@ type planned = {
 
 val plan : ?offsets:bool -> rewritten -> planned
 (** Liveness analysis + memory plan. [offsets] (default [false]) also runs
-    the best-fit static offset assignment, which is quadratic-ish and only
-    needed when the arena layout itself is inspected. *)
+    the planner's static offset assigner ({!Echo_core.Planner.assigner} —
+    greedy best-fit unless the planner overrides it, as [olla-arena] does),
+    which is quadratic-ish and only needed when the arena layout itself is
+    inspected. *)
 
 val validated_eval : planned -> feeds:Echo_exec.Interp.feeds -> Echo_tensor.Tensor.t list
 (** Evaluate the planned graph through the liveness-validating
@@ -182,13 +191,14 @@ val verify : stage -> Echo_diag.Report.t
 val compile_graph :
   ?budget_bytes:int ->
   ?policy:Echo_core.Pass.policy ->
+  ?planner:Echo_core.Planner.instance ->
   ?runtime:Echo_tensor.Parallel.t ->
   ?fuse:bool ->
   Graph.t ->
   executable
-(** [of_training_graph |> optimize ~enabled:false |> rewrite ?policy
+(** [of_training_graph |> optimize ~enabled:false |> rewrite ?policy ?planner
     |> plan |> fuse |> compile]: compile an existing training graph (default
-    policy [Stash_all], i.e. as-is; [fuse] defaults to the [ECHO_FUSION]
+    planner ["stash-all"], i.e. as-is; [fuse] defaults to the [ECHO_FUSION]
     environment setting). This is what [Loop.train] uses, both on the
     initial compile and when re-planning under a shrunk [budget_bytes]. *)
 
@@ -196,6 +206,7 @@ val compile_source :
   ?device:Echo_gpusim.Device.t ->
   ?optimize:bool ->
   ?policy:Echo_core.Pass.policy ->
+  ?planner:Echo_core.Planner.instance ->
   ?budget_bytes:int ->
   ?runtime:Echo_tensor.Parallel.t ->
   ?fuse:bool ->

@@ -1,12 +1,19 @@
 open Echo_exec
 
-type outcome = { policy : Pass.policy; graph : Echo_ir.Graph.t; report : Pass.report }
+type outcome = {
+  planner : Planner.instance;
+  graph : Echo_ir.Graph.t;
+  report : Pass.report;
+}
 
 let escalation = [ 0.01; 0.03; 0.05; 0.10; 0.20; 0.30; 0.50; 1.0 ]
 
-let run_one ~device policy graph =
-  let rewritten, report = Pass.run ~device policy graph in
-  { policy; graph = rewritten; report }
+let run_one ~device planner graph =
+  let rewritten, report = Pass.run_instance ~device planner graph in
+  { planner; graph = rewritten; report }
+
+let label o = Planner.label o.planner
+let echo_rung b = Planner.instantiate ~knobs:[ ("budget", b) ] "echo"
 
 let for_memory_target ~device graph ~target_bytes =
   let fits outcome =
@@ -15,17 +22,28 @@ let for_memory_target ~device graph ~target_bytes =
   let rec escalate = function
     | [] -> None
     | budget :: rest ->
-      let outcome = run_one ~device (Pass.Echo { overhead_budget = budget }) graph in
+      let outcome = run_one ~device (echo_rung budget) graph in
       if fits outcome then Some outcome else escalate rest
   in
   (* The baseline may already fit. *)
-  let baseline = run_one ~device Pass.Stash_all graph in
+  let baseline = run_one ~device (Planner.instantiate "stash-all") graph in
   if fits baseline then Some baseline else escalate escalation
 
+(* Cheapest-overhead-first. The registry's segment planners slot in between
+   the Echo rungs and recompute-all: √n checkpointing recomputes each
+   segment once from a count-balanced frontier, dp-bptt's byte-balanced
+   segments trade a smaller frontier for more recomputation, and
+   recompute-all is the overhead ceiling — test_planner's monotonicity
+   test measures the actual simulated overhead of every rung and holds
+   this tail order honest. *)
 let fit_ladder =
-  Pass.Stash_all
-  :: List.map (fun b -> Pass.Echo { overhead_budget = b }) escalation
-  @ [ Pass.Checkpoint_sqrt; Pass.Recompute_all ]
+  Planner.instantiate "stash-all"
+  :: List.map echo_rung escalation
+  @ [
+      Planner.instantiate "checkpoint-sqrt";
+      Planner.instantiate "dp-bptt";
+      Planner.instantiate "recompute-all";
+    ]
 
 let fit_footprint ?fuse outcome =
   let fuse =
@@ -46,8 +64,8 @@ let fit_footprint ?fuse outcome =
 let fit_memory ~device ?fuse graph ~budget_bytes =
   let rec escalate = function
     | [] -> None
-    | policy :: rest ->
-      let outcome = run_one ~device policy graph in
+    | planner :: rest ->
+      let outcome = run_one ~device planner graph in
       if fit_footprint ?fuse outcome <= budget_bytes then Some outcome
       else escalate rest
   in
@@ -55,8 +73,8 @@ let fit_memory ~device ?fuse graph ~budget_bytes =
 
 let best_throughput ~device graph ~budget_bytes ~candidates =
   List.fold_left
-    (fun best policy ->
-      let outcome = run_one ~device policy graph in
+    (fun best planner ->
+      let outcome = run_one ~device planner graph in
       if outcome.report.Pass.optimised_mem.Memplan.live_peak_bytes > budget_bytes
       then best
       else begin

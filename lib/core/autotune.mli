@@ -1,36 +1,46 @@
-(** Policy autotuning: pick a recomputation plan for an external constraint
+(** Planner autotuning: pick a recomputation plan for an external constraint
     rather than a fixed overhead budget.
 
     This is the runtime-tool direction the original authors describe —
     selecting the best executor configuration automatically from measured
     (here: simulated) footprint and time, instead of asking the user to
-    hand-pick flags. *)
+    hand-pick flags. Every candidate is a {!Planner.instance} resolved
+    through the registry, so newly registered planners join the search
+    space without touching this module. *)
 
 open Echo_ir
 open Echo_gpusim
 
 type outcome = {
-  policy : Pass.policy;
+  planner : Planner.instance;
   graph : Graph.t;  (** rewritten training graph *)
   report : Pass.report;
 }
+
+val label : outcome -> string
+(** {!Planner.label} of the outcome's planner instance. *)
+
+val run_one : device:Device.t -> Planner.instance -> Graph.t -> outcome
+(** One rung: {!Pass.run_instance} wrapped into an outcome. *)
 
 val escalation : float list
 (** The Echo overhead-budget ladder:
     [0.01; 0.03; 0.05; 0.10; 0.20; 0.30; 0.50; 1.0]. *)
 
-val fit_ladder : Pass.policy list
+val fit_ladder : Planner.instance list
 (** The full escalation ladder the fault-tolerant runtime re-plans through,
-    cheapest (in recompute overhead) first: [Stash_all], then
-    [Echo {overhead_budget}] for each rung of {!escalation}, then
-    [Checkpoint_sqrt], then [Recompute_all]. *)
+    cheapest (in recompute overhead) first: [stash-all], then [echo] at each
+    rung of {!escalation}, then the segment recomputers [checkpoint-sqrt]
+    and [dp-bptt], then [recompute-all]. The monotonicity of measured
+    recompute overhead along this tail is enforced by the planner test
+    suite. *)
 
 val fit_memory :
   device:Device.t -> ?fuse:bool -> Graph.t -> budget_bytes:int -> outcome option
 (** First rung of {!fit_ladder} whose planned {e arena} footprint
     ([Memplan.report.arena_bytes] — exactly what the compiled slot executor
     allocates, see [Echo_compiler.Executor.footprint_bytes]) fits
-    [budget_bytes]. [None] when even [Recompute_all] does not fit. This is
+    [budget_bytes]. [None] when even [recompute-all] does not fit. This is
     what [Echo_train.Loop] uses to recover from [Budget_exceeded].
 
     [fuse] must match the fusion setting the accepted graph will later be
@@ -53,7 +63,7 @@ val best_throughput :
   device:Device.t ->
   Graph.t ->
   budget_bytes:int ->
-  candidates:Pass.policy list ->
+  candidates:Planner.instance list ->
   outcome option
 (** Among [candidates] whose plan fits [budget_bytes], the one with the
     smallest simulated iteration time. [None] if none fits. *)

@@ -12,18 +12,23 @@ type policy =
   | Echo_no_transitive of { overhead_budget : float }
   | Recompute_all
 
-let policy_name = function
-  | Stash_all -> "stash-all"
-  | Mirror_all_cheap -> "mirror-all-cheap"
-  | Checkpoint_sqrt -> "checkpoint-sqrt"
-  | Echo { overhead_budget } -> Printf.sprintf "echo(%.0f%%)" (100.0 *. overhead_budget)
-  | Echo_cheap_only { overhead_budget } ->
-    Printf.sprintf "echo-cheap(%.0f%%)" (100.0 *. overhead_budget)
-  | Echo_no_sharing { overhead_budget } ->
-    Printf.sprintf "echo-noshare(%.0f%%)" (100.0 *. overhead_budget)
+(* The variant is a thin compatibility veneer over the registry: every
+   policy resolves to a registered planner instance, and [run] goes through
+   the same [run_instance] code path every other consumer uses. *)
+let instance_of_policy policy =
+  let echo name b = Planner.instantiate ~knobs:[ ("budget", b) ] name in
+  match policy with
+  | Stash_all -> Planner.instantiate "stash-all"
+  | Mirror_all_cheap -> Planner.instantiate "mirror-all-cheap"
+  | Checkpoint_sqrt -> Planner.instantiate "checkpoint-sqrt"
+  | Echo { overhead_budget } -> echo "echo" overhead_budget
+  | Echo_cheap_only { overhead_budget } -> echo "echo-cheap" overhead_budget
+  | Echo_no_sharing { overhead_budget } -> echo "echo-noshare" overhead_budget
   | Echo_no_transitive { overhead_budget } ->
-    Printf.sprintf "echo-notrans(%.0f%%)" (100.0 *. overhead_budget)
-  | Recompute_all -> "recompute-all"
+    echo "echo-notrans" overhead_budget
+  | Recompute_all -> Planner.instantiate "recompute-all"
+
+let policy_name policy = Planner.label (instance_of_policy policy)
 
 let default_policies =
   [
@@ -34,6 +39,8 @@ let default_policies =
     Echo { overhead_budget = 0.30 };
     Recompute_all;
   ]
+
+let default_instances = List.map instance_of_policy default_policies
 
 type report = {
   policy : string;
@@ -47,77 +54,17 @@ type report = {
   optimised_time_s : float;
 }
 
-let select ~device policy graph =
-  match policy with
-  | Stash_all ->
-    ({ Select.mirror_ids = Ids.Set.empty; claimed_saving_bytes = 0; claimed_cost_s = 0.0 },
-     true)
-  | Mirror_all_cheap -> (Select.mirror_all_cheap graph, true)
-  | Checkpoint_sqrt -> (Select.checkpoint_sqrt device graph, true)
-  | Echo { overhead_budget } ->
-    (Select.echo device graph ~overhead_budget, true)
-  | Echo_cheap_only { overhead_budget } ->
-    (Select.echo ~cheap_only:true device graph ~overhead_budget, true)
-  | Echo_no_sharing { overhead_budget } ->
-    (Select.echo device graph ~overhead_budget, false)
-  | Echo_no_transitive { overhead_budget } ->
-    (Select.echo ~transitive:false device graph ~overhead_budget, true)
-  | Recompute_all -> (Select.recompute_all device graph, true)
-
-(* Echo measures its own plans with the memory planner: the pass tries a
-   descending ladder of overhead budgets and ships the plan with the lowest
-   measured peak (recomputation clones that outlive the peak can cost more
-   memory than the stash they free — a failure mode the selection
-   estimators cannot see, but the planner can). Falls back to a no-op when
-   nothing beats the baseline. *)
-let run_ladder ~baseline_peak ~select_with budget =
-  let empty =
-    {
-      Select.mirror_ids = Ids.Set.empty;
-      claimed_saving_bytes = 0;
-      claimed_cost_s = 0.0;
-    }
-  in
-  let budgets = [ budget; budget /. 2.0; budget /. 4.0; budget /. 8.0 ] in
-  List.fold_left
-    (fun ((_, _, best_peak) as best) b ->
-      if b < 0.002 then best
-      else begin
-        let selection, graph', peak = select_with b in
-        if peak < best_peak then (graph', selection, peak) else best
-      end)
-    (None, empty, baseline_peak) budgets
-  |> fun (graph', selection, _) -> (graph', selection)
-
 let run_selected ~share graph selection =
   if Ids.Set.is_empty selection.Select.mirror_ids then graph
   else Rewrite.mirror ~share graph ~mirror_ids:selection.Select.mirror_ids
 
-let run ~device policy graph =
+let run_instance ~device instance graph =
   let baseline_mem = Memplan.plan graph in
-  let baseline_peak = baseline_mem.Memplan.live_peak_bytes in
-  let ladder ~cheap_only budget =
-    let select_with b =
-      let selection = Select.echo ~cheap_only device graph ~overhead_budget:b in
-      let graph' = run_selected ~share:true graph selection in
-      (selection, Some graph', (Memplan.plan graph').Memplan.live_peak_bytes)
-    in
-    match run_ladder ~baseline_peak ~select_with budget with
-    | Some graph', selection -> (graph', selection)
-    | None, selection -> (graph, selection)
-  in
-  let optimised, selection =
-    match policy with
-    | Echo { overhead_budget } -> ladder ~cheap_only:false overhead_budget
-    | Echo_cheap_only { overhead_budget } -> ladder ~cheap_only:true overhead_budget
-    | Stash_all | Mirror_all_cheap | Checkpoint_sqrt | Echo_no_sharing _
-    | Echo_no_transitive _ | Recompute_all ->
-      let selection, share = select ~device policy graph in
-      (run_selected ~share graph selection, selection)
-  in
+  let { Planner.selection; share } = Planner.plan instance ~device graph in
+  let optimised = run_selected ~share graph selection in
   let report =
     {
-      policy = policy_name policy;
+      policy = Planner.label instance;
       mirrored_nodes = Ids.Set.cardinal selection.Select.mirror_ids;
       clone_nodes = Rewrite.clone_count optimised;
       claimed_saving_bytes = selection.Select.claimed_saving_bytes;
@@ -129,6 +76,8 @@ let run ~device policy graph =
     }
   in
   (optimised, report)
+
+let run ~device policy graph = run_instance ~device (instance_of_policy policy) graph
 
 let reduction r =
   float_of_int r.baseline_mem.Memplan.live_peak_bytes

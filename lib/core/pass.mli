@@ -1,11 +1,18 @@
-(** The Echo compiler pass: policy selection + rewrite + measurement.
+(** The Echo compiler pass: planner selection + rewrite + measurement.
 
-    [run] takes a training graph (forward + backward, as produced by
-    [Echo_autodiff.Grad.differentiate]), applies the chosen recomputation
-    policy, and measures both the baseline and the rewritten graph with the
-    memory planner and the simulated-GPU cost model. Every reported number
-    is measured on the actual graphs — the selection estimators can be wrong
-    (see the ablations) without compromising the report. *)
+    [run_instance] takes a training graph (forward + backward, as produced
+    by [Echo_autodiff.Grad.differentiate]), applies a recomputation planner
+    resolved through the {!Planner} registry, and measures both the baseline
+    and the rewritten graph with the memory planner and the simulated-GPU
+    cost model. Every reported number is measured on the actual graphs — the
+    selection estimators can be wrong (see the ablations) without
+    compromising the report.
+
+    The [policy] variant survives as a thin compatibility veneer: each
+    constructor resolves to a registered planner ({!instance_of_policy}),
+    and [run] delegates to [run_instance] — there is exactly one code
+    path. New policies are added by registering a planner, not by extending
+    the variant. *)
 
 open Echo_ir
 open Echo_gpusim
@@ -23,11 +30,18 @@ type policy =
       (** ablation: estimator ignores transitive stashing *)
   | Recompute_all  (** memory lower bound / time upper bound *)
 
+val instance_of_policy : policy -> Planner.instance
+(** The registered planner a legacy constructor resolves to ([Echo { b }]
+    becomes ["echo"] with knob [budget = b], and so on). *)
+
 val policy_name : policy -> string
 
 val default_policies : policy list
 (** The comparison set used across benchmarks: stash-all, mirror-all-cheap,
     √n checkpointing, Echo (3% and 30% budgets), recompute-all. *)
+
+val default_instances : Planner.instance list
+(** {!default_policies} resolved through the registry. *)
 
 type report = {
   policy : string;
@@ -41,9 +55,14 @@ type report = {
   optimised_time_s : float;
 }
 
+val run_instance :
+  device:Device.t -> Planner.instance -> Graph.t -> Graph.t * report
+(** Returns the rewritten graph and the measurement report. A planner whose
+    selection is empty (e.g. [stash-all], [olla-arena]) returns the input
+    graph unchanged. *)
+
 val run : device:Device.t -> policy -> Graph.t -> Graph.t * report
-(** Returns the rewritten graph and the measurement report. [Stash_all]
-    returns the input graph unchanged. *)
+(** [run_instance] on {!instance_of_policy}. *)
 
 val reduction : report -> float
 (** Baseline/optimised peak-footprint ratio (>1 is better), on the

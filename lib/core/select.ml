@@ -258,6 +258,9 @@ let mirror_all_cheap graph =
     claimed_cost_s = 0.0;
   }
 
+let empty =
+  { mirror_ids = Ids.Set.empty; claimed_saving_bytes = 0; claimed_cost_s = 0.0 }
+
 let selection_of device nodes ~claimed_saving =
   {
     mirror_ids =

@@ -58,3 +58,12 @@ val checkpoint_sqrt : Echo_gpusim.Device.t -> Graph.t -> selection
 val recompute_all : Echo_gpusim.Device.t -> Graph.t -> selection
 (** Recompute every recomputable forward node from the model inputs: the
     stash lower bound (and time upper bound). *)
+
+val selection_of : Device.t -> Node.t list -> claimed_saving:int -> selection
+(** Build a selection from an explicit mirror set, with the recomputation
+    cost estimated as the sum of the nodes' kernel times — the helper every
+    segment-style planner ({!checkpoint_sqrt}, the registry's [dp-bptt])
+    shares. *)
+
+val empty : selection
+(** The no-op selection ([Stash_all]'s plan). *)

@@ -30,7 +30,7 @@ let missing_feed_error ~step names =
 let train ~graph ~params ~optimizer ?clip_norm ?on_step ?on_event ?budget_bytes
     ?(faults = Fault.of_env ()) ?checkpoint
     ?(device = Echo_gpusim.Device.titan_xp) ?(max_retries = 2) ?rng ?runtime
-    ?fuse ~batches () =
+    ?fuse ?planner ~batches () =
   let emit = match on_event with Some f -> f | None -> fun _ -> () in
   let param_nodes = Array.of_list (List.map fst params) in
   let n_params = Array.length param_nodes in
@@ -39,7 +39,15 @@ let train ~graph ~params ~optimizer ?clip_norm ?on_step ?on_event ?budget_bytes
      and the loop re-plans the *original* graph through the escalation
      ladder, so recompute clones never stack on top of earlier rewrites. *)
   let budget = ref budget_bytes in
-  let current_graph = ref graph in
+  (* A planner resolved through the registry rewrites the original graph
+     once, up front; OOM recovery still re-plans the *original* graph so
+     recompute clones never stack on top of the planner's rewrite. *)
+  let current_graph =
+    ref
+      (match planner with
+      | None -> graph
+      | Some i -> fst (Echo_core.Pass.run_instance ~device i graph))
+  in
   let compile_current () =
     Pipeline.executor
       (Pipeline.compile_graph ?budget_bytes:!budget ?runtime ?fuse
@@ -60,7 +68,7 @@ let train ~graph ~params ~optimizer ?clip_norm ?on_step ?on_event ?budget_bytes
         (Event.Replan
            {
              step;
-             policy = Echo_core.Pass.policy_name outcome.Echo_core.Autotune.policy;
+             policy = Echo_core.Autotune.label outcome;
              footprint_bytes = Executor.footprint_bytes e;
              budget_bytes = allowed;
            });

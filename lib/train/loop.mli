@@ -71,6 +71,7 @@ val train :
   ?rng:Rng.t ->
   ?runtime:Parallel.t ->
   ?fuse:bool ->
+  ?planner:Echo_core.Planner.instance ->
   batches:batch list ->
   unit ->
   result
@@ -79,7 +80,11 @@ val train :
     multicore kernel runtime for the compiled executor (default: sized by
     [ECHO_DOMAINS]; training results are bit-identical either way). [fuse]
     enables the elementwise fusion stage (default: the [ECHO_FUSION]
-    environment setting); losses are bit-identical fused or not.
+    environment setting); losses are bit-identical fused or not. [planner]
+    is a recomputation planner resolved through the
+    {!Echo_core.Planner} registry ([echoc --policy]); it rewrites the
+    original graph once before the initial compile — every registered
+    planner trains bit-identically to the stash-all baseline.
 
     [budget_bytes] caps the executor arena (see {e Recovery} above);
     [device] is the simulated device the escalation ladder re-plans

@@ -254,7 +254,8 @@ let test_autotune_memory_target () =
   let base = (Memplan.plan g).Memplan.live_peak_bytes in
   (* baseline fits a generous target *)
   (match Echo_core.Autotune.for_memory_target ~device:dev g ~target_bytes:(2 * base) with
-  | Some o -> check_bool "baseline chosen" true (o.Echo_core.Autotune.policy = Echo_core.Pass.Stash_all)
+  | Some o ->
+    check_bool "baseline chosen" true (Echo_core.Autotune.label o = "stash-all")
   | None -> Alcotest.fail "generous target must fit");
   (* a slightly tight target forces recomputation *)
   (match Echo_core.Autotune.for_memory_target ~device:dev g ~target_bytes:(base - 1) with
@@ -273,12 +274,13 @@ let test_autotune_best_throughput () =
   match
     Echo_core.Autotune.best_throughput ~device:dev g ~budget_bytes:(2 * base)
       ~candidates:
-        [ Echo_core.Pass.Stash_all; Echo_core.Pass.Checkpoint_sqrt;
-          Echo_core.Pass.Echo { overhead_budget = 0.3 } ]
+        (List.map Echo_core.Pass.instance_of_policy
+           [ Echo_core.Pass.Stash_all; Echo_core.Pass.Checkpoint_sqrt;
+             Echo_core.Pass.Echo { overhead_budget = 0.3 } ])
   with
   | Some o ->
     check_bool "fastest fitting = baseline" true
-      (o.Echo_core.Autotune.policy = Echo_core.Pass.Stash_all)
+      (Echo_core.Autotune.label o = "stash-all")
   | None -> Alcotest.fail "budget was generous"
 
 (* fit_memory — the fault-tolerant runtime's escalation ladder. Rungs are
@@ -290,10 +292,9 @@ let test_autotune_best_throughput () =
 
 let ladder_arenas g =
   List.map
-    (fun policy ->
-      let rewritten, report = Echo_core.Pass.run ~device:dev policy g in
-      let o = { Echo_core.Autotune.policy; graph = rewritten; report } in
-      (policy, Echo_core.Autotune.fit_footprint o))
+    (fun planner ->
+      let o = Echo_core.Autotune.run_one ~device:dev planner g in
+      (Echo_core.Autotune.label o, Echo_core.Autotune.fit_footprint o))
     Echo_core.Autotune.fit_ladder
 
 let test_fit_memory_below_floor () =
@@ -312,13 +313,13 @@ let test_fit_memory_exact_rung () =
   let g, _ = lm_graph () in
   let arenas = ladder_arenas g in
   (* budget pinned exactly to a mid-ladder rung's arena *)
-  let _, budget = List.nth arenas 2 (* Echo {overhead_budget = 0.03} *) in
+  let _, budget = List.nth arenas 2 (* echo(3%) *) in
   let expected_policy, expected_arena = List.find (fun (_, a) -> a <= budget) arenas in
   match Echo_core.Autotune.fit_memory ~device:dev g ~budget_bytes:budget with
   | None -> Alcotest.fail "a rung fits by construction"
   | Some o ->
     check_bool "first fitting rung chosen" true
-      (o.Echo_core.Autotune.policy = expected_policy);
+      (Echo_core.Autotune.label o = expected_policy);
     check_int "footprint is that rung's arena" expected_arena
       (Echo_core.Autotune.fit_footprint o)
 
@@ -327,10 +328,10 @@ let test_fit_memory_first_fit_monotone () =
   let arenas = ladder_arenas g in
   let floor = List.fold_left (fun acc (_, a) -> min acc a) max_int arenas in
   let top = List.fold_left (fun acc (_, a) -> max acc a) 0 arenas in
-  let index policy =
+  let index label =
     let rec go i = function
       | [] -> Alcotest.fail "policy not on the ladder"
-      | p :: _ when p = policy -> i
+      | p :: _ when Echo_core.Planner.label p = label -> i
       | _ :: rest -> go (i + 1) rest
     in
     go 0 Echo_core.Autotune.fit_ladder
@@ -348,7 +349,7 @@ let test_fit_memory_first_fit_monotone () =
       | Some o ->
         check_bool "fits its budget" true
           (Echo_core.Autotune.fit_footprint o <= budget);
-        let i = index o.Echo_core.Autotune.policy in
+        let i = index (Echo_core.Autotune.label o) in
         check_bool "escalation is monotone as budgets shrink" true (i >= !last);
         last := i)
     budgets

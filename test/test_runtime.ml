@@ -270,7 +270,7 @@ let test_oom_replan_differential () =
     | None -> Alcotest.fail "an escalation rung must fit one byte under stash-all"
   in
   check_bool "survivor is a real rewrite" true
-    (outcome.Echo_core.Autotune.policy <> Echo_core.Pass.Stash_all);
+    (Echo_core.Autotune.label outcome <> "stash-all");
   let reference =
     Loop.train ~graph:outcome.Echo_core.Autotune.graph ~params ~optimizer:(sgd ())
       ~clip_norm:5.0 ~faults:Fault.none ~batches ()
@@ -292,7 +292,7 @@ let test_oom_replan_differential () =
   check_int "exactly one replan" 1 (List.length replans);
   let policy, footprint_bytes = List.hd replans in
   Alcotest.(check string) "surviving policy"
-    (Echo_core.Pass.policy_name outcome.Echo_core.Autotune.policy)
+    (Echo_core.Autotune.label outcome)
     policy;
   check_bool "under budget" true (footprint_bytes <= budget);
   check_bool "budget hit surfaced first" true
