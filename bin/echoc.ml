@@ -120,7 +120,7 @@ let resolve_planner ?flag ~budget default =
 let train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
     ~device ~planner
     ~runtime ~budget_bytes ~faults_spec ~checkpoint_path ~checkpoint_every
-    ~resume ~no_fuse =
+    ~resume ~no_fuse ~tune_exec =
   let cell =
     match model_choice with
     | Lm -> Recurrent.Lstm
@@ -173,6 +173,35 @@ let train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
       (fun path -> { Echo_train.Loop.path; every = checkpoint_every; resume })
       checkpoint_path
   in
+  (* --tune-exec: joint (planner, fuse, domains, blocking-threshold) search
+     over the escalation ladder with the host cost model, replacing the
+     hand-picked knobs with the predicted-fastest combination that fits the
+     budget. *)
+  let runtime, planner, fuse =
+    if not tune_exec then
+      (runtime, planner, if no_fuse then Some false else None)
+    else begin
+      let module A = Echo_core.Autotune in
+      match
+        A.fit_exec ~device training.Echo_autodiff.Grad.graph
+          ~budget_bytes:(Option.value budget_bytes ~default:max_int)
+      with
+      | None ->
+        failwith
+          "--tune-exec: no plan on the escalation ladder fits --budget-bytes"
+      | Some choice ->
+        let c = choice.A.combo in
+        Format.printf
+          "tuned exec: policy=%s fuse=%b domains=%d blocking-threshold=%s \
+           (predicted %.3f ms/step, arena %d bytes)@."
+          (A.label choice.A.chosen) c.A.fuse c.A.domains
+          (if c.A.blocking_threshold = max_int then "off"
+           else string_of_int c.A.blocking_threshold)
+          (choice.A.predicted_s *. 1e3)
+          choice.A.arena_bytes;
+        (A.combo_runtime c, Some choice.A.chosen.A.planner, Some c.A.fuse)
+    end
+  in
   let train () =
     Echo_train.Loop.train ~graph:training.Echo_autodiff.Grad.graph
       ~params:(Params.bindings lm.Language_model.model.Model.params)
@@ -185,9 +214,8 @@ let train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
           s.Echo_train.Loop.grad_norm)
       ~on_event:(fun e ->
         Format.printf "[recovery] %s@." (Echo_runtime.Event.to_string e))
-      ?budget_bytes ~faults ?checkpoint ~device ~runtime
-      ?fuse:(if no_fuse then Some false else None)
-      ?planner ~batches ()
+      ?budget_bytes ~faults ?checkpoint ~device ~runtime ?fuse ?planner
+      ~batches ()
   in
   let result =
     try train ()
@@ -309,7 +337,8 @@ let lint_policy ~runtime ~no_fuse ~corrupt label rw =
 let run model_choice batch seq_len hidden layers policy budget all breakdown
     profile optimize dot_file trace_file save_file load_file device_name
     domains compile train_steps vocab budget_bytes faults_spec checkpoint_path
-    checkpoint_every resume no_fuse dump_fusion lint lint_strict corrupt =
+    checkpoint_every resume no_fuse tune_exec dump_fusion lint lint_strict
+    corrupt =
   let device =
     match Echo_gpusim.Device.by_name device_name with
     | Some d -> d
@@ -340,7 +369,7 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
     in
     train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
       ~device ~planner ~runtime ~budget_bytes ~faults_spec ~checkpoint_path
-      ~checkpoint_every ~resume ~no_fuse
+      ~checkpoint_every ~resume ~no_fuse ~tune_exec
   | None ->
   if compile then
     Format.printf "kernel runtime: %d domain(s)@."
@@ -552,6 +581,18 @@ let cmd =
              --train). Results are bit-identical either way; only \
              instruction count, arena size and speed change.")
   in
+  let tune_exec =
+    Arg.(
+      value & flag
+      & info [ "tune-exec" ]
+          ~doc:
+            "With --train: pick the (policy, fuse, domains, \
+             blocking-threshold) combination jointly — walk the \
+             recomputation escalation ladder and price every execution-knob \
+             combination that fits --budget-bytes with the host cost model, \
+             then train with the predicted-fastest one. Overrides --no-fuse \
+             and -j.")
+  in
   let dump_fusion =
     Arg.(
       value & flag
@@ -595,7 +636,8 @@ let cmd =
       $ all $ breakdown $ profile $ optimize $ dot_file $ trace_file
       $ save_file $ load_file $ device $ domains $ compile $ train_steps
       $ vocab $ budget_bytes $ faults $ checkpoint_path $ checkpoint_every
-      $ resume $ no_fuse $ dump_fusion $ lint $ lint_strict $ corrupt)
+      $ resume $ no_fuse $ tune_exec $ dump_fusion $ lint $ lint_strict
+      $ corrupt)
   in
   Cmd.v (Cmd.info "echoc" ~doc:"Echo compiler pass driver") term
 

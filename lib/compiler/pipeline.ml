@@ -100,12 +100,24 @@ type fused = {
   fused_memplan : Echo_exec.Memplan.report;
 }
 
-let fuse ?enabled (pl : planned) =
+let fuse ?enabled ?runtime (pl : planned) =
   let enabled =
     match enabled with Some e -> e | None -> Fuse.env_enabled ()
   in
   if enabled then begin
-    let f = Fuse.analyse pl.graph in
+    (* When the target runtime is known, drop groups the parallel-aware
+       host cost model predicts to lose wall-clock under that runtime's
+       fan-out gate and domain count (a dropped group's members compile as
+       ordinary instructions). Under the default configuration fusing is
+       never predicted to lose — the merged kernel's fan-out gain always
+       covers its fan-out overhead at the default gate — so this valve
+       only bites on handles with unusual configurations. *)
+    let keep =
+      match runtime with
+      | None -> fun _ -> true
+      | Some rt -> Echo_opt.Fusion.profitable (Echo_opt.Fusion.of_runtime rt)
+    in
+    let f = Fuse.analyse ~keep pl.graph in
     {
       planned = pl;
       graph = pl.graph;
@@ -178,14 +190,15 @@ let planned_of e = e.fused.planned
 let compile_graph ?budget_bytes ?policy ?planner ?runtime ?fuse graph =
   of_training_graph graph |> optimize ~enabled:false |> rewrite ?policy ?planner
   |> plan
-  |> fuse_stage ?enabled:fuse
+  |> fuse_stage ?enabled:fuse ?runtime
   |> compile ?budget_bytes ?runtime
 
 let compile_source ?device ?optimize:(opt_enabled = true) ?policy ?planner
     ?budget_bytes ?runtime ?fuse src =
   let opt = optimize ~enabled:opt_enabled (differentiate src) in
   compile ?budget_bytes ?runtime
-    (fuse_stage ?enabled:fuse (plan (rewrite ?device ?policy ?planner opt)))
+    (fuse_stage ?enabled:fuse ?runtime
+       (plan (rewrite ?device ?policy ?planner opt)))
 
 let validated_eval (pl : planned) ~feeds = Echo_exec.Arena_exec.eval pl.graph ~feeds
 

@@ -133,12 +133,20 @@ type fused = {
           disabled *)
 }
 
-val fuse : ?enabled:bool -> planned -> fused
+val fuse : ?enabled:bool -> ?runtime:Echo_tensor.Parallel.t -> planned -> fused
 (** Group maximal single-consumer elementwise chains ({!Echo_ir.Fuse}) and
     re-plan memory for the fused instruction stream — interiors get no
     buffer, so the fused arena is never larger than the unfused one.
     [enabled] defaults to {!Echo_ir.Fuse.env_enabled} ([ECHO_FUSION],
-    on unless set to [0]/[off]/[false]/[no]). *)
+    on unless set to [0]/[off]/[false]/[no]).
+
+    When [runtime] is given, each discovered group is additionally vetted
+    by the parallel-aware host cost model
+    ({!Echo_opt.Fusion.profitable} under {!Echo_opt.Fusion.of_runtime}):
+    a chain predicted to lose wall-clock under that runtime's fan-out
+    configuration compiles unfused. Under default runtime configurations
+    the model never rejects a group (fusing strictly saves dispatches and
+    traffic without adding work), so passing the runtime is always safe. *)
 
 (** {1 Executable stage} *)
 

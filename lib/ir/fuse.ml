@@ -86,7 +86,8 @@ let of_groups groups =
     groups;
   { groups; root_of; interior_tbl; by_root }
 
-let analyse ?(max_externals = default_max_externals) graph =
+let analyse ?(max_externals = default_max_externals) ?(keep = fun _ -> true)
+    graph =
   let schedule = Graph.nodes graph in
   (* producer id -> the member that absorbs it *)
   let succ : (int, Node.t) Hashtbl.t = Hashtbl.create 256 in
@@ -151,7 +152,10 @@ let analyse ?(max_externals = default_max_externals) graph =
         else [])
       schedule
   in
-  of_groups groups
+  (* [keep] is the cost-model valve: a dropped group's members simply
+     compile as separate instructions, which is always semantically
+     correct (fusion is an identity on values). *)
+  of_groups (List.filter keep groups)
 
 let groups p = p.groups
 let group_count p = List.length p.groups
@@ -178,13 +182,24 @@ let interior_bytes g =
     (fun acc m -> if Node.id m <> Node.id g.root then acc + Node.size_bytes m else acc)
     0 g.members
 
-(* ECHO_FUSION=0|off|false disables the codegen stage process-wide (the
-   runtest rules use it to keep the unfused path green); anything else, or
-   an unset variable, leaves it on. *)
+(* ECHO_FUSION=0|off|false|no disables the codegen stage process-wide (the
+   runtest rules use it to keep the unfused path green); 1|on|true|yes or
+   an unset variable leaves it on. Anything else is rejected loudly — a
+   misspelt ECHO_FUSION=fale silently enabling fusion would be
+   indistinguishable from the setting having worked. *)
 let env_enabled () =
   match Sys.getenv_opt "ECHO_FUSION" with
-  | Some ("0" | "off" | "false" | "no") -> false
-  | Some _ | None -> true
+  | None | Some "" -> true
+  | Some s -> (
+    match String.lowercase_ascii (String.trim s) with
+    | "0" | "off" | "false" | "no" -> false
+    | "1" | "on" | "true" | "yes" -> true
+    | _ ->
+      invalid_arg
+        (Printf.sprintf
+           "ECHO_FUSION=%S: expected one of 1|on|true|yes (enable) or \
+            0|off|false|no (disable)"
+           s))
 
 let pp_group fmt g =
   let member_names =

@@ -45,14 +45,20 @@ val of_groups : group list -> plan
     deliberately illegal groups to prove {!Echo_analysis.Verify} rejects
     them. *)
 
-val analyse : ?max_externals:int -> Graph.t -> plan
+val analyse : ?max_externals:int -> ?keep:(group -> bool) -> Graph.t -> plan
 (** Identify fusion groups. Maximal chains are split so no group reads more
     than [max_externals] external buffers: every external stays live until
     the group's root executes, so an unbounded group (a long gradient
     accumulation, say) would pin all its summands simultaneously and grow
     the arena fusion is meant to shrink. A split point materializes the
     previous segment's root, which the next segment reads as its first
-    external. *)
+    external.
+
+    [keep] (default: keep everything) filters the discovered groups: a
+    rejected group's members compile as ordinary separate instructions.
+    This is the hook the parallel-aware cost model
+    ([Echo_opt.Fusion.profitable]) plugs into when a chain is predicted to
+    lose wall-clock under the target runtime configuration. *)
 
 val groups : plan -> group list
 (** Groups in schedule order of their heads. *)
@@ -77,7 +83,9 @@ val interior_bytes : group -> int
 
 val env_enabled : unit -> bool
 (** [ECHO_FUSION=0|off|false|no] disables the fusion stage's default;
-    unset or anything else enables it. *)
+    [1|on|true|yes], the empty string or an unset variable enables it.
+    @raise Invalid_argument on any other value — a typo must not silently
+    pick a default. *)
 
 val pp_group : Format.formatter -> group -> unit
 val pp_plan : Format.formatter -> plan -> unit

@@ -49,3 +49,124 @@ let fused_graph_time device graph =
         | Some g -> acc +. group_time device g
         | None -> acc +. Costmodel.node_time device node)
     0.0 (Graph.nodes graph)
+
+(* {1 Host (Domain-pool) cost model}
+
+   The simulator above prices the GPU the paper targets; this second model
+   prices the machine the compiled executor actually runs on — the
+   multicore kernel runtime in [Echo_tensor.Parallel] — and is
+   deliberately structured like that runtime:
+
+   - a kernel fans out only when its total scalar work clears the
+     runtime's [min_fanout_work] gate and more than one domain is
+     effectively available; fanning out costs a fixed wakeup/join latency
+     ([fanout_overhead_s]);
+   - compute scales with the effective fan-out, but the memory term does
+     not (the domains share one memory bus);
+   - a matmul whose [m*n*k] clears the handle's blocking threshold runs
+     the packed/register-blocked kernel, modelled as a flat
+     [blocked_speedup] on its flops.
+
+   Because the model applies the same gate the runtime applies, a fused
+   chain is priced with the fan-out decision the fused kernel will
+   actually take — which is exactly what the old purely-GPU model got
+   wrong when a fused chain crossed the gate its members stayed under. *)
+
+type exec_config = {
+  domains : int;  (** effective fan-out, already hardware-capped *)
+  min_fanout_work : int;
+  blocking_threshold : int;
+  fanout_overhead_s : float;
+  scalar_rate : float;  (** weighted scalar ops/s of one domain *)
+  mem_rate : float;  (** bytes/s of the shared memory system *)
+  dispatch_s : float;  (** per-instruction interpreter overhead *)
+  blocked_speedup : float;
+}
+
+let host_config =
+  {
+    domains = 1;
+    min_fanout_work = Parallel.min_fanout_work Parallel.sequential;
+    blocking_threshold = Parallel.blocking_threshold Parallel.sequential;
+    fanout_overhead_s = 30e-6;
+    scalar_rate = 1e9;
+    mem_rate = 8e9;
+    dispatch_s = 0.2e-6;
+    blocked_speedup = 2.0;
+  }
+
+let of_runtime rt =
+  {
+    host_config with
+    domains = Parallel.effective_fanout rt;
+    min_fanout_work = Parallel.min_fanout_work rt;
+    blocking_threshold = Parallel.blocking_threshold rt;
+  }
+
+(* One kernel launch under [cfg]: [work] weighted scalar ops, [bytes] of
+   traffic, [speedup] on the compute term (blocked matmul). Mirrors
+   [Parallel.parallel_for]'s gate exactly. *)
+let kernel_time cfg ~work ~bytes ~speedup =
+  let fans = cfg.domains > 1 && work >= float_of_int cfg.min_fanout_work in
+  let fan = if fans then float_of_int cfg.domains else 1.0 in
+  let overhead = if fans then cfg.fanout_overhead_s else 0.0 in
+  cfg.dispatch_s +. overhead
+  +. Float.max (work /. (cfg.scalar_rate *. speedup *. fan)) (bytes /. cfg.mem_rate)
+
+let node_time cfg node =
+  match Node.op node with
+  | Op.Placeholder | Op.Variable -> 0.0
+  | op ->
+    let work = Costmodel.node_flops node in
+    let bytes = Costmodel.node_bytes node in
+    let speedup =
+      match op with
+      | Op.Matmul _ when work /. 2.0 >= float_of_int cfg.blocking_threshold ->
+        cfg.blocked_speedup
+      | _ -> 1.0
+    in
+    kernel_time cfg ~work ~bytes ~speedup
+
+(* One dispatch, compute summed over the members, bytes counted once over
+   the externals and the root — the same accounting as the GPU
+   [group_time], priced on the host. *)
+let host_group_time cfg g =
+  let work =
+    List.fold_left (fun a m -> a +. Costmodel.node_flops m) 0.0 g.Fuse.members
+  in
+  let numels =
+    List.fold_left
+      (fun a e -> a + Shape.numel (Node.shape e))
+      (Shape.numel (Node.shape g.Fuse.root))
+      g.Fuse.externals
+  in
+  kernel_time cfg ~work ~bytes:(4.0 *. float_of_int numels) ~speedup:1.0
+
+let unfused_group_time cfg g =
+  List.fold_left (fun a m -> a +. node_time cfg m) 0.0 g.Fuse.members
+
+(* The valve [Fuse.analyse ~keep] plugs into. Fusing never adds scalar
+   work, so a group only loses when the merged kernel's fan-out decision
+   costs more than the dispatches and interior traffic it saves — e.g. a
+   chain of tiny members that each stayed under the gate but together
+   cross it on a machine where the fan-out overhead dwarfs the compute. *)
+let profitable cfg g = host_group_time cfg g <= unfused_group_time cfg g
+
+let host_graph_time cfg ?(fuse = true) graph =
+  if not fuse then
+    List.fold_left
+      (fun acc node -> acc +. node_time cfg node)
+      0.0 (Graph.nodes graph)
+  else begin
+    (* Price the plan the compiler would actually emit under this config:
+       unprofitable groups are unfused both here and there. *)
+    let p = Fuse.analyse ~keep:(profitable cfg) graph in
+    List.fold_left
+      (fun acc node ->
+        if Fuse.is_interior p (Node.id node) then acc
+        else
+          match Fuse.group_of_root p (Node.id node) with
+          | Some g -> acc +. host_group_time cfg g
+          | None -> acc +. node_time cfg node)
+      0.0 (Graph.nodes graph)
+  end

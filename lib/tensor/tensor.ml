@@ -143,6 +143,17 @@ let fused_step_operand = function
   | F_relu | F_exp | F_log | F_sqrt | F_sq | F_recip | F_sign ->
     None
 
+(* Scalar work estimate per element, in units of one float op. Matches the
+   transcendental weight of the simulator's cost model
+   ([Echo_gpusim.Costmodel.transcendental]); the runtime's fan-out gate and
+   the host-side fusion cost model both consume it, so the gate the
+   executor applies and the gate the planner predicts are the same. *)
+let fused_step_work = function
+  | F_pow_const _ | F_sigmoid | F_tanh | F_exp | F_log | F_sqrt -> 8
+  | F_neg | F_scale _ | F_add_scalar _ | F_relu | F_sq | F_recip | F_sign
+  | F_add _ | F_sub _ | F_mul _ | F_div _ | F_scale_by _ ->
+    1
+
 (* {1 Linear algebra} *)
 
 (* [matmul] is defined after [Into]: there is exactly one matmul
@@ -537,37 +548,43 @@ let conv2d_grad_kernel ~stride ~pad ~input ~kernel_shape ~grad_out =
 (* {1 Multicore kernel runtime support}
 
    Heavy kernels below take a [?runtime] and fan their output rows (or the
-   flat index range) out over [Parallel.parallel_for]. Every output element
-   is written by exactly one domain, in the same per-element accumulation
-   order as the sequential loop, so results are bit-identical at every
-   domain count. [ew_grain] keeps tensors smaller than one grain on the
-   calling domain with no synchronisation. *)
+   flat index range) out over [Parallel.parallel_for], passing a [~work]
+   hint (scalar ops per index) so the runtime's fan-out gate can weigh the
+   kernel honestly. Every output element is written by exactly one domain,
+   in the same per-element accumulation order as the sequential loop, so
+   results are bit-identical at every domain count — including under the
+   work-stealing schedule, whose chunk boundaries are a pure function of
+   the loop size and the handle's configuration. *)
 
-let ew_grain = 8192
-
-(* Minimum rows per chunk so each chunk carries at least ~[ew_grain] scalar
-   operations. *)
-let row_grain work_per_row = max 1 (ew_grain / max 1 work_per_row)
-
-(* Cache-blocked, packed GEMM. Below [matmul_block_threshold] multiply-adds
-   the original unblocked loops run unchanged (packing would dominate).
-   Above it, a logically transposed A operand is packed into a contiguous
-   row-major scratch once per call and the inner loops are register-blocked
-   8 output rows at a time; the trans_b-only case instead uses dot-product
-   tiling over contiguous rows of both operands (see [dot_rows_nt]). In
-   every path the accumulation order of each output element stays
-   ascending-[l] with the a(i,l) = 0 skip, so blocked, unblocked,
-   sequential and parallel variants all produce identical bits. *)
-let matmul_block_threshold = ref 32_768
+(* Cache-blocked, packed GEMM. Below the runtime's blocking threshold
+   ([Parallel.blocking_threshold]) multiply-adds the original unblocked
+   loops run unchanged (packing would dominate). Above it, a logically
+   transposed A operand is packed into a contiguous row-major scratch once
+   per call and the inner loops are register-blocked 8 output rows at a
+   time; the trans_b-only case instead uses dot-product tiling over
+   contiguous rows of both operands (see [dot_rows_nt]). In every path the
+   accumulation order of each output element stays ascending-[l] with the
+   a(i,l) = 0 skip, so blocked, unblocked, sequential and parallel
+   variants all produce identical bits. *)
 
 (* Pack scratch, grown monotonically and reused across calls. Packing
-   always happens on the calling domain before the parallel region, and the
-   barrier in [Parallel.parallel_for] means no two kernel calls overlap, so
-   one buffer per operand suffices. *)
-let pack_scratch_a = ref [||]
-let pack_scratch_b = ref [||]
+   always happens on the calling domain before the parallel region, so the
+   scratch is keyed per domain ([Domain.DLS]): two executors driven from
+   different domains — e.g. concurrent compiles under different blocking
+   thresholds — each pack into their own buffer and cannot race. *)
+let pack_scratch_a : float array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [||])
 
-let pack_scratch cell numel =
+let pack_scratch_b : float array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [||])
+
+(* Running-value scratch for the fused elementwise kernel (one chunk's
+   width per domain). *)
+let fused_scratch : float array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [||])
+
+let pack_scratch key numel =
+  let cell = Domain.DLS.get key in
   if Array.length !cell < numel then cell := Array.make numel 0.0;
   !cell
 
@@ -811,6 +828,97 @@ let dot_rows_nt ad bd out ~k ~n ~lo ~hi =
     i := i0 + 1
   done
 
+(* {1 Dispatch-once elementwise loops}
+
+   One concrete stride-1 loop per opcode, selected once per chunk. The hot
+   loops carry no closure call and no float boxing: each arm reads and
+   writes unboxed floats through [Array.unsafe_get]/[unsafe_set] on plain
+   [float array]s (already an unboxed flat double buffer in OCaml), which
+   is what lets flambda keep the accumulator in a register and the
+   back-end vectorise the simple arms. *)
+
+(* [apply1 step s d lo hi]: d.(i) <- step s.(i) on [lo, hi). Binary
+   opcodes never reach here (the [Into] unary wrappers only build unary
+   steps). *)
+let apply1 step s d lo hi =
+  match step with
+  | F_neg ->
+    for i = lo to hi - 1 do
+      Array.unsafe_set d i (k_neg (Array.unsafe_get s i))
+    done
+  | F_scale c ->
+    for i = lo to hi - 1 do
+      Array.unsafe_set d i (c *. Array.unsafe_get s i)
+    done
+  | F_add_scalar c ->
+    for i = lo to hi - 1 do
+      Array.unsafe_set d i (c +. Array.unsafe_get s i)
+    done
+  | F_pow_const p ->
+    for i = lo to hi - 1 do
+      Array.unsafe_set d i (Float.pow (Array.unsafe_get s i) p)
+    done
+  | F_sigmoid ->
+    for i = lo to hi - 1 do
+      Array.unsafe_set d i (k_sigmoid (Array.unsafe_get s i))
+    done
+  | F_tanh ->
+    for i = lo to hi - 1 do
+      Array.unsafe_set d i (tanh (Array.unsafe_get s i))
+    done
+  | F_relu ->
+    for i = lo to hi - 1 do
+      Array.unsafe_set d i (k_relu (Array.unsafe_get s i))
+    done
+  | F_exp ->
+    for i = lo to hi - 1 do
+      Array.unsafe_set d i (exp (Array.unsafe_get s i))
+    done
+  | F_log ->
+    for i = lo to hi - 1 do
+      Array.unsafe_set d i (log (Array.unsafe_get s i))
+    done
+  | F_sqrt ->
+    for i = lo to hi - 1 do
+      Array.unsafe_set d i (sqrt (Array.unsafe_get s i))
+    done
+  | F_sq ->
+    for i = lo to hi - 1 do
+      Array.unsafe_set d i (k_sq (Array.unsafe_get s i))
+    done
+  | F_recip ->
+    for i = lo to hi - 1 do
+      Array.unsafe_set d i (k_recip (Array.unsafe_get s i))
+    done
+  | F_sign ->
+    for i = lo to hi - 1 do
+      Array.unsafe_set d i (k_sign (Array.unsafe_get s i))
+    done
+  | F_add _ | F_sub _ | F_mul _ | F_div _ | F_scale_by _ ->
+    invalid_arg "Tensor.apply1: binary step"
+
+(* [apply2 step x y d lo hi]: d.(i) <- x.(i) `step` y.(i) on [lo, hi).
+   The step's operand index is ignored — [y] is passed explicitly. *)
+let apply2 step x y d lo hi =
+  match step with
+  | F_add _ ->
+    for i = lo to hi - 1 do
+      Array.unsafe_set d i (Array.unsafe_get x i +. Array.unsafe_get y i)
+    done
+  | F_sub _ ->
+    for i = lo to hi - 1 do
+      Array.unsafe_set d i (Array.unsafe_get x i -. Array.unsafe_get y i)
+    done
+  | F_mul _ ->
+    for i = lo to hi - 1 do
+      Array.unsafe_set d i (Array.unsafe_get x i *. Array.unsafe_get y i)
+    done
+  | F_div _ ->
+    for i = lo to hi - 1 do
+      Array.unsafe_set d i (Array.unsafe_get x i /. Array.unsafe_get y i)
+    done
+  | _ -> invalid_arg "Tensor.apply2: unary step"
+
 (* {1 Destination-passing kernels} *)
 
 module Into = struct
@@ -829,63 +937,55 @@ module Into = struct
            (Array.length src.data) (Array.length dst.data));
     Array.blit src.data 0 dst.data 0 (Array.length src.data)
 
-  let blocking_threshold () = !matmul_block_threshold
-  let set_blocking_threshold t = matmul_block_threshold := t
-
   (* [dst] may alias [src]: each cell is read before it is written (by the
-     domain owning that cell's chunk). *)
-  let unary ?(runtime = Parallel.sequential) name f src ~dst =
+     domain owning that cell's chunk). The opcode is dispatched once per
+     chunk ([apply1]), not per element. *)
+  let unary ?(runtime = Parallel.sequential) name step src ~dst =
     check name dst src.shape;
     let s = src.data and d = dst.data in
-    Parallel.parallel_for runtime ~grain:ew_grain ~n:(Array.length s)
-      (fun lo hi ->
-        for i = lo to hi - 1 do
-          Array.unsafe_set d i (f (Array.unsafe_get s i))
-        done)
+    Parallel.parallel_for runtime ~work:(fused_step_work step)
+      ~n:(Array.length s) (fun lo hi -> apply1 step s d lo hi)
 
-  let neg ?runtime src ~dst = unary ?runtime "neg" k_neg src ~dst
-  let scale ?runtime k src ~dst = unary ?runtime "scale" (fun x -> k *. x) src ~dst
+  let neg ?runtime src ~dst = unary ?runtime "neg" F_neg src ~dst
+  let scale ?runtime k src ~dst = unary ?runtime "scale" (F_scale k) src ~dst
 
   let add_scalar ?runtime k src ~dst =
-    unary ?runtime "add_scalar" (fun x -> k +. x) src ~dst
+    unary ?runtime "add_scalar" (F_add_scalar k) src ~dst
 
   let pow_const ?runtime p src ~dst =
-    unary ?runtime "pow_const" (fun x -> Float.pow x p) src ~dst
+    unary ?runtime "pow_const" (F_pow_const p) src ~dst
 
-  let sigmoid ?runtime src ~dst = unary ?runtime "sigmoid" k_sigmoid src ~dst
-  let tanh_ ?runtime src ~dst = unary ?runtime "tanh" tanh src ~dst
-  let relu ?runtime src ~dst = unary ?runtime "relu" k_relu src ~dst
-  let exp_ ?runtime src ~dst = unary ?runtime "exp" exp src ~dst
-  let log_ ?runtime src ~dst = unary ?runtime "log" log src ~dst
-  let sqrt_ ?runtime src ~dst = unary ?runtime "sqrt" sqrt src ~dst
-  let sq ?runtime src ~dst = unary ?runtime "sq" k_sq src ~dst
-  let recip ?runtime src ~dst = unary ?runtime "recip" k_recip src ~dst
-  let sign ?runtime src ~dst = unary ?runtime "sign" k_sign src ~dst
+  let sigmoid ?runtime src ~dst = unary ?runtime "sigmoid" F_sigmoid src ~dst
+  let tanh_ ?runtime src ~dst = unary ?runtime "tanh" F_tanh src ~dst
+  let relu ?runtime src ~dst = unary ?runtime "relu" F_relu src ~dst
+  let exp_ ?runtime src ~dst = unary ?runtime "exp" F_exp src ~dst
+  let log_ ?runtime src ~dst = unary ?runtime "log" F_log src ~dst
+  let sqrt_ ?runtime src ~dst = unary ?runtime "sqrt" F_sqrt src ~dst
+  let sq ?runtime src ~dst = unary ?runtime "sq" F_sq src ~dst
+  let recip ?runtime src ~dst = unary ?runtime "recip" F_recip src ~dst
+  let sign ?runtime src ~dst = unary ?runtime "sign" F_sign src ~dst
 
   (* [dst] may alias either operand. *)
-  let binary ?(runtime = Parallel.sequential) name f a b ~dst =
+  let binary ?(runtime = Parallel.sequential) name step a b ~dst =
     if not (Shape.equal a.shape b.shape) then
       invalid_arg
         (Printf.sprintf "Tensor.Into.%s: shape mismatch %s vs %s" name
            (Shape.to_string a.shape) (Shape.to_string b.shape));
     check name dst a.shape;
     let x = a.data and y = b.data and d = dst.data in
-    Parallel.parallel_for runtime ~grain:ew_grain ~n:(Array.length x)
-      (fun lo hi ->
-        for i = lo to hi - 1 do
-          Array.unsafe_set d i (f (Array.unsafe_get x i) (Array.unsafe_get y i))
-        done)
+    Parallel.parallel_for runtime ~n:(Array.length x) (fun lo hi ->
+        apply2 step x y d lo hi)
 
-  let add ?runtime a b ~dst = binary ?runtime "add" ( +. ) a b ~dst
-  let sub ?runtime a b ~dst = binary ?runtime "sub" ( -. ) a b ~dst
-  let mul ?runtime a b ~dst = binary ?runtime "mul" ( *. ) a b ~dst
-  let div ?runtime a b ~dst = binary ?runtime "div" ( /. ) a b ~dst
+  let add ?runtime a b ~dst = binary ?runtime "add" (F_add 1) a b ~dst
+  let sub ?runtime a b ~dst = binary ?runtime "sub" (F_sub 1) a b ~dst
+  let mul ?runtime a b ~dst = binary ?runtime "mul" (F_mul 1) a b ~dst
+  let div ?runtime a b ~dst = binary ?runtime "div" (F_div 1) a b ~dst
 
   (* The scalar multiplier is read before any write, so [dst] may alias
-     either operand. *)
+     either operand — [F_scale] captures it up front, exactly like the
+     fused [F_scale_by] opcode reads the same single cell. *)
   let scale_by ?runtime x s ~dst =
-    let k = s.data.(0) in
-    unary ?runtime "scale_by" (fun v -> k *. v) x ~dst
+    unary ?runtime "scale_by" (F_scale s.data.(0)) x ~dst
 
   (* Same i -> l (skip a_il = 0) -> j accumulation order as the sequential
      triple loop in every variant, so results are bit-identical across the
@@ -907,14 +1007,14 @@ module Into = struct
     check "matmul" dst [| m; n |];
     let out = dst.data in
     let ad = a.data and bd = b.data in
-    let grain = row_grain (k * n) in
-    if m * n * k >= !matmul_block_threshold then begin
+    let work = 2 * k * n in
+    if m * n * k >= Parallel.blocking_threshold runtime then begin
       if trans_b && not trans_a then
         (* Both operand rows are contiguous along l, so dot-product tiling
            beats packing: no O(k*n) transpose per call, and the 4x4 output
            tile lives in an unboxed scratch. The kernel overwrites every
            element of its rows, so no zero-fill. *)
-        Parallel.parallel_for runtime ~grain ~n:m (fun lo hi ->
+        Parallel.parallel_for runtime ~work ~n:m (fun lo hi ->
             dot_rows_nt ad bd out ~k ~n ~lo ~hi)
       else begin
         (* Packed/blocked path: normalise both operands to row-major
@@ -938,13 +1038,13 @@ module Into = struct
           end
           else bd
         in
-        Parallel.parallel_for runtime ~grain ~n:m (fun lo hi ->
+        Parallel.parallel_for runtime ~work ~n:m (fun lo hi ->
             Array.fill out (lo * n) ((hi - lo) * n) 0.0;
             gemm_rows pa pb out ~k ~n ~lo ~hi)
       end
     end
     else
-      Parallel.parallel_for runtime ~grain ~n:m (fun lo hi ->
+      Parallel.parallel_for runtime ~work ~n:m (fun lo hi ->
           Array.fill out (lo * n) ((hi - lo) * n) 0.0;
           match (trans_a, trans_b) with
           | false, false ->
@@ -1014,8 +1114,7 @@ module Into = struct
       invalid_arg "Tensor.Into.add_bias: bias length mismatch";
     check "add_bias" dst m.shape;
     let md = m.data and bd = b.data and d = dst.data in
-    Parallel.parallel_for runtime ~grain:(row_grain cols) ~n:rows
-      (fun lo hi ->
+    Parallel.parallel_for runtime ~work:cols ~n:rows (fun lo hi ->
         for i = lo to hi - 1 do
           let row = i * cols in
           for j = 0 to cols - 1 do
@@ -1087,8 +1186,7 @@ module Into = struct
     let m = src.shape.(0) and n = src.shape.(1) in
     check "transpose2d" dst [| n; m |];
     let s = src.data and d = dst.data in
-    Parallel.parallel_for runtime ~grain:(row_grain m) ~n
-      (fun lo hi ->
+    Parallel.parallel_for runtime ~work:m ~n (fun lo hi ->
         for a = lo to hi - 1 do
           let row = a * m in
           for b = 0 to m - 1 do
@@ -1106,8 +1204,7 @@ module Into = struct
     let d = src.shape.(axis) in
     let outer, inner = axis_blocks src.shape axis in
     let s = src.data and out = dst.data in
-    Parallel.parallel_for runtime ~grain:(row_grain (d * inner)) ~n:outer
-      (fun lo hi ->
+    Parallel.parallel_for runtime ~work:(d * inner) ~n:outer (fun lo hi ->
         Array.fill out (lo * inner) ((hi - lo) * inner) 0.0;
         for o = lo to hi - 1 do
           for a = 0 to d - 1 do
@@ -1150,8 +1247,7 @@ module Into = struct
     check "softmax" dst src.shape;
     let rows, cols = rows_of src in
     let s = src.data and out = dst.data in
-    Parallel.parallel_for runtime ~grain:(row_grain cols) ~n:rows
-      (fun lo hi ->
+    Parallel.parallel_for runtime ~work:(10 * cols) ~n:rows (fun lo hi ->
         for r = lo to hi - 1 do
           let base = r * cols in
           let m = ref neg_infinity in
@@ -1173,8 +1269,7 @@ module Into = struct
     check "log_softmax" dst src.shape;
     let rows, cols = rows_of src in
     let s = src.data and out = dst.data in
-    Parallel.parallel_for runtime ~grain:(row_grain cols) ~n:rows
-      (fun lo hi ->
+    Parallel.parallel_for runtime ~work:(10 * cols) ~n:rows (fun lo hi ->
         for r = lo to hi - 1 do
           let base = r * cols in
           let m = ref neg_infinity in
@@ -1230,8 +1325,7 @@ module Into = struct
     check "cross_entropy_grad" dst logits.shape;
     let s = logits.data and out = dst.data in
     let inv_b = 1.0 /. float_of_int b in
-    Parallel.parallel_for runtime ~grain:(row_grain v) ~n:b
-      (fun lo hi ->
+    Parallel.parallel_for runtime ~work:(10 * v) ~n:b (fun lo hi ->
         for i = lo to hi - 1 do
           let base = i * v in
           let cls = int_of_float labels.data.(i) in
@@ -1262,8 +1356,7 @@ module Into = struct
     let v = (shape table).(0) and d = (shape table).(1) in
     let b = (shape ids).(0) in
     check "embedding" dst [| b; d |];
-    Parallel.parallel_for runtime ~grain:(row_grain d) ~n:b
-      (fun lo hi ->
+    Parallel.parallel_for runtime ~work:d ~n:b (fun lo hi ->
         for i = lo to hi - 1 do
           let id = int_of_float ids.data.(i) in
           if id < 0 || id >= v then
@@ -1284,8 +1377,11 @@ module Into = struct
     if not (Shape.equal (shape grad_out) [| b; d |]) then
       invalid_arg "Tensor.Into.embedding_grad: grad_out shape mismatch";
     let out = dst.data and g = grad_out.data in
-    Parallel.parallel_for runtime ~grain:(row_grain d) ~n:v
-      (fun lo hi ->
+    (* Per table row: the O(b) id scan plus this row's share of the O(b*d)
+       scatter adds. *)
+    Parallel.parallel_for runtime
+      ~work:(b + (b * d / max 1 v))
+      ~n:v (fun lo hi ->
         Array.fill out (lo * d) ((hi - lo) * d) 0.0;
         for i = 0 to b - 1 do
           let id = int_of_float ids.data.(i) in
@@ -1304,9 +1400,12 @@ module Into = struct
      per-element like [scale_by] reads it once — same value either way.
      [dst] may alias any operand: element [i] of every operand is read
      before element [i] of [dst] is written, and parallel chunks are
-     disjoint. The partition is the same flat-index [ew_grain] chunking as
-     [unary]/[binary], so results are bit-identical at every domain count
-     and to running the chain unfused. *)
+     disjoint. The partition is the same flat-index chunking as
+     [unary]/[binary] — with the work hint summing the per-step weights,
+     so a fused chain clears the runtime's fan-out gate exactly when the
+     separate passes it replaces would have in aggregate — so results are
+     bit-identical at every domain count and to running the chain
+     unfused. *)
   let fused ?(runtime = Parallel.sequential) steps operands ~dst =
     if Array.length operands = 0 then
       invalid_arg "Tensor.Into.fused: no operands";
@@ -1326,40 +1425,55 @@ module Into = struct
         steps
     in
     let k = Array.length steps in
+    let work = Array.fold_left (fun a st -> a + fused_step_work st) 0 steps in
     let s = seed.data and d = dst.data in
-    Parallel.parallel_for runtime ~grain:ew_grain ~n:(Array.length d)
-      (fun lo hi ->
-        let acc = ref 0.0 in
-        for i = lo to hi - 1 do
-          acc := Array.unsafe_get s i;
-          for st = 0 to k - 1 do
-            match Array.unsafe_get steps st with
-            | F_neg -> acc := k_neg !acc
-            | F_scale c -> acc := c *. !acc
-            | F_add_scalar c -> acc := c +. !acc
-            | F_pow_const p -> acc := Float.pow !acc p
-            | F_sigmoid -> acc := k_sigmoid !acc
-            | F_tanh -> acc := tanh !acc
-            | F_relu -> acc := k_relu !acc
-            | F_exp -> acc := exp !acc
-            | F_log -> acc := log !acc
-            | F_sqrt -> acc := sqrt !acc
-            | F_sq -> acc := k_sq !acc
-            | F_recip -> acc := k_recip !acc
-            | F_sign -> acc := k_sign !acc
-            | F_add _ ->
-              acc := !acc +. Array.unsafe_get (Array.unsafe_get datas st) i
-            | F_sub _ ->
-              acc := !acc -. Array.unsafe_get (Array.unsafe_get datas st) i
-            | F_mul _ ->
-              acc := !acc *. Array.unsafe_get (Array.unsafe_get datas st) i
-            | F_div _ ->
-              acc := !acc /. Array.unsafe_get (Array.unsafe_get datas st) i
-            | F_scale_by _ ->
-              acc := Array.unsafe_get (Array.unsafe_get datas st) 0 *. !acc
-          done;
-          Array.unsafe_set d i !acc
-        done)
+    (* Step-outer evaluation: one dispatch and one stride-1 pass per step
+       over a per-domain scratch of the running value, instead of
+       re-interpreting the step array for every element. Each element still
+       sees the exact same operations in the exact same order, so results
+       are bit-identical to per-element chain evaluation — and to running
+       the chain unfused. The scratch (not [dst]) carries the intermediate
+       because in-place transfers may alias [dst] with any operand. *)
+    Parallel.parallel_for runtime ~work ~n:(Array.length d) (fun lo hi ->
+        let w = hi - lo in
+        let cell = Domain.DLS.get fused_scratch in
+        if Array.length !cell < w then cell := Array.make w 0.0;
+        let buf = !cell in
+        Array.blit s lo buf 0 w;
+        for st = 0 to k - 1 do
+          match Array.unsafe_get steps st with
+          | F_add _ ->
+            let o = Array.unsafe_get datas st in
+            for i = 0 to w - 1 do
+              Array.unsafe_set buf i
+                (Array.unsafe_get buf i +. Array.unsafe_get o (lo + i))
+            done
+          | F_sub _ ->
+            let o = Array.unsafe_get datas st in
+            for i = 0 to w - 1 do
+              Array.unsafe_set buf i
+                (Array.unsafe_get buf i -. Array.unsafe_get o (lo + i))
+            done
+          | F_mul _ ->
+            let o = Array.unsafe_get datas st in
+            for i = 0 to w - 1 do
+              Array.unsafe_set buf i
+                (Array.unsafe_get buf i *. Array.unsafe_get o (lo + i))
+            done
+          | F_div _ ->
+            let o = Array.unsafe_get datas st in
+            for i = 0 to w - 1 do
+              Array.unsafe_set buf i
+                (Array.unsafe_get buf i /. Array.unsafe_get o (lo + i))
+            done
+          | F_scale_by _ ->
+            let c = Array.unsafe_get (Array.unsafe_get datas st) 0 in
+            for i = 0 to w - 1 do
+              Array.unsafe_set buf i (c *. Array.unsafe_get buf i)
+            done
+          | step -> apply1 step buf buf 0 w
+        done;
+        Array.blit buf 0 d lo w)
 end
 
 (* {1 Allocating wrappers over [Into]} *)

@@ -196,9 +196,14 @@ val conv2d_grad_kernel : stride:int -> pad:int -> input:t -> kernel_shape:Shape.
     Heavy kernels take a [?runtime] ({!Parallel.t}, default
     {!Parallel.sequential}) and partition their output — rows for matrix
     kernels, the flat index range for elementwise ones — across the
-    runtime's domains. Each output element is computed by exactly one domain
-    in the sequential per-element accumulation order, so results stay
-    bit-identical at every domain count. *)
+    runtime's domains, passing {!Parallel.parallel_for} a work hint
+    (scalar ops per index) so small kernels stay on the calling domain.
+    Each output element is computed by exactly one domain in the
+    sequential per-element accumulation order, so results stay
+    bit-identical at every domain count and under the runtime's
+    deterministic work-stealing schedule. The runtime handle also carries
+    the matmul blocking threshold ({!Parallel.blocking_threshold}) — there
+    is no process-global kernel configuration. *)
 module Into : sig
   val fill : dst:t -> float -> unit
 
@@ -242,20 +247,16 @@ module Into : sig
     ?runtime:Parallel.t -> ?trans_a:bool -> ?trans_b:bool -> t -> t -> dst:t -> unit
   (** [dst] must not alias an operand (a GEMM cannot run in place).
 
-      Products of at least {!blocking_threshold} multiply-adds take a
-      cache-blocked path: a logically transposed operand is packed into a
-      contiguous scratch once per call and the inner loops are
-      register-blocked over four output rows. The accumulation order per
-      output element (ascending inner index, skipping zero [a] elements) is
-      the same on both paths, so the switch never changes results. *)
-
-  val blocking_threshold : unit -> int
-  (** Current m*n*k threshold (in multiply-adds) above which {!matmul} uses
-      the packed/blocked kernel. *)
-
-  val set_blocking_threshold : int -> unit
-  (** Override {!blocking_threshold}: [0] forces blocking everywhere,
-      [max_int] disables it. For benchmarks and differential tests. *)
+      Products of at least [Parallel.blocking_threshold runtime]
+      multiply-adds take a cache-blocked path: a logically transposed
+      operand is packed into a contiguous scratch once per call and the
+      inner loops are register-blocked over the output rows. The
+      accumulation order per output element (ascending inner index,
+      skipping zero [a] elements) is the same on both paths, so the switch
+      never changes results. The threshold rides on the runtime handle
+      ([Parallel.create ~blocking_threshold] /
+      [Parallel.with_config]), so concurrent executors with different
+      settings cannot race. *)
 
   val add_bias : ?runtime:Parallel.t -> t -> t -> dst:t -> unit
   val slice : axis:int -> lo:int -> hi:int -> t -> dst:t -> unit

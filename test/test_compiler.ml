@@ -266,25 +266,35 @@ let test_runtime_differential () =
       model.Model.placeholders
     @ Params.bindings model.Model.params
   in
-  let saved = Tensor.Into.blocking_threshold () in
-  Fun.protect ~finally:(fun () -> Tensor.Into.set_blocking_threshold saved)
-  @@ fun () ->
-  (* Reference: interpreter on the unblocked kernels. *)
-  Tensor.Into.set_blocking_threshold max_int;
+  (* Reference: the interpreter on its default runtime — blocked and naive
+     matmuls are bitwise identical by construction, so any threshold gives
+     the same reference bits. *)
   let reference = Echo_exec.Interp.eval g ~feeds in
   let check_engine label outputs =
     check_bool label true (List.for_all2 bits_equal reference outputs)
   in
+  (* The threshold is per-runtime configuration: compile one executor per
+     (threshold, runtime) point. Pools are oversubscribed past the
+     hardware cap with the work gate open, so the fan-out path really
+     executes even on one core. *)
   List.iter
     (fun threshold ->
-      Tensor.Into.set_blocking_threshold threshold;
       let path = if threshold = 0 then "blocked" else "naive" in
       check_engine
         (Printf.sprintf "%s seq executor" path)
-        (Executor.eval (Executor.compile ~runtime:Parallel.sequential g) ~feeds);
+        (Executor.eval
+           (Executor.compile
+              ~runtime:
+                (Parallel.with_config ~blocking_threshold:threshold
+                   Parallel.sequential)
+              g)
+           ~feeds);
       List.iter
         (fun d ->
-          let pool = Parallel.create ~domains:d () in
+          let pool =
+            Parallel.create ~domains:d ~oversubscribe:true ~min_fanout_work:0
+              ~blocking_threshold:threshold ()
+          in
           Fun.protect ~finally:(fun () -> Parallel.shutdown pool) @@ fun () ->
           check_engine
             (Printf.sprintf "%s %d-domain executor" path d)
@@ -362,7 +372,12 @@ let fused_model_differential ?(id_bound = 20) model =
        (eval (Pipeline.compile_graph ~fuse:true g)));
   List.iter
     (fun d ->
-      let pool = Parallel.create ~domains:d () in
+      (* Oversubscribed past the hardware cap with the work gate open, so
+         fused instructions genuinely partition rows across the pool even
+         on a small machine. *)
+      let pool =
+        Parallel.create ~domains:d ~oversubscribe:true ~min_fanout_work:0 ()
+      in
       Fun.protect ~finally:(fun () -> Parallel.shutdown pool) @@ fun () ->
       check_bool
         (Printf.sprintf "%s fused %d-domain bit-identical" model.Model.name d)

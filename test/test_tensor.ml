@@ -154,17 +154,20 @@ let sparse_uniform rng shape =
 
 (* Sweep sizes across the blocking threshold, all four transpose variants,
    forced-naive / default / forced-blocked thresholds, and sequential vs a
-   2-domain pool. Every combination must be bitwise equal to the oracle.
-   [dst] starts as NaN so an unwritten element can never pass. *)
+   2-domain pool. The threshold is per-runtime configuration now, so every
+   point is a fresh [with_config] view; the pool is oversubscribed past the
+   hardware cap with the work gate open, so the fan-out + work-stealing
+   path genuinely runs even on one core. Every combination must be bitwise
+   equal to the oracle. [dst] starts as NaN so an unwritten element can
+   never pass. *)
 let test_matmul_blocked_sweep () =
   let sizes = [ (1, 1, 1); (3, 5, 2); (8, 8, 8); (17, 33, 9); (40, 40, 40); (64, 32, 48) ] in
-  let saved = Tensor.Into.blocking_threshold () in
-  let pool = Parallel.create ~domains:2 () in
-  Fun.protect ~finally:(fun () ->
-      Tensor.Into.set_blocking_threshold saved;
-      Parallel.shutdown pool)
-  @@ fun () ->
+  let pool =
+    Parallel.create ~domains:2 ~oversubscribe:true ~min_fanout_work:0 ()
+  in
+  Fun.protect ~finally:(fun () -> Parallel.shutdown pool) @@ fun () ->
   let rng = Rng.create 11 in
+  let default_threshold = Parallel.blocking_threshold Parallel.sequential in
   List.iter
     (fun (m, n, k) ->
       List.iter
@@ -174,9 +177,11 @@ let test_matmul_blocked_sweep () =
           let expect = matmul_oracle ~trans_a ~trans_b ~m ~n ~k a b in
           List.iter
             (fun threshold ->
-              Tensor.Into.set_blocking_threshold threshold;
               List.iter
-                (fun (rt_name, runtime) ->
+                (fun (rt_name, base) ->
+                  let runtime =
+                    Parallel.with_config ~blocking_threshold:threshold base
+                  in
                   let dst = Tensor.full [| m; n |] Float.nan in
                   Tensor.Into.matmul ~runtime ~trans_a ~trans_b a b ~dst;
                   if not (bits_equal expect dst) then
@@ -184,14 +189,13 @@ let test_matmul_blocked_sweep () =
                       "matmul %dx%dx%d ta=%b tb=%b threshold=%d runtime=%s \
                        differs from oracle"
                       m n k trans_a trans_b threshold rt_name)
-                [ ("seq", Parallel.sequential); ("pool2", pool) ];
-              if not (bits_equal expect (Tensor.matmul ~trans_a ~trans_b a b))
-              then
-                Alcotest.failf
-                  "allocating matmul %dx%dx%d ta=%b tb=%b threshold=%d \
-                   differs from oracle"
-                  m n k trans_a trans_b threshold)
-            [ 0; saved; max_int ])
+                [ ("seq", Parallel.sequential); ("pool2", pool) ])
+            [ 0; default_threshold; max_int ];
+          if not (bits_equal expect (Tensor.matmul ~trans_a ~trans_b a b))
+          then
+            Alcotest.failf
+              "allocating matmul %dx%dx%d ta=%b tb=%b differs from oracle"
+              m n k trans_a trans_b)
         [ (false, false); (true, false); (false, true); (true, true) ])
     sizes
 
