@@ -1114,12 +1114,28 @@ let e19 () =
     (zoo ());
   record_json ~path:"BENCH_E19.json" "E19" (List.rev !json)
 
+(* E20: fault-injection campaign over the LM zoo — the resilience report.
+   Full scale sweeps every zoo model x every campaign planner, fused and
+   unfused, through the ten-fault menu (320 configurations); --quick runs
+   the mini preset (one model, three planners, 60 configurations). The
+   whole report is a pure function of the spec seed, so BENCH_E20.json is
+   bit-reproducible run to run and at every domain count. *)
+let e20 () =
+  heading "E20" "fault-injection campaign: per-(model x planner) resilience";
+  let module Campaign = Echo_campaign.Campaign in
+  let spec =
+    Campaign.default_spec (match !scale with Full -> "full" | Quick -> "mini")
+  in
+  let report = Campaign.run spec in
+  print_string (Campaign.summary report);
+  record_json ~path:"BENCH_E20.json" "E20" (Campaign.json_fields report)
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E18", e18); ("E19", e19);
+    ("E18", e18); ("E19", e19); ("E20", e20);
   ]
 
 let () =

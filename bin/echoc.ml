@@ -121,6 +121,16 @@ let train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
     ~device ~planner
     ~runtime ~budget_bytes ~faults_spec ~checkpoint_path ~checkpoint_every
     ~resume ~no_fuse ~tune_exec =
+  (* Parse the fault plan first: a malformed --faults/ECHO_FAULTS entry is a
+     configuration error and must be reported before any model is built or
+     compiled, not steps into the run. *)
+  let faults =
+    try
+      match faults_spec with
+      | Some s -> Echo_runtime.Fault.parse s
+      | None -> Echo_runtime.Fault.of_env ()
+    with Echo_runtime.Fault.Bad_spec msg -> failwith msg
+  in
   let cell =
     match model_choice with
     | Lm -> Recurrent.Lstm
@@ -162,11 +172,6 @@ let train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
         ])
       (Echo_workloads.Corpus.lm_batches corpus ~batch:cfg.Language_model.batch
          ~seq_len:cfg.Language_model.seq_len ~steps)
-  in
-  let faults =
-    match faults_spec with
-    | Some s -> Echo_runtime.Fault.parse s
-    | None -> Echo_runtime.Fault.of_env ()
   in
   let checkpoint =
     Option.map
@@ -235,6 +240,30 @@ let train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
       final
       (Echo_train.Loop.perplexity final)
   | [] -> Format.printf "trained 0 steps (all skipped)@."
+
+(* --campaign: run a fault-injection campaign and print the per-(model x
+   planner) resilience report. The sweep is scheduled across the same pool
+   -j configures; the report itself is domain-count independent. *)
+let campaign_mode ~pool spec_text =
+  let module Campaign = Echo_campaign.Campaign in
+  match Campaign.parse_spec spec_text with
+  | Error msg -> failwith msg
+  | Ok spec ->
+    let report = Campaign.run ~pool spec in
+    print_string (Campaign.summary report);
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Campaign.summary report);
+        output_string oc "\n";
+        List.iter
+          (fun line ->
+            output_string oc line;
+            output_string oc "\n")
+          (Campaign.detail_lines report);
+        close_out oc;
+        Format.printf "wrote %s@." path)
+      spec.Campaign.out
 
 (* --lint: run the Echo-verify checkers over every stage artifact of the
    compiled pipeline and print the collected diagnostics. --corrupt seeds
@@ -338,7 +367,7 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
     profile optimize dot_file trace_file save_file load_file device_name
     domains compile train_steps vocab budget_bytes faults_spec checkpoint_path
     checkpoint_every resume no_fuse tune_exec dump_fusion lint lint_strict
-    corrupt =
+    corrupt campaign =
   let device =
     match Echo_gpusim.Device.by_name device_name with
     | Some d -> d
@@ -356,7 +385,9 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
      enumerate what the build supports. *)
   if policy = Some "list" then
     Format.printf "%a@." Echo_core.Planner.pp_list ()
-  else
+  else match campaign with
+  | Some spec_text -> campaign_mode ~pool:runtime spec_text
+  | None ->
   (* The user picked a planner explicitly (flag or ECHO_POLICY env); when
      neither is given, --train keeps its historical default (no rewrite)
      and the report path defaults to echo. *)
@@ -630,6 +661,20 @@ let cmd =
              proves it."
           ~docv:"KIND")
   in
+  let campaign =
+    Arg.(
+      value & opt (some string) None
+      & info [ "campaign" ]
+          ~doc:
+            "Run a fault-injection campaign and print the per-(model x \
+             planner) resilience report: $(b,mini) (one model, three \
+             planners — the runtest configuration), $(b,full) (the whole \
+             LM zoo x four planners, 320 configurations), optionally \
+             with knobs, e.g. $(b,full:steps=6,seed=1,out=campaign.txt). \
+             The sweep schedules across the -j pool; the report is \
+             byte-identical at every domain count."
+          ~docv:"SPEC")
+  in
   let term =
     Term.(
       const run $ model $ batch $ seq_len $ hidden $ layers $ policy $ budget
@@ -637,7 +682,7 @@ let cmd =
       $ save_file $ load_file $ device $ domains $ compile $ train_steps
       $ vocab $ budget_bytes $ faults $ checkpoint_path $ checkpoint_every
       $ resume $ no_fuse $ tune_exec $ dump_fusion $ lint $ lint_strict
-      $ corrupt)
+      $ corrupt $ campaign)
   in
   Cmd.v (Cmd.info "echoc" ~doc:"Echo compiler pass driver") term
 

@@ -1,0 +1,132 @@
+(** Fault-injection campaigns: the gpuFI-4-style resilience-measurement
+    instrument over the deterministic fault runtime.
+
+    A campaign enumerates a sweep of injection configurations — fault kind
+    × injection site × step × model × planner × fusion — executes each as
+    an independent short training run scheduled across the
+    {!Echo_tensor.Parallel} domain pool, compares it against a cached
+    golden (unfaulted) run of the same (model, planner, fusion)
+    configuration, and classifies every outcome into exactly one of four
+    buckets:
+
+    - {!Masked} — the run completed, nothing fired, and the final loss is
+      bit-identical to golden: the upset never reached the training
+      trajectory.
+    - {!Detected_recovered} — a detector fired (retry, skip, NaN guard,
+      budget hit/replan, or Echo-verify refusing the compile under
+      [ECHO_VERIFY=1]) and the final loss converged back to within
+      tolerance of golden.
+    - {!Silent_data_corruption} — the run completed but its trajectory
+      diverged from golden and either nothing fired, or a detector fired
+      without protecting the run (detected-but-diverged counts as
+      corruption: the signal existed but the outcome is still wrong).
+    - {!Crash} — the run raised.
+
+    Every ingredient is deterministic — fault plans, model seeds, corpus,
+    kernels — and each configuration runs on a {e sequential} inner kernel
+    runtime with all shared state confined to its own run, so the
+    resulting report is byte-identical across repeated runs and at every
+    orchestrator domain count.
+
+    Plan-corrupting faults (clone reseed / clone hint mutations from
+    {!Echo_analysis.Mutate}) additionally record whether the Echo-verify
+    static sanitizer flags the corrupted artifact — the report's
+    cross-check column tying the campaign back to translation
+    validation. *)
+
+type outcome = Masked | Detected_recovered | Silent_data_corruption | Crash
+
+val outcome_to_string : outcome -> string
+(** ["masked"], ["detected"], ["sdc"], ["crash"]. *)
+
+type plan_mutation =
+  | Reseed_clone
+      (** a recomputation clone's DropoutMask seed diverges from its
+          original ({!Echo_analysis.Mutate.reseed_clone}) — recomputed
+          gradients silently differ unless caught *)
+  | Bad_clone_hint
+      (** a clone's scheduling hint is pushed past its earliest consumer
+          ({!Echo_analysis.Mutate.bad_clone_hint}) — execution-neutral, but
+          the plan no longer proves just-in-time recomputation *)
+
+type fault =
+  | Runtime_fault of Echo_runtime.Fault.spec
+      (** injected through the training loop's deterministic fault plan *)
+  | Plan_fault of plan_mutation
+      (** the compiled plan artifact itself is corrupted before training *)
+
+val fault_to_string : fault -> string
+
+type config = {
+  model : string;  (** model-zoo id, e.g. ["lstm-lm"] *)
+  planner : string;  (** {!Echo_core.Planner} registry name *)
+  fuse : bool;
+  fault : fault;
+}
+
+type result = {
+  config : config;
+  outcome : outcome;
+  verify_caught : bool option;
+      (** [Some true] iff this is a plan fault and {!Echo_analysis.Verify}
+          reported an error on the corrupted artifact; [None] for runtime
+          faults (there is no static artifact to check) *)
+}
+
+type cell = {
+  cell_model : string;
+  cell_planner : string;
+  masked : int;
+  detected : int;
+  sdc : int;
+  crash : int;
+  verify_caught : int;  (** plan faults the sanitizer flagged *)
+  verify_total : int;  (** plan faults attempted in this cell *)
+}
+(** One row of the resilience report: the outcome histogram of every
+    configuration sharing (model, planner), fused and unfused merged. *)
+
+type spec = {
+  preset : string;  (** ["mini"] or ["full"] *)
+  steps : int;  (** training steps per configuration *)
+  seed : int;  (** perturbs model init and flip indices *)
+  out : string option;  (** report file for [echoc --campaign] *)
+}
+
+type report = {
+  spec : spec;
+  results : result list;  (** every configuration, in enumeration order *)
+  cells : cell list;  (** model-major, planner-minor *)
+}
+
+val parse_spec : string -> (spec, string) Stdlib.result
+(** Parse a campaign spec: [PRESET] or [PRESET:key=v,...] where PRESET is
+    [mini] (one model × three planners — the runtest configuration) or
+    [full] (the whole LM zoo × four planners, ≥ 200 configurations) and
+    keys are [steps], [seed] and [out]. *)
+
+val default_spec : string -> spec
+(** The named preset with default knobs. @raise Invalid_argument on an
+    unknown preset. *)
+
+val run : ?pool:Echo_tensor.Parallel.t -> spec -> report
+(** Execute the campaign: golden runs first, then every faulted
+    configuration, both phases scheduled across [pool] (default
+    {!Echo_tensor.Parallel.default}). Every configuration is classified —
+    a run that raises classifies as {!Crash}; nothing escapes. The report
+    is a pure function of [spec]: independent of [pool]'s domain count,
+    of scheduling order, and of earlier campaigns in the same process. *)
+
+val summary : report -> string
+(** The per-(model × planner) resilience table plus totals, as a
+    deterministic multi-line string — what [echoc --campaign] prints and
+    the reproducibility test compares byte-for-byte. *)
+
+val detail_lines : report -> string list
+(** One line per configuration (fault, outcome, verify verdict), in
+    enumeration order — the report file's appendix. *)
+
+val json_fields : report -> (string * float) list
+(** The BENCH_E20 payload: per-cell histogram counts
+    ([MODEL/PLANNER/OUTCOME]), per-cell verify counters, and campaign
+    totals, in deterministic order. *)

@@ -30,6 +30,13 @@ type t = {
   binding : (Node.t * int) list;
       (** (node, physical buffer id) for every materialising transient slot *)
   fallback_count : int;  (** instructions that evaluate through Interp *)
+  materialising : bool array;
+      (** by slot: the slot owns a value at run time (transient buffer or
+          fed persistent tensor) — fused interiors don't *)
+  mutable pending_flips : (int * int * int) list;
+      (** (slot, index, bit) single-event upsets to apply during the next
+          {!run}, right after the slot's instruction writes; cleared after
+          that run *)
 }
 
 exception Budget_exceeded of { requested_bytes : int; budget_bytes : int }
@@ -391,6 +398,10 @@ let compile ?(inplace = true) ?budget_bytes ?runtime ?fusion graph =
       (match fusion with Some f -> Fuse.interior_count f | None -> 0);
     binding = List.rev !binding;
     fallback_count;
+    materialising =
+      Array.init n (fun s ->
+          is_persistent_slot.(s) || buf_of_slot.(s) <> None);
+    pending_flips = [];
   }
 
 let graph e = e.graph
@@ -419,6 +430,27 @@ let slot e node =
     invalid_arg
       (Printf.sprintf "Executor.slot: node %s (#%d) is not in the graph"
          (Node.name node) (Node.id node))
+
+let materialises e node =
+  match slot_opt e node with
+  | Some s -> e.materialising.(s)
+  | None -> false
+
+let schedule_flip e ~slot ~index ~bit =
+  if slot < 0 || slot >= Array.length e.nodes then
+    invalid_arg
+      (Printf.sprintf "Executor.schedule_flip: slot %d outside 0..%d" slot
+         (Array.length e.nodes - 1));
+  if not e.materialising.(slot) then
+    invalid_arg
+      (Printf.sprintf
+         "Executor.schedule_flip: slot %d (%s) does not materialise — fused \
+          interiors own no buffer to upset"
+         slot
+         (Node.name e.nodes.(slot)));
+  if index < 0 || bit < 0 || bit > 63 then
+    invalid_arg "Executor.schedule_flip: index must be >= 0 and bit in 0..63";
+  e.pending_flips <- e.pending_flips @ [ (slot, index, bit) ]
 
 let set_input e s tensor =
   if s < 0 || s >= Array.length e.nodes || not e.is_persistent_slot.(s) then
@@ -453,9 +485,25 @@ let run e =
     e.all_fed <- true
   end;
   let instrs = e.instrs in
-  for i = 0 to Array.length instrs - 1 do
-    (Array.unsafe_get instrs i) ()
-  done;
+  (* The hot loop stays untouched when no upset is scheduled; a pending
+     flip switches one run onto a path that corrupts the slot's value the
+     instant its kernel has written it — before any consumer reads — so
+     the flip lands at the same dataflow point under every planner, fusion
+     setting and domain count. *)
+  (match e.pending_flips with
+  | [] ->
+    for i = 0 to Array.length instrs - 1 do
+      (Array.unsafe_get instrs i) ()
+    done
+  | flips ->
+    for i = 0 to Array.length instrs - 1 do
+      (Array.unsafe_get instrs i) ();
+      List.iter
+        (fun (s, index, bit) ->
+          if s = i then Tensor.flip_bit e.values.(i) ~index ~bit)
+        flips
+    done;
+    e.pending_flips <- []);
   let os = e.output_slots in
   for i = 0 to Array.length os - 1 do
     e.outs.(i) <- e.values.(os.(i))

@@ -86,6 +86,24 @@ val run : t -> unit
 (** Execute one step over the frozen schedule.
     @raise Echo_exec.Interp.Missing_feed naming every unfed input. *)
 
+(** {1 Fault injection} *)
+
+val materialises : t -> Node.t -> bool
+(** The node owns a run-time value in this executor — a transient buffer or
+    a fed persistent tensor. False for fused interiors (register-resident,
+    nothing to upset) and nodes outside the graph. *)
+
+val schedule_flip : t -> slot:int -> index:int -> bit:int -> unit
+(** Arm one single-event upset for the {e next} {!run}: immediately after
+    [slot]'s instruction executes, bit [bit] of scalar [index mod numel] of
+    its value flips ({!Echo_tensor.Tensor.flip_bit}) — before any consumer
+    reads it, so the corruption enters the dataflow at exactly that point
+    regardless of planner, fusion or domain count. All armed flips are
+    cleared after that run; when none are pending the execution path is
+    byte-for-byte the unfaulted one.
+    @raise Invalid_argument on an out-of-range slot, a slot that does not
+    {!materialises}, a negative index, or a bit outside 0..63. *)
+
 val outputs : t -> Tensor.t array
 (** Output values of the last {!run}, in graph-output order. See the
     aliasing contract above. *)

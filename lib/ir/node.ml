@@ -12,14 +12,14 @@ type t = {
   hint : float;  (* scheduling priority; defaults to creation order *)
 }
 
-let counter = ref 0
-
-let fresh_id () =
-  let id = !counter in
-  incr counter;
-  id
-
-let reset_id_counter_for_tests () = counter := 0
+(* Atomic so independent graphs may be built from different domains at once
+   (the campaign orchestrator does): each builder sees strictly increasing
+   ids, and everything downstream (schedules, hints, liveness) depends only
+   on the *relative* order of ids within one graph, which interleaving
+   preserves. *)
+let counter = Atomic.make 0
+let fresh_id () = Atomic.fetch_and_add counter 1
+let reset_id_counter_for_tests () = Atomic.set counter 0
 
 let create ?name ?(region = Forward) ?shape ?hint op inputs =
   let input_shapes = List.map (fun n -> n.shape) inputs in

@@ -2,7 +2,11 @@
     takes — re-planning after a budget violation, retrying a transient
     kernel failure, skipping a poisoned step, writing or loading a
     checkpoint — is surfaced as one of these events through the
-    [?on_event] callback of [Echo_train.Loop.train]. *)
+    [?on_event] callback of [Echo_train.Loop.train].
+
+    Payloads are structured (typed {!Fault.kind}, retry counts) so
+    consumers — the campaign classifier in [Echo_campaign.Campaign], log
+    shippers, dashboards — never parse strings. *)
 
 type t =
   | Budget_hit of { step : int; requested_bytes : int; budget_bytes : int }
@@ -16,11 +20,19 @@ type t =
     }
       (** The runtime escalated through the recomputation ladder and
           re-compiled at the cheapest policy that fits. *)
-  | Retry of { step : int; attempt : int; reason : string }
-      (** A transient kernel failure; the step is being re-executed. *)
-  | Skip of { step : int; reason : string }
-      (** Retries exhausted; the step was dropped (no parameter update,
-          no recorded loss). *)
+  | Fault_injected of { step : int; fault : Fault.kind; target : string }
+      (** A scheduled bit-flip was applied. [target] names the tensor hit
+          (parameter name or activation-site node name) — the differential
+          suite uses it to prove the same spec hits the same site under
+          every planner and domain count. Observability only: classifiers
+          must not count it as a {e detection}, see {!is_detection}. *)
+  | Retry of { step : int; attempt : int; fault : Fault.kind }
+      (** A transient kernel failure; the step is being re-executed.
+          [attempt] counts from 1. *)
+  | Skip of { step : int; retries : int; fault : Fault.kind }
+      (** Retries exhausted after [retries] re-executions; the step was
+          dropped (no parameter update, no recorded loss). [fault] is the
+          failure that was still firing. *)
   | Nan_guard of { step : int; loss : float; grad_norm : float }
       (** Non-finite loss or gradient norm; the update was skipped. *)
   | Checkpoint_write of { step : int; path : string }
@@ -28,3 +40,10 @@ type t =
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
+
+val is_detection : t -> bool
+(** True for events that mean the runtime {e noticed and reacted to} a
+    fault (budget hit, replan, retry, skip, NaN guard) — the signal the
+    campaign classifier separates [Detected_recovered] from silent
+    corruption with. False for pure observability ([Fault_injected]) and
+    checkpoint traffic. *)

@@ -55,6 +55,17 @@ let set1 t i v = t.data.(i) <- v
 let to_array t = Array.copy t.data
 let copy t = { shape = t.shape; data = Array.copy t.data }
 
+let flip_bit t ~index ~bit =
+  if bit < 0 || bit > 63 then
+    invalid_arg (Printf.sprintf "Tensor.flip_bit: bit %d outside 0..63" bit);
+  let n = Array.length t.data in
+  if n = 0 then invalid_arg "Tensor.flip_bit: empty tensor";
+  if index < 0 then invalid_arg "Tensor.flip_bit: negative index";
+  let i = index mod n in
+  t.data.(i) <-
+    Int64.float_of_bits
+      (Int64.logxor (Int64.bits_of_float t.data.(i)) (Int64.shift_left 1L bit))
+
 (* {1 Elementwise} *)
 
 let map f t = { shape = t.shape; data = Array.map f t.data }

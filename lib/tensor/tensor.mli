@@ -49,6 +49,15 @@ val to_array : t -> float array
 
 val copy : t -> t
 
+val flip_bit : t -> index:int -> bit:int -> unit
+(** Flip one bit of the IEEE-754 representation of element
+    [index mod numel t], in place — the single-event-upset primitive the
+    fault-injection campaigns build on. [bit] 0 is the lowest mantissa bit,
+    63 the sign. Deterministic: the same (index, bit) on the same tensor
+    always produces the same value.
+    @raise Invalid_argument on an empty tensor, a negative [index], or a
+    [bit] outside 0..63. *)
+
 (** {1 Elementwise} *)
 
 val map : (float -> float) -> t -> t

@@ -35,6 +35,69 @@ let train ~graph ~params ~optimizer ?clip_norm ?on_step ?on_event ?budget_bytes
   let param_nodes = Array.of_list (List.map fst params) in
   let n_params = Array.length param_nodes in
   let param_values = ref (Array.of_list (List.map snd params)) in
+  (* Activation bit-flip sites: the materialising forward nodes of the
+     *original* graph, in deterministic schedule order. Elementwise nodes
+     are excluded (a fusion plan may bury them in registers) and so are
+     inputs and compile-time constants (their single-writer buffers are
+     materialised once, so a flip would persist across steps) — what
+     remains is guaranteed a fresh arena write every step under every
+     planner, fusion setting and domain count, which is what makes a
+     [flip@STEP=act:...] spec planner-independent. *)
+  let act_sites =
+    Array.of_list
+      (List.filter
+         (fun n ->
+           (not (Fuse.elementwise n))
+           &&
+           match Node.op n with
+           | Op.Placeholder | Op.Variable | Op.Zeros | Op.ConstFill _
+           | Op.DropoutMask _ ->
+             false
+           | _ -> true)
+         (Graph.forward_nodes graph))
+  in
+  (* Fail fast: a fault plan naming a site or parameter this run does not
+     have is a malformed plan, reported before any compilation — not a
+     crash mid-train. *)
+  List.iter
+    (fun { Fault.step; kind } ->
+      match kind with
+      | Fault.Flip_act { site; _ } when site >= Array.length act_sites ->
+        raise
+          (Fault.Bad_spec
+             (Printf.sprintf
+                "ECHO_FAULTS entry %S: activation site %d out of range — \
+                 this graph has %d injection sites (0..%d)"
+                (Fault.kind_to_string step kind)
+                site
+                (Array.length act_sites)
+                (Array.length act_sites - 1)))
+      | Fault.Flip_param _ when n_params = 0 ->
+        raise
+          (Fault.Bad_spec
+             (Printf.sprintf
+                "ECHO_FAULTS entry %S: this run has no parameters to flip"
+                (Fault.kind_to_string step kind)))
+      | _ -> ())
+    (Fault.specs faults);
+  (* A parameter flip indexes the flattened concatenation of all parameter
+     tensors in declaration order (mod the total), persists across steps,
+     and copies the hit tensor first so callers sharing the initial values
+     (e.g. campaign golden runs) never observe the corruption. *)
+  let apply_param_flip ~index ~bit =
+    let values = !param_values in
+    let total = Array.fold_left (fun acc v -> acc + Tensor.numel v) 0 values in
+    let i = index mod total in
+    let rec locate k off =
+      let n = Tensor.numel values.(k) in
+      if i < off + n then (k, i - off) else locate (k + 1) (off + n)
+    in
+    let k, local = locate 0 0 in
+    let v = Tensor.copy values.(k) in
+    Tensor.flip_bit v ~index:local ~bit;
+    values.(k) <- v;
+    Printf.sprintf "%s[%d] bit %d" (Node.name param_nodes.(k)) local bit
+  in
   (* The device budget is mutable: a simulated OOM fault shrinks it mid-run
      and the loop re-plans the *original* graph through the escalation
      ladder, so recompute clones never stack on top of earlier rewrites. *)
@@ -183,6 +246,24 @@ let train ~graph ~params ~optimizer ?clip_norm ?on_step ?on_event ?budget_bytes
         exe := compile_recovering ~step:!step ()
       | Some (Fault.Transient why) -> raise (Fault.Transient_failure why)
       | Some Fault.Nan_poison -> poisoned := true
+      | Some (Fault.Flip_param { index; bit } as fault) ->
+        let target = apply_param_flip ~index ~bit in
+        emit (Event.Fault_injected { step = !step; fault; target })
+      | Some (Fault.Flip_act { site; index; bit } as fault) ->
+        let node = act_sites.(site) in
+        let e = !exe in
+        Executor.schedule_flip e ~slot:(Executor.slot e node) ~index ~bit;
+        (* Describe the site by its dataflow identity (ordinal, op, shape)
+           rather than [Node.name]: fresh builds of the same model assign
+           fresh ids, but the SITEth materialising forward node is the same
+           operation in every one of them — so this string is comparable
+           across planners, fusion settings and independently built runs. *)
+        let target =
+          Printf.sprintf "act site %d: %s %s" site
+            (Op.to_string (Node.op node))
+            (Shape.to_string (Node.shape node))
+        in
+        emit (Event.Fault_injected { step = !step; fault; target })
       | None -> ());
       let e = !exe in
       List.iter (fun (node, tensor) -> Executor.feed e node tensor) batch;
@@ -202,18 +283,19 @@ let train ~graph ~params ~optimizer ?clip_norm ?on_step ?on_event ?budget_bytes
       | outcome -> `Ran outcome
       | exception Fault.Transient_failure why ->
         if retries < max_retries then begin
-          emit (Event.Retry { step = !step; attempt = retries + 1; reason = why });
+          emit
+            (Event.Retry
+               {
+                 step = !step;
+                 attempt = retries + 1;
+                 fault = Fault.Transient why;
+               });
           attempt (retries + 1)
         end
         else begin
           emit
             (Event.Skip
-               {
-                 step = !step;
-                 reason =
-                   Printf.sprintf "%s (still failing after %d retries)" why
-                     retries;
-               });
+               { step = !step; retries; fault = Fault.Transient why });
           `Skipped
         end
     in

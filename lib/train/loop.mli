@@ -29,8 +29,25 @@
       recorded and no update applied.
     - {b Non-finite steps.} A NaN/Inf loss or gradient norm records the loss
       but skips the parameter update.
+    - {b Bit flips.} A [flip@STEP=param:...] fault upsets one bit of one
+      parameter scalar (flattened across all parameter tensors, mod total)
+      at the start of the faulted step; the corruption persists and trains
+      on. A [flip@STEP=act:SITE:...] fault arms
+      {!Echo_compiler.Executor.schedule_flip} on activation site [SITE] —
+      the [SITE]th materialising non-elementwise forward node of the
+      original graph in schedule order — so the flip lands at the same
+      dataflow point under every planner, fusion setting and domain count.
+      Neither is a detected failure by itself: whether the NaN guard or
+      nothing at all fires afterwards is exactly what the fault-injection
+      campaigns ({!Echo_campaign.Campaign}) measure.
 
-    Every recovery action is surfaced through [on_event]. *)
+    Fault plans are validated before the initial compile: an activation
+    site or parameter flip the graph cannot host raises
+    {!Echo_runtime.Fault.Bad_spec} naming the offending entry up front,
+    never mid-train.
+
+    Every recovery action is surfaced through [on_event] with structured
+    payloads ({!Echo_runtime.Event}). *)
 
 open Echo_tensor
 open Echo_ir

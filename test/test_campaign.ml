@@ -1,0 +1,284 @@
+(* Fault-injection campaign tests: the report is a pure function of the
+   spec (byte-identical re-run to re-run and at every orchestrator domain
+   count), bit-flip injection is planner-independent at the spec level,
+   and the classifier lands every configuration in exactly one sane
+   bucket. *)
+
+open Echo_tensor
+open Echo_models
+module Campaign = Echo_campaign.Campaign
+module Fault = Echo_runtime.Fault
+module Event = Echo_runtime.Event
+module Loop = Echo_train.Loop
+module Optimizer = Echo_train.Optimizer
+module Planner = Echo_core.Planner
+module Corpus = Echo_workloads.Corpus
+
+let device = Echo_gpusim.Device.titan_xp
+
+let bits_equal a b =
+  (Float.is_nan a && Float.is_nan b)
+  || Int64.bits_of_float a = Int64.bits_of_float b
+
+let losses_bit_identical a b =
+  List.length a = List.length b && List.for_all2 bits_equal a b
+
+(* {1 Differential: spec-level planner independence of bit flips} *)
+
+(* One short faulted LM training run; returns the loss trajectory and the
+   target names of every injected fault. *)
+let train_with ?(runtime = Parallel.sequential) ~planner ~fuse ~faults () =
+  let lm =
+    Language_model.build
+      {
+        Language_model.vocab = 60;
+        embed = 12;
+        hidden = 12;
+        layers = 2;
+        seq_len = 6;
+        batch = 3;
+        dropout = 0.2;
+        cell = Recurrent.Lstm;
+        seed = 42;
+      }
+  in
+  let steps = 6 in
+  let corpus =
+    Corpus.generate ~seed:5 ~vocab:60 ~length:(((steps + 2) * 3 * 6) + 1)
+  in
+  let batches =
+    List.map
+      (fun (tokens, labels) ->
+        [
+          (lm.Language_model.token_input, tokens);
+          (lm.Language_model.label_input, labels);
+        ])
+      (Corpus.lm_batches corpus ~batch:3 ~seq_len:6 ~steps)
+  in
+  let targets = ref [] in
+  let r =
+    Loop.train
+      ~graph:(Model.training lm.Language_model.model).Echo_autodiff.Grad.graph
+      ~params:(Params.bindings lm.Language_model.model.Model.params)
+      ~optimizer:(Optimizer.create (Optimizer.Sgd { lr = 0.5 }))
+      ~clip_norm:5.0
+      ~on_event:(fun e ->
+        match e with
+        | Event.Fault_injected { target; _ } -> targets := target :: !targets
+        | _ -> ())
+      ~faults:(Fault.of_specs [ faults ]) ~device ~runtime ~fuse
+      ~planner:(Planner.instantiate planner) ~batches ()
+  in
+  (r.Loop.losses, List.rev !targets)
+
+let campaign_planners = [ "stash-all"; "checkpoint-sqrt"; "dp-bptt"; "echo" ]
+
+(* A parameter flip persists in the parameter vector, which every planner
+   shares: the whole faulted trajectory must be bit-identical under every
+   planner, fusion setting and domain count, and the flip must name the
+   same parameter scalar everywhere. *)
+let test_param_flip_planner_independent () =
+  let spec =
+    { Fault.step = 2; kind = Fault.Flip_param { index = 1009; bit = 52 } }
+  in
+  let runs =
+    List.concat_map
+      (fun planner ->
+        List.map
+          (fun fuse ->
+            (planner, fuse, train_with ~planner ~fuse ~faults:spec ()))
+          [ false; true ])
+      campaign_planners
+  in
+  let _, _, (ref_losses, ref_targets) = List.hd runs in
+  Alcotest.(check (list string))
+    "the flip fired and named its target"
+    [ "proj.w[289] bit 52" ]
+    ref_targets;
+  List.iter
+    (fun (planner, fuse, (losses, targets)) ->
+      let label = Printf.sprintf "%s/%b" planner fuse in
+      Alcotest.(check (list string)) (label ^ " same target") ref_targets targets;
+      Alcotest.(check bool)
+        (label ^ " bit-identical faulted trajectory")
+        true
+        (losses_bit_identical ref_losses losses))
+    runs;
+  List.iter
+    (fun domains ->
+      let pool =
+        Parallel.create ~domains ~oversubscribe:true ~min_fanout_work:0 ()
+      in
+      let losses, targets =
+        train_with ~runtime:pool ~planner:"echo" ~fuse:true ~faults:spec ()
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%d domains: same target" domains)
+        ref_targets targets;
+      Alcotest.(check bool)
+        (Printf.sprintf "%d domains: bit-identical trajectory" domains)
+        true
+        (losses_bit_identical ref_losses losses))
+    [ 2; 4 ]
+
+(* An activation flip lands on the SITEth materialising forward node of
+   the original graph — the same dataflow point under every planner, so
+   every planner reports the same target and the same corrupted forward
+   loss at the faulted step. Trajectories may legitimately diverge
+   afterwards (planners differ in whether the backward pass reads the
+   corrupted stash or a clean recomputation — exactly what the campaign
+   measures), but fusion and domain count must not change anything. *)
+let test_act_flip_site_identity () =
+  let spec =
+    { Fault.step = 2; kind = Fault.Flip_act { site = 7; index = 3; bit = 50 } }
+  in
+  let runs =
+    List.concat_map
+      (fun planner ->
+        List.map
+          (fun fuse ->
+            (planner, fuse, train_with ~planner ~fuse ~faults:spec ()))
+          [ false; true ])
+      campaign_planners
+  in
+  let _, _, (ref_losses, ref_targets) = List.hd runs in
+  Alcotest.(check int) "the flip fired once" 1 (List.length ref_targets);
+  let prefix l = List.filteri (fun i _ -> i <= 2) l in
+  List.iter
+    (fun (planner, fuse, (losses, targets)) ->
+      let label = Printf.sprintf "%s/%b" planner fuse in
+      Alcotest.(check (list string))
+        (label ^ " flips the same dataflow site")
+        ref_targets targets;
+      Alcotest.(check bool)
+        (label ^ " identical trajectory through the faulted step")
+        true
+        (losses_bit_identical (prefix ref_losses) (prefix losses)))
+    runs;
+  (* within one planner, fusion and domain count change nothing at all *)
+  let base = train_with ~planner:"echo" ~fuse:false ~faults:spec () in
+  List.iter
+    (fun domains ->
+      let pool =
+        Parallel.create ~domains ~oversubscribe:true ~min_fanout_work:0 ()
+      in
+      let losses, targets =
+        train_with ~runtime:pool ~planner:"echo" ~fuse:true ~faults:spec ()
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%d domains: same site" domains)
+        (snd base) targets;
+      Alcotest.(check bool)
+        (Printf.sprintf "%d domains: bit-identical full trajectory" domains)
+        true
+        (losses_bit_identical (fst base) losses))
+    [ 1; 2; 4 ]
+
+(* {1 The campaign orchestrator} *)
+
+let mini = Campaign.default_spec "mini"
+let mini_report = lazy (Campaign.run mini)
+
+(* The whole report — summary table and every per-configuration detail
+   line — must be byte-identical across repeated runs and at every
+   orchestrator domain count. *)
+let test_campaign_reproducible () =
+  let reference = Lazy.force mini_report in
+  let again = Campaign.run mini in
+  Alcotest.(check string)
+    "summary byte-identical across runs"
+    (Campaign.summary reference) (Campaign.summary again);
+  Alcotest.(check (list string))
+    "detail lines byte-identical across runs"
+    (Campaign.detail_lines reference)
+    (Campaign.detail_lines again);
+  List.iter
+    (fun domains ->
+      let pool =
+        Parallel.create ~domains ~oversubscribe:true ~min_fanout_work:0 ()
+      in
+      let r = Campaign.run ~pool mini in
+      Alcotest.(check string)
+        (Printf.sprintf "summary byte-identical at %d domains" domains)
+        (Campaign.summary reference) (Campaign.summary r);
+      Alcotest.(check (list string))
+        (Printf.sprintf "detail lines byte-identical at %d domains" domains)
+        (Campaign.detail_lines reference)
+        (Campaign.detail_lines r))
+    [ 2; 4 ]
+
+let test_campaign_classification () =
+  let r = Lazy.force mini_report in
+  Alcotest.(check int) "mini sweep size" 60 (List.length r.Campaign.results);
+  let count o =
+    List.length
+      (List.filter (fun res -> res.Campaign.outcome = o) r.Campaign.results)
+  in
+  Alcotest.(check int)
+    "every configuration classified into exactly one bucket"
+    (List.length r.Campaign.results)
+    (count Campaign.Masked
+    + count Campaign.Detected_recovered
+    + count Campaign.Silent_data_corruption
+    + count Campaign.Crash);
+  Alcotest.(check bool) "some faults are masked" true (count Campaign.Masked > 0);
+  Alcotest.(check bool)
+    "some faults are detected" true
+    (count Campaign.Detected_recovered > 0);
+  Alcotest.(check bool)
+    "some faults corrupt silently" true
+    (count Campaign.Silent_data_corruption > 0);
+  Alcotest.(check int) "nothing crashes the orchestrator" 0 (count Campaign.Crash);
+  (* the Echo-verify cross-check: every plan-corrupting fault on the
+     recomputing planners is flagged statically; stash-all plans offer no
+     mutation site, so their cells carry no verify column *)
+  List.iter
+    (fun cell ->
+      if cell.Campaign.cell_planner = "stash-all" then
+        Alcotest.(check int)
+          "stash-all has no plan faults" 0 cell.Campaign.verify_total
+      else begin
+        Alcotest.(check int)
+          (cell.Campaign.cell_planner ^ " plan faults attempted")
+          4 cell.Campaign.verify_total;
+        Alcotest.(check int)
+          (cell.Campaign.cell_planner ^ " plan faults flagged")
+          cell.Campaign.verify_total cell.Campaign.verify_caught
+      end)
+    r.Campaign.cells
+
+let test_parse_spec () =
+  (match Campaign.parse_spec "mini" with
+  | Ok s ->
+    Alcotest.(check string) "preset" "mini" s.Campaign.preset;
+    Alcotest.(check int) "default steps" 6 s.Campaign.steps
+  | Error e -> Alcotest.fail e);
+  (match Campaign.parse_spec "full:steps=3,seed=7,out=r.txt" with
+  | Ok s ->
+    Alcotest.(check string) "preset" "full" s.Campaign.preset;
+    Alcotest.(check int) "steps" 3 s.Campaign.steps;
+    Alcotest.(check int) "seed" 7 s.Campaign.seed;
+    Alcotest.(check (option string)) "out" (Some "r.txt") s.Campaign.out
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Campaign.parse_spec bad with
+      | Ok _ -> Alcotest.fail (bad ^ " should not parse")
+      | Error _ -> ())
+    [ "maxi"; "mini:steps=0"; "mini:steps=x"; "full:bogus=1"; "full:steps" ]
+
+let suite =
+  [
+    ( "campaign",
+      [
+        Alcotest.test_case "param flip is planner-independent" `Quick
+          test_param_flip_planner_independent;
+        Alcotest.test_case "act flip hits the same site everywhere" `Quick
+          test_act_flip_site_identity;
+        Alcotest.test_case "report reproducible across runs and domains" `Quick
+          test_campaign_reproducible;
+        Alcotest.test_case "classification is total and sane" `Quick
+          test_campaign_classification;
+        Alcotest.test_case "spec parsing" `Quick test_parse_spec;
+      ] );
+  ]

@@ -59,7 +59,9 @@ let test_fault_bad_specs () =
   in
   List.iter
     (fun s -> check_bool s true (raises s))
-    [ "oom@x=5"; "oom@1"; "bogus@1"; "nan@1=3"; "flaky@1"; "oom@1=abc%"; "3" ]
+    [ "oom@x=5"; "oom@1"; "bogus@1"; "nan@1=3"; "flaky@1"; "oom@1=abc%"; "3";
+      "flip@1"; "flip@1=param:5:64"; "flip@1=param:-1:3"; "flip@1=act:1:2";
+      "flip@1=act:1:2:3:4"; "flipflaky@1" ]
 
 let test_fault_flaky_deterministic () =
   let draws () =
@@ -81,14 +83,102 @@ let test_fault_to_string_roundtrip () =
   check_bool "printable" true (Fault.to_string plan = text);
   Alcotest.(check string) "empty plan" "" (Fault.to_string Fault.none)
 
+let test_fault_flip_parse_and_take () =
+  let text = "flip@2=param:100:52;flip@2=act:3:7:62;flipflaky@9=500" in
+  check_bool "flip grammar round-trips" true
+    (Fault.to_string (Fault.parse text) = text);
+  let plan = Fault.parse "flip@2=param:100:52;flip@2=act:3:7:62" in
+  check_bool "nothing at step 1" true (Fault.take plan ~step:1 = None);
+  check_bool "first flip" true
+    (Fault.take plan ~step:2
+    = Some (Fault.Flip_param { index = 100; bit = 52 }));
+  (* consume-on-retry: a second take at the same step (a retry) draws the
+     next armed fault, not the already-consumed one again *)
+  check_bool "second flip services the retry" true
+    (Fault.take plan ~step:2
+    = Some (Fault.Flip_act { site = 3; index = 7; bit = 62 }));
+  check_bool "then clear" true (Fault.take plan ~step:2 = None);
+  check_bool "drained" true (Fault.is_empty plan)
+
+let test_fault_flipflaky_deterministic () =
+  let draws () =
+    let plan = Fault.of_specs ~flip_flaky:(7, 600) [] in
+    List.init 64 (fun step -> Fault.take plan ~step)
+  in
+  let a = draws () in
+  check_bool "same draws on replay" true (a = draws ());
+  check_bool "fires sometimes" true (List.exists (fun d -> d <> None) a);
+  check_bool "passes sometimes" true (List.exists (fun d -> d = None) a);
+  List.iter
+    (function
+      | Some (Fault.Flip_param { index; bit }) ->
+        check_bool "drawn flip in bounds" true
+          (index >= 0 && index < 1_048_576 && bit >= 0 && bit < 64)
+      | Some _ -> Alcotest.fail "flipflaky draws parameter flips only"
+      | None -> ())
+    a;
+  (* one draw per (seed, step): a retry at the same step sees no second *)
+  let plan = Fault.of_specs ~flip_flaky:(7, 1000) [] in
+  check_bool "first draw fires" true (Fault.take plan ~step:0 <> None);
+  check_bool "retry sees none" true (Fault.take plan ~step:0 = None)
+
+(* The whole grammar — every kind, every knob — survives a
+   parse/to_string round trip, both as text and structurally. *)
+let prop_fault_grammar_roundtrip =
+  let open QCheck in
+  let gen_kind =
+    Gen.oneof
+      [
+        Gen.map
+          (fun b -> Fault.Oom { budget_bytes = b })
+          (Gen.int_range 1 1_000_000_000);
+        Gen.map
+          (fun p -> Fault.Oom_shrink { fraction = float_of_int p /. 100.0 })
+          (Gen.int_range 1 99);
+        Gen.map
+          (fun w -> Fault.Transient w)
+          (Gen.oneofl [ "injected"; "link-down"; "ecc"; "w0" ]);
+        Gen.return Fault.Nan_poison;
+        Gen.map2
+          (fun index bit -> Fault.Flip_param { index; bit })
+          (Gen.int_range 0 1_000_000) (Gen.int_range 0 63);
+        Gen.map3
+          (fun site index bit -> Fault.Flip_act { site; index; bit })
+          (Gen.int_range 0 500) (Gen.int_range 0 100_000) (Gen.int_range 0 63);
+      ]
+  in
+  let gen_plan =
+    Gen.map3
+      (fun specs flaky flip_flaky -> Fault.of_specs ?flaky ?flip_flaky specs)
+      (Gen.list_size (Gen.int_range 0 8)
+         (Gen.map2
+            (fun step kind -> { Fault.step; kind })
+            (Gen.int_range 0 99) gen_kind))
+      (Gen.opt (Gen.pair (Gen.int_range 0 999) (Gen.int_range 0 1000)))
+      (Gen.opt (Gen.pair (Gen.int_range 0 999) (Gen.int_range 0 1000)))
+  in
+  QCheck.Test.make ~name:"fault grammar round-trips through parse/to_string"
+    ~count:200
+    (QCheck.make ~print:Fault.to_string gen_plan)
+    (fun plan ->
+      let text = Fault.to_string plan in
+      let re = Fault.parse text in
+      Fault.to_string re = text && Fault.specs re = Fault.specs plan)
+
 (* Events *)
 
 let test_event_to_string () =
   let events =
     [ Event.Budget_hit { step = 3; requested_bytes = 10; budget_bytes = 5 };
       Event.Replan { step = 3; policy = "echo(5%)"; footprint_bytes = 4; budget_bytes = 5 };
-      Event.Retry { step = 4; attempt = 1; reason = "injected" };
-      Event.Skip { step = 4; reason = "still failing" };
+      Event.Fault_injected
+        {
+          step = 4;
+          fault = Fault.Flip_param { index = 7; bit = 52 };
+          target = "embedding[7] bit 52";
+        };
+      Event.Retry { step = 4; attempt = 1; fault = Fault.Transient "injected" };
+      Event.Skip { step = 4; retries = 2; fault = Fault.Transient "still failing" };
       Event.Nan_guard { step = 5; loss = Float.nan; grad_norm = 1.0 };
       Event.Checkpoint_write { step = 6; path = "x.ckpt" };
       Event.Checkpoint_load { step = 6; path = "x.ckpt" } ]
@@ -179,6 +269,81 @@ let test_checkpoint_detects_tampering () =
       Out_channel.with_open_bin path (fun oc ->
           Out_channel.output_string oc "not a checkpoint\n");
       check_bool "garbage detected" true (corrupt_raises path))
+
+(* Corruption paths name their cause, so an operator reading the Corrupt
+   payload knows whether the file was cut short, bit-flipped, or
+   structurally mangled. *)
+
+let corrupt_message path =
+  try
+    ignore (Checkpoint.load path);
+    None
+  with Checkpoint.Corrupt msg -> Some msg
+
+let expect_corrupt ~affix path what =
+  match corrupt_message path with
+  | Some msg -> check_bool (what ^ ": " ^ msg) true (contains ~affix msg)
+  | None -> Alcotest.fail (what ^ " was accepted")
+
+let test_checkpoint_truncated_names_cause () =
+  with_temp (fun path ->
+      Checkpoint.save ~path (sample_checkpoint ());
+      let all = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub all 0 (String.length all / 2)));
+      expect_corrupt ~affix:"checksum" path "truncated file")
+
+let test_checkpoint_flipped_checksum_byte_names_cause () =
+  with_temp (fun path ->
+      Checkpoint.save ~path (sample_checkpoint ());
+      let all = In_channel.with_open_bin path In_channel.input_all in
+      (* the file ends "checksum HEX\n": flip one digit of HEX — still
+         well-formed hex, so only the verification itself can object *)
+      let i = String.rindex all ' ' + 1 in
+      let b = Bytes.of_string all in
+      Bytes.set b i (if Bytes.get b i = '0' then '1' else '0');
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+      expect_corrupt ~affix:"mismatch" path "flipped checksum byte")
+
+(* FNV-1a 64, matching the checkpoint writer: lets the test mangle the
+   body and re-seal it, so the structural parser (not the checksum) is
+   what must object. *)
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let test_checkpoint_missing_slot_field_names_cause () =
+  with_temp (fun path ->
+      Checkpoint.save ~path (sample_checkpoint ());
+      let all = In_channel.with_open_bin path In_channel.input_all in
+      let keep l =
+        String.trim l <> ""
+        && not (String.length l >= 8 && String.sub l 0 8 = "checksum")
+      in
+      let mangle l =
+        if String.length l >= 4 && String.sub l 0 4 = "slot" then
+          match String.split_on_char ' ' l with
+          | tag :: name :: idx :: _ -> String.concat " " [ tag; name; idx ]
+          | _ -> l
+        else l
+      in
+      let body =
+        String.concat ""
+          (List.map
+             (fun l -> mangle l ^ "\n")
+             (List.filter keep (String.split_on_char '\n' all)))
+      in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc body;
+          Out_channel.output_string oc
+            (Printf.sprintf "checksum %Lx\n" (fnv1a body)));
+      expect_corrupt ~affix:"unrecognised" path "slot line missing its tensor")
 
 let test_serial_tensor_roundtrip () =
   let t =
@@ -348,12 +513,16 @@ let test_transient_exhaustion_skips_step () =
   check_int "two retries" 2 (List.length retries);
   (match
      List.filter_map
-       (function Event.Skip { step; reason } -> Some (step, reason) | _ -> None)
+       (function
+         | Event.Skip { step; retries; fault } -> Some (step, retries, fault)
+         | _ -> None)
        !events
    with
-  | [ (step, reason) ] ->
+  | [ (step, retries, fault) ] ->
     check_int "skipped step" 2 step;
-    check_bool "reason survives" true (contains ~affix:"dead link" reason)
+    check_int "retry count in payload" 2 retries;
+    check_bool "fault kind survives, typed" true
+      (fault = Fault.Transient "dead link")
   | l -> Alcotest.fail (Printf.sprintf "expected one skip, saw %d" (List.length l)));
   check_int "one loss missing" (List.length batches - 1) (List.length result.Loop.losses)
 
@@ -455,6 +624,30 @@ let test_checkpoint_rejects_wrong_model () =
            false
          with Invalid_argument _ -> true))
 
+(* Fail fast on a fault plan the run cannot host: the Bad_spec escapes
+   before any compilation, naming the offending entry and the valid
+   range. *)
+let test_flip_fail_fast_validation () =
+  let graph, params, batches, _ = lm_setup ~steps:2 () in
+  match
+    Loop.train ~graph ~params ~optimizer:(sgd ()) ~device:dev
+      ~faults:
+        (Fault.of_specs
+           [
+             {
+               Fault.step = 0;
+               kind = Fault.Flip_act { site = 100_000; index = 0; bit = 1 };
+             };
+           ])
+      ~batches ()
+  with
+  | _ -> Alcotest.fail "an impossible activation site must be rejected"
+  | exception Fault.Bad_spec msg ->
+    check_bool ("names the entry: " ^ msg) true
+      (contains ~affix:"flip@0=act:100000:0:1" msg);
+    check_bool ("names the range: " ^ msg) true
+      (contains ~affix:"injection sites" msg)
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   [
@@ -465,6 +658,9 @@ let suite =
         t "bad specs" test_fault_bad_specs;
         t "flaky deterministic" test_fault_flaky_deterministic;
         t "to_string roundtrip" test_fault_to_string_roundtrip;
+        t "flip parse and take" test_fault_flip_parse_and_take;
+        t "flipflaky deterministic" test_fault_flipflaky_deterministic;
+        QCheck_alcotest.to_alcotest prop_fault_grammar_roundtrip;
       ] );
     ( "runtime.event", [ t "to_string" test_event_to_string ] );
     ( "runtime.checkpoint",
@@ -472,6 +668,11 @@ let suite =
         t "roundtrip bit-exact" test_checkpoint_roundtrip;
         t "missing file" test_checkpoint_missing_file;
         t "detects tampering" test_checkpoint_detects_tampering;
+        t "truncation names its cause" test_checkpoint_truncated_names_cause;
+        t "flipped checksum byte names its cause"
+          test_checkpoint_flipped_checksum_byte_names_cause;
+        t "missing slot field names its cause"
+          test_checkpoint_missing_slot_field_names_cause;
         t "serial tensor roundtrip" test_serial_tensor_roundtrip;
         t "rng state roundtrip" test_rng_state_roundtrip;
       ] );
@@ -484,6 +685,7 @@ let suite =
         t "transient exhaustion skips" test_transient_exhaustion_skips_step;
         t "nan guard" test_nan_guard_protects_params;
         t "missing feed named" test_missing_feed_is_named;
+        t "flip fail-fast validation" test_flip_fail_fast_validation;
         t "kill and resume bit-exact" test_checkpoint_resume_bit_exact;
         t "wrong checkpoint rejected" test_checkpoint_rejects_wrong_model;
       ] );
