@@ -1,5 +1,5 @@
 (* The experiment harness: regenerates every table/figure of the paper's
-   evaluation (reconstructed index E1..E18 — see DESIGN.md) on the simulated
+   evaluation (reconstructed index E1..E21 — see DESIGN.md) on the simulated
    GPU substrate, plus a Bechamel micro-suite over the host kernels.
 
      dune exec bench/main.exe                 # everything
@@ -1130,12 +1130,128 @@ let e20 () =
   print_string (Campaign.summary report);
   record_json ~path:"BENCH_E20.json" "E20" (Campaign.json_fields report)
 
+(* E21: the serve stack — cold vs cache-hit compile latency over the
+   engine's model zoo, and same-shape eval batching throughput, both
+   driven through the production [Engine] code path (protocol parse,
+   cache-key computation, plan-cache lookup — exactly what a socket
+   client pays minus the socket). Two claims are measured and recorded
+   in BENCH_E21.json:
+   - a cache hit answers a compile request >= 10x faster than the cold
+     compile it short-circuits, for every model the engine serves;
+   - a stacked batch-of-8 eval drain clears >= 2x the serial request
+     throughput, with every loss bit-identical to serial execution at
+     1, 2 and 4 domains. *)
+let e21 () =
+  heading "E21" "serve: plan-cache hit latency and same-shape eval batching";
+  let module Engine = Echo_serve.Engine in
+  let json = ref [] in
+  let record key v = json := (key, v) :: !json in
+  let hidden, seq_len, batch, vocab =
+    match !scale with Full -> (64, 35, 16, 2000) | Quick -> (32, 10, 8, 300)
+  in
+  row "%-14s %12s %12s %10s@." "model" "cold (ms)" "warm (ms)" "speedup";
+  let all_fast = ref true in
+  List.iter
+    (fun model ->
+      let engine = Engine.create () in
+      let req =
+        Printf.sprintf "compile model=%s hidden=%d seq_len=%d batch=%d vocab=%d"
+          model hidden seq_len batch vocab
+      in
+      let t0 = wall () in
+      let first = Engine.exec engine req in
+      let cold = wall () -. t0 in
+      if String.length first < 2 || String.sub first 0 2 <> "ok" then
+        failwith ("E21: cold compile failed: " ^ first);
+      (* Warm latency: best of [reps] hits — the steady-state answer time
+         of a compile request served from the cache. *)
+      let reps = 20 in
+      let warm = ref infinity in
+      for _ = 1 to reps do
+        let t1 = wall () in
+        ignore (Engine.exec engine req);
+        warm := Float.min !warm (wall () -. t1)
+      done;
+      let speedup = cold /. Float.max !warm 1e-9 in
+      if speedup < 10.0 then all_fast := false;
+      row "%-14s %12.3f %12.3f %9.1fx@." model (ms cold) (ms !warm) speedup;
+      record (model ^ "_cold_ms") (ms cold);
+      record (model ^ "_warm_ms") (ms !warm);
+      record (model ^ "_speedup") speedup)
+    [ "lm"; "peephole-lm"; "gru-lm"; "rnn-lm" ];
+  row "cache hit >= 10x faster than cold everywhere: %b@." !all_fast;
+  record "hit_10x" (if !all_fast then 1.0 else 0.0);
+  (* Same-shape eval batching: one drain of 8 identical-shape requests
+     against the same requests answered one at a time, on fresh engines
+     per domain count. The last round's answers are compared bitwise. *)
+  let rng = Rng.create 3 in
+  let eval_lines =
+    List.init 8 (fun _ ->
+        let toks =
+          List.init (seq_len + 1) (fun _ -> string_of_int (Rng.int rng vocab))
+        in
+        Printf.sprintf "eval hidden=%d vocab=%d tokens=%s" hidden vocab
+          (String.concat "," toks))
+  in
+  let loss_of resp =
+    Scanf.sscanf resp "ok loss=%h batched=%d" (fun l k -> (l, k))
+  in
+  let identical_everywhere = ref true in
+  List.iter
+    (fun domains ->
+      let runtime = Parallel.create ~domains () in
+      let batched_engine = Engine.create ~runtime () in
+      let serial_engine = Engine.create ~runtime () in
+      (* Warm-up: the first drains compile the batch-8 and batch-1 plans,
+         so the timed rounds measure execution, not compilation. *)
+      ignore (Engine.exec_all batched_engine eval_lines);
+      List.iter (fun l -> ignore (Engine.exec serial_engine l)) eval_lines;
+      let rounds = match !scale with Full -> 20 | Quick -> 5 in
+      let t0 = wall () in
+      for _ = 1 to rounds do
+        ignore (Engine.exec_all batched_engine eval_lines)
+      done;
+      let batched_t = Float.max (wall () -. t0) 1e-9 in
+      let t1 = wall () in
+      for _ = 1 to rounds do
+        List.iter (fun l -> ignore (Engine.exec serial_engine l)) eval_lines
+      done;
+      let serial_t = Float.max (wall () -. t1) 1e-9 in
+      let n = float_of_int (rounds * List.length eval_lines) in
+      let b_rps = n /. batched_t and s_rps = n /. serial_t in
+      let batched = Engine.exec_all batched_engine eval_lines in
+      let serial = List.map (Engine.exec serial_engine) eval_lines in
+      let identical =
+        List.for_all2
+          (fun b s ->
+            let bl, bk = loss_of b and sl, _ = loss_of s in
+            bk = List.length eval_lines
+            && Int64.equal (Int64.bits_of_float bl) (Int64.bits_of_float sl))
+          batched serial
+      in
+      if not identical then identical_everywhere := false;
+      row "eval d=%d  serial %8.1f req/s  batched %8.1f req/s  (%.2fx, %s)@."
+        domains s_rps b_rps (b_rps /. s_rps)
+        (if identical then "bit-identical" else "MISMATCH");
+      record (Printf.sprintf "eval_serial_rps_d%d" domains) s_rps;
+      record (Printf.sprintf "eval_batched_rps_d%d" domains) b_rps;
+      record (Printf.sprintf "eval_speedup_d%d" domains) (b_rps /. s_rps);
+      record
+        (Printf.sprintf "eval_identical_d%d" domains)
+        (if identical then 1.0 else 0.0);
+      Parallel.shutdown runtime)
+    [ 1; 2; 4 ];
+  row "batched bit-identical to serial at every domain count: %b@."
+    !identical_everywhere;
+  record "batched_identical" (if !identical_everywhere then 1.0 else 0.0);
+  record_json ~path:"BENCH_E21.json" "E21" (List.rev !json)
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E18", e18); ("E19", e19); ("E20", e20);
+    ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21);
   ]
 
 let () =

@@ -120,7 +120,7 @@ let resolve_planner ?flag ~budget default =
 let train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
     ~device ~planner
     ~runtime ~budget_bytes ~faults_spec ~checkpoint_path ~checkpoint_every
-    ~resume ~no_fuse ~tune_exec =
+    ~resume ~no_fuse ~tune_exec ~corpus_file =
   (* Parse the fault plan first: a malformed --faults/ECHO_FAULTS entry is a
      configuration error and must be reported before any model is built or
      compiled, not steps into the run. *)
@@ -141,6 +141,25 @@ let train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
       failwith
         "--train drives the LM family only (lm, peephole-lm, gru-lm, rnn-lm)"
   in
+  (* --corpus: a real PTB-style text file replaces the synthetic stream and
+     fixes the vocabulary; a conflicting --vocab is a configuration error. *)
+  let real_corpus =
+    Option.map
+      (fun path ->
+        let c =
+          try Echo_workloads.Corpus.load_text path
+          with Invalid_argument msg -> failwith msg
+        in
+        Format.printf "corpus %s: %d tokens, vocabulary %d@." path
+          (Echo_workloads.Corpus.length c)
+          (Echo_workloads.Corpus.vocab c);
+        c)
+      corpus_file
+  in
+  (match (real_corpus, vocab) with
+  | Some _, Some _ ->
+    failwith "--vocab conflicts with --corpus (the corpus fixes the vocabulary)"
+  | _ -> ());
   let d = Language_model.ptb_default in
   let cfg =
     {
@@ -151,27 +170,45 @@ let train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
       hidden = Option.value hidden ~default:d.Language_model.hidden;
       embed = Option.value hidden ~default:d.Language_model.embed;
       layers = Option.value layers ~default:d.Language_model.layers;
-      vocab = Option.value vocab ~default:d.Language_model.vocab;
+      vocab =
+        (match real_corpus with
+        | Some c -> Echo_workloads.Corpus.vocab c
+        | None -> Option.value vocab ~default:d.Language_model.vocab);
     }
   in
   let lm = Language_model.build cfg in
   Format.printf "%a@." Model.describe lm.Language_model.model;
   let training = Model.training lm.Language_model.model in
   let corpus =
-    Echo_workloads.Corpus.generate ~seed:5 ~vocab:cfg.Language_model.vocab
-      ~length:
-        (((steps + 2) * cfg.Language_model.batch * cfg.Language_model.seq_len)
-        + 1)
+    match real_corpus with
+    | Some c -> c
+    | None ->
+      Echo_workloads.Corpus.generate ~seed:5 ~vocab:cfg.Language_model.vocab
+        ~length:
+          (((steps + 2) * cfg.Language_model.batch * cfg.Language_model.seq_len)
+          + 1)
   in
   let batches =
+    let raw =
+      try
+        Echo_workloads.Corpus.lm_batches corpus
+          ~batch:cfg.Language_model.batch ~seq_len:cfg.Language_model.seq_len
+          ~steps
+      with Invalid_argument _ ->
+        failwith
+          (Printf.sprintf
+             "corpus too short: %d token(s) cannot fill %d step(s) of %d x %d \
+              — use a longer file or fewer/smaller batches"
+             (Echo_workloads.Corpus.length corpus)
+             steps cfg.Language_model.batch cfg.Language_model.seq_len)
+    in
     List.map
       (fun (tokens, labels) ->
         [
           (lm.Language_model.token_input, tokens);
           (lm.Language_model.label_input, labels);
         ])
-      (Echo_workloads.Corpus.lm_batches corpus ~batch:cfg.Language_model.batch
-         ~seq_len:cfg.Language_model.seq_len ~steps)
+      raw
   in
   let checkpoint =
     Option.map
@@ -367,7 +404,7 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
     profile optimize dot_file trace_file save_file load_file device_name
     domains compile train_steps vocab budget_bytes faults_spec checkpoint_path
     checkpoint_every resume no_fuse tune_exec dump_fusion lint lint_strict
-    corrupt campaign =
+    corrupt campaign corpus_file =
   let device =
     match Echo_gpusim.Device.by_name device_name with
     | Some d -> d
@@ -400,8 +437,10 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
     in
     train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
       ~device ~planner ~runtime ~budget_bytes ~faults_spec ~checkpoint_path
-      ~checkpoint_every ~resume ~no_fuse ~tune_exec
+      ~checkpoint_every ~resume ~no_fuse ~tune_exec ~corpus_file
   | None ->
+  if corpus_file <> None then
+    failwith "--corpus only applies to --train (nothing else reads batches)";
   if compile then
     Format.printf "kernel runtime: %d domain(s)@."
       (Echo_tensor.Parallel.domains runtime);
@@ -497,7 +536,7 @@ let model_conv =
       ("transformer", Transformer_model);
     ]
 
-let cmd =
+let main_term =
   let model =
     Arg.(value & opt model_conv Lm & info [ "m"; "model" ] ~doc:"Model to compile.")
   in
@@ -675,15 +714,170 @@ let cmd =
              byte-identical at every domain count."
           ~docv:"SPEC")
   in
-  let term =
-    Term.(
-      const run $ model $ batch $ seq_len $ hidden $ layers $ policy $ budget
-      $ all $ breakdown $ profile $ optimize $ dot_file $ trace_file
-      $ save_file $ load_file $ device $ domains $ compile $ train_steps
-      $ vocab $ budget_bytes $ faults $ checkpoint_path $ checkpoint_every
-      $ resume $ no_fuse $ tune_exec $ dump_fusion $ lint $ lint_strict
-      $ corrupt $ campaign)
+  let corpus_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus" ]
+          ~doc:
+            "With --train: read the token stream from a PTB-style text file \
+             (one sentence per line, blank-separated words, <eos> appended \
+             per line) instead of generating a synthetic corpus. The file \
+             fixes the vocabulary."
+          ~docv:"FILE")
   in
-  Cmd.v (Cmd.info "echoc" ~doc:"Echo compiler pass driver") term
+  Term.(
+    const run $ model $ batch $ seq_len $ hidden $ layers $ policy $ budget
+    $ all $ breakdown $ profile $ optimize $ dot_file $ trace_file
+    $ save_file $ load_file $ device $ domains $ compile $ train_steps
+    $ vocab $ budget_bytes $ faults $ checkpoint_path $ checkpoint_every
+    $ resume $ no_fuse $ tune_exec $ dump_fusion $ lint $ lint_strict
+    $ corrupt $ campaign $ corpus_file)
+
+(* echoc serve: the multi-tenant compile-and-train job server. Flag values
+   are validated strictly up front — like the ECHO_DOMAINS parser, a bad
+   value is a loud error naming the flag and the value, never a silent
+   fallback. *)
+let serve_die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("echoc serve: " ^ msg);
+      exit 2)
+    fmt
+
+let parse_positive ~flag value =
+  match int_of_string_opt value with
+  | Some n when n > 0 -> n
+  | _ -> serve_die "invalid value %S for %s (want a positive integer)" value flag
+
+let parse_socket value =
+  if value = "" then serve_die "invalid value \"\" for --socket (want a path)";
+  let dir = Filename.dirname value in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    serve_die
+      "invalid value %S for --socket (parent directory %S does not exist)"
+      value dir;
+  if Sys.file_exists value && Sys.is_directory value then
+    serve_die "invalid value %S for --socket (it is a directory)" value;
+  value
+
+(* "name=MiB,name=MiB": every entry must parse, names must be non-empty and
+   unique, budgets positive — one bad entry rejects the whole flag. *)
+let parse_tenants value =
+  let entries =
+    List.map
+      (fun entry ->
+        match String.index_opt entry '=' with
+        | Some i when i > 0 && i < String.length entry - 1 ->
+          let name = String.sub entry 0 i in
+          let mib = String.sub entry (i + 1) (String.length entry - i - 1) in
+          (match int_of_string_opt mib with
+          | Some n when n > 0 -> (name, n * 1024 * 1024)
+          | _ ->
+            serve_die
+              "invalid value %S for --tenants: entry %S has a bad budget %S \
+               (want a positive MiB count)"
+              value entry mib)
+        | _ ->
+          serve_die
+            "invalid value %S for --tenants: entry %S is not NAME=MIB" value
+            entry)
+      (String.split_on_char ',' value)
+  in
+  List.iteri
+    (fun i (name, _) ->
+      if List.mem_assoc name (List.filteri (fun j _ -> j < i) entries) then
+        serve_die "invalid value %S for --tenants: duplicate tenant %S" value
+          name)
+    entries;
+  entries
+
+let serve_run socket cache_mib tenants_spec max_batch domains =
+  let socket = parse_socket socket in
+  let cache_bytes =
+    Option.map
+      (fun v -> parse_positive ~flag:"--cache-mib" v * 1024 * 1024)
+      cache_mib
+  in
+  let tenants = Option.map parse_tenants tenants_spec in
+  let max_batch = parse_positive ~flag:"--max-batch" max_batch in
+  let runtime =
+    match domains with
+    | Some d -> Echo_tensor.Parallel.set_default_domains d
+    | None -> Echo_tensor.Parallel.default ()
+  in
+  let engine =
+    Echo_serve.Engine.create ?cache_bytes ?tenants ~max_batch ~runtime ()
+  in
+  Format.printf "echoc serve: listening on %s (%d domain(s), cache %s, %s)@."
+    socket
+    (Echo_tensor.Parallel.domains runtime)
+    (match cache_bytes with
+    | Some b -> Printf.sprintf "%d MiB" (b / 1024 / 1024)
+    | None -> "unbounded")
+    (match tenants with
+    | Some ts ->
+      Printf.sprintf "tenants %s"
+        (String.concat ","
+           (List.map (fun (n, b) -> Printf.sprintf "%s=%dMiB" n (b / 1024 / 1024)) ts))
+    | None -> "no tenants");
+  Echo_serve.Server.serve ~socket engine;
+  Format.printf "echoc serve: shut down@."
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~doc:"Unix socket path to listen on." ~docv:"PATH")
+  in
+  let cache_mib =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-mib" ]
+          ~doc:
+            "Byte cap on the content-addressed plan cache, in MiB \
+             (least-recently-used compiled artifacts are evicted past it; \
+             default unbounded)."
+          ~docv:"MIB")
+  in
+  let tenants =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tenants" ]
+          ~doc:
+            "Per-tenant device-memory budgets, NAME=MIB[,NAME=MIB...]. A \
+             request carrying tenant=NAME compiles under that budget and is \
+             rejected loudly past it; unknown tenants are errors."
+          ~docv:"SPEC")
+  in
+  let max_batch =
+    Arg.(
+      value & opt string "8"
+      & info [ "max-batch" ]
+          ~doc:"Largest stacked same-shape eval batch." ~docv:"N")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "domains" ]
+          ~doc:
+            "Kernel-runtime domain count (1 = sequential). Defaults to \
+             \\$(b,ECHO_DOMAINS), else the machine's recommended count.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve compile/train/eval requests over a Unix socket, sharing one \
+          content-addressed plan cache and batching same-shape eval \
+          requests.")
+    Term.(const serve_run $ socket $ cache_mib $ tenants $ max_batch $ domains)
+
+let cmd =
+  Cmd.group ~default:main_term
+    (Cmd.info "echoc" ~doc:"Echo compiler pass driver")
+    [ serve_cmd ]
 
 let () = exit (Cmd.eval cmd)

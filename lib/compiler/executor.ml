@@ -470,6 +470,37 @@ let feed e node tensor =
   | Some s -> set_input e s tensor
   | None -> () (* feeds for nodes outside the graph are legal, like Interp *)
 
+(* Name-based input resolution: the bridge that lets a cached executable
+   serve a structurally identical graph from a different build (fresh node
+   ids). Canonical fingerprints include leaf names, so a fingerprint match
+   guarantees this resolution exists. *)
+let input_slot_by_name e name =
+  let hits =
+    Array.fold_left
+      (fun acc (node, s) -> if Node.name node = name then s :: acc else acc)
+      [] e.persistent
+  in
+  match hits with
+  | [ s ] -> Some s
+  | [] -> None
+  | _ ->
+    invalid_arg
+      (Printf.sprintf
+         "Executor.input_slot_by_name: %d inputs are named %S — name-based \
+          feeding needs unique input names"
+         (List.length hits) name)
+
+let feed_named e name tensor =
+  match input_slot_by_name e name with
+  | Some s -> set_input e s tensor
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Executor.feed_named: no input named %S in this graph"
+         name)
+
+let input_names e =
+  Array.to_list (Array.map (fun (node, _) -> Node.name node) e.persistent)
+
 let run e =
   if not e.all_fed then begin
     let missing =

@@ -82,6 +82,21 @@ val feed : t -> Node.t -> Tensor.t -> unit
     silently ignored, matching {!Echo_exec.Interp.eval}'s tolerance of
     superfluous feeds. *)
 
+val input_slot_by_name : t -> string -> int option
+(** Slot of the unique [Placeholder]/[Variable] with this name, if any.
+    Name-based resolution lets a cached executable serve a structurally
+    identical graph from a different build, whose node ids differ; the
+    canonical {!Echo_ir.Graph.fingerprint} includes leaf names, so a
+    fingerprint match guarantees resolution succeeds.
+    @raise Invalid_argument when several inputs share the name. *)
+
+val feed_named : t -> string -> Tensor.t -> unit
+(** [set_input] through {!input_slot_by_name}.
+    @raise Invalid_argument when the name is absent or ambiguous. *)
+
+val input_names : t -> string list
+(** Names of every feedable input ([Placeholder]/[Variable]). *)
+
 val run : t -> unit
 (** Execute one step over the frozen schedule.
     @raise Echo_exec.Interp.Missing_feed naming every unfed input. *)

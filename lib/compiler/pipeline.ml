@@ -187,11 +187,67 @@ let compile ?budget_bytes ?runtime (f : fused) =
 let executor e = e.executor
 let planned_of e = e.fused.planned
 
-let compile_graph ?budget_bytes ?policy ?planner ?runtime ?fuse graph =
-  of_training_graph graph |> optimize ~enabled:false |> rewrite ?policy ?planner
-  |> plan
-  |> fuse_stage ?enabled:fuse ?runtime
-  |> compile ?budget_bytes ?runtime
+(* The content-addressed compile cache hook. The pipeline stays policy-free
+   about storage: a cache is just one function that either serves [key]
+   from its table or runs [compile] and remembers the result. A served hit
+   skips the entire pipeline — rewrite, planning, fusion, executor lowering
+   AND the ECHO_VERIFY self-certification, whose verdict is a pure function
+   of the artifact and was already rendered when the entry was built. *)
+type cache = {
+  fetch : key:string -> compile:(unit -> executable) -> executable;
+}
+
+(* Everything that decides what [compile_graph] produces, digested into one
+   stable key: the canonical graph fingerprint (never raw node ids), the
+   planner instance label (name + bound knobs), the effective fusion
+   setting, the runtime's domain count and blocking threshold (both baked
+   into compiled instructions), and the budget ceiling the artifact was
+   proven under. *)
+let cache_key ?planner ?runtime ?fuse ?budget_bytes graph =
+  let planner_label =
+    match planner with
+    | Some i -> Echo_core.Planner.label i
+    | None -> "stash-all"
+  in
+  let fuse =
+    match fuse with Some f -> f | None -> Fuse.env_enabled ()
+  in
+  let rt =
+    match runtime with Some r -> r | None -> Echo_tensor.Parallel.default ()
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [
+            Graph.fingerprint graph;
+            planner_label;
+            string_of_bool fuse;
+            string_of_int (Echo_tensor.Parallel.domains rt);
+            string_of_int (Echo_tensor.Parallel.blocking_threshold rt);
+            (match budget_bytes with
+            | None -> "unbounded"
+            | Some b -> string_of_int b);
+          ]))
+
+let compile_graph ?budget_bytes ?policy ?planner ?runtime ?fuse ?cache graph =
+  let planner =
+    match (planner, policy) with
+    | Some i, _ -> Some i
+    | None, Some p -> Some (Echo_core.Pass.instance_of_policy p)
+    | None, None -> None
+  in
+  let build () =
+    of_training_graph graph
+    |> optimize ~enabled:false |> rewrite ?planner |> plan
+    |> fuse_stage ?enabled:fuse ?runtime
+    |> compile ?budget_bytes ?runtime
+  in
+  match cache with
+  | None -> build ()
+  | Some c ->
+    c.fetch
+      ~key:(cache_key ?planner ?runtime ?fuse ?budget_bytes graph)
+      ~compile:build
 
 let compile_source ?device ?optimize:(opt_enabled = true) ?policy ?planner
     ?budget_bytes ?runtime ?fuse src =

@@ -194,6 +194,32 @@ val verify : stage -> Echo_diag.Report.t
     ({!Echo_analysis.Verify.env_enabled}) and raises
     {!Echo_analysis.Verify.Verify_failed} on errors. *)
 
+(** {1 Compile cache}
+
+    The content-addressed plan-cache hook. The pipeline stays policy-free
+    about storage and eviction: a cache is one function that either serves
+    [key] from its table or runs [compile] once and remembers the result.
+    [Echo_serve.Plan_cache] implements it with an LRU under a byte cap and
+    single-flight compilation. *)
+
+type cache = {
+  fetch : key:string -> compile:(unit -> executable) -> executable;
+}
+
+val cache_key :
+  ?planner:Echo_core.Planner.instance ->
+  ?runtime:Echo_tensor.Parallel.t ->
+  ?fuse:bool ->
+  ?budget_bytes:int ->
+  Graph.t ->
+  string
+(** The stable content address of what {!compile_graph} would produce:
+    digest of the canonical {!Echo_ir.Graph.fingerprint} (never raw node
+    ids), the planner instance label (name + knobs), the effective fusion
+    setting, the runtime's domain count and blocking threshold, and the
+    budget ceiling. Stable across processes; two graphs with equal
+    fingerprints compiled under equal knobs share one key. *)
+
 (** {1 Shorthands} *)
 
 val compile_graph :
@@ -202,13 +228,22 @@ val compile_graph :
   ?planner:Echo_core.Planner.instance ->
   ?runtime:Echo_tensor.Parallel.t ->
   ?fuse:bool ->
+  ?cache:cache ->
   Graph.t ->
   executable
 (** [of_training_graph |> optimize ~enabled:false |> rewrite ?policy ?planner
     |> plan |> fuse |> compile]: compile an existing training graph (default
     planner ["stash-all"], i.e. as-is; [fuse] defaults to the [ECHO_FUSION]
     environment setting). This is what [Loop.train] uses, both on the
-    initial compile and when re-planning under a shrunk [budget_bytes]. *)
+    initial compile and when re-planning under a shrunk [budget_bytes].
+
+    With [cache], the stages above only run on a miss: a hit for
+    {!cache_key} serves the previously compiled executable and skips the
+    entire pipeline, including the [ECHO_VERIFY=1] self-certification
+    (the verdict is a pure function of the artifact and was rendered when
+    the entry was built). Feed the served executor by name
+    ({!Executor.feed_named}) — its node ids belong to the build that
+    populated the entry. *)
 
 val compile_source :
   ?device:Echo_gpusim.Device.t ->

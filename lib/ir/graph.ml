@@ -162,6 +162,58 @@ let validate g =
 let total_output_bytes g =
   List.fold_left (fun acc n -> acc + Node.size_bytes n) 0 g.schedule
 
+(* Canonical structural digest. Raw node ids are process-local (a global
+   atomic counter), so they must never feed anything content-addressed; the
+   fingerprint instead renames every node to its schedule position — a pure
+   function of the graph's structure and relative hint order, identical for
+   every fresh build of the same model in any process. Per node it hashes
+   the operator (with all attributes), output shape, region and canonical
+   input ids; inputs of commutative operators are sorted so [a + b] and
+   [b + a] fingerprint alike. Leaf names are included: feedable inputs
+   (placeholders/variables) are resolved by name when a cached executable
+   serves a structurally identical graph from a different build, so two
+   graphs may only share a fingerprint when that resolution works.
+   Interior names are cosmetic and excluded. *)
+let fingerprint g =
+  let canon = Hashtbl.create (List.length g.schedule) in
+  List.iteri (fun i n -> Hashtbl.replace canon (Node.id n) i) g.schedule;
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun n ->
+      let ins =
+        List.map (fun i -> Hashtbl.find canon (Node.id i)) (Node.inputs n)
+      in
+      let ins =
+        (* Only ops whose value is invariant under input permutation. *)
+        match Node.op n with
+        | Op.Add | Op.Mul -> List.sort Int.compare ins
+        | _ -> ins
+      in
+      Buffer.add_string buf (Op.to_string (Node.op n));
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (Echo_tensor.Shape.to_string (Node.shape n));
+      Buffer.add_char buf '|';
+      Buffer.add_string buf
+        (match Node.region n with Node.Forward -> "f" | Node.Backward -> "b");
+      if Op.is_leaf (Node.op n) then begin
+        Buffer.add_char buf '|';
+        Buffer.add_string buf (Node.name n)
+      end;
+      List.iter
+        (fun i ->
+          Buffer.add_char buf ',';
+          Buffer.add_string buf (string_of_int i))
+        ins;
+      Buffer.add_char buf '\n')
+    g.schedule;
+  Buffer.add_string buf "outputs";
+  List.iter
+    (fun o ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int (Hashtbl.find canon (Node.id o))))
+    g.outputs;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let pp_stats fmt g =
   let fwd = List.length (forward_nodes g) and bwd = List.length (backward_nodes g) in
   Format.fprintf fmt "nodes=%d (fwd=%d bwd=%d) outputs=%d total_bytes=%d"

@@ -48,6 +48,17 @@ val total_output_bytes : t -> int
 (** Sum of every member node's output size (an upper bound on transient
     footprint, before liveness or reuse). *)
 
+val fingerprint : t -> string
+(** Canonical structural digest (32 hex chars): operators with attributes,
+    shapes, regions, leaf names, canonical (schedule-position) input edges
+    and output list — never raw node ids, which are process-local. Two
+    independent builds of the same model, in the same or different
+    processes, fingerprint identically; inputs of commutative operators are
+    sorted, so the digest is order-independent where that is legal. This is
+    the only node-graph hash that may feed content-addressed cache keys
+    ({!Echo_compiler.Pipeline.cache_key}); the ad-hoc keys inside
+    [Echo_opt.Cse] embed raw ids and must not. *)
+
 val pp_stats : Format.formatter -> t -> unit
 val to_dot : t -> string
 (** Graphviz rendering for debugging (small graphs only). *)

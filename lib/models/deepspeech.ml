@@ -52,7 +52,10 @@ let sweep params name cfg ~input_dim ~reverse xs =
       hidden = cfg.rnn_hidden;
       layers = 1;
       dropout = cfg.dropout;
-      seed = cfg.seed + Hashtbl.hash name mod 100_000;
+      (* Stable across processes and stdlib versions (unlike Hashtbl.hash),
+         so the derived parameter stream — and any cache key downstream of
+         it — never shifts under a toolchain bump. *)
+      seed = cfg.seed + (Rng.fnv1a name mod 100_000);
     }
   in
   let xs = if reverse then List.rev xs else xs in

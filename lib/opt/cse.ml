@@ -2,7 +2,13 @@ open Echo_ir
 
 (* Structural key: operator (with attributes), exact input identities, and
    region. [Op.to_string] includes every attribute, so it is a faithful
-   fingerprint of the operator. *)
+   fingerprint of the operator.
+
+   These keys embed raw [Node.id]s, which come off a process-local counter:
+   they are only meaningful within one [rebuild] walk and MUST NOT feed
+   anything content-addressed (compile caches key on the canonical
+   [Graph.fingerprint] instead, which renames nodes to schedule
+   positions). *)
 let key op inputs region =
   ( Op.to_string op,
     List.map Node.id inputs,

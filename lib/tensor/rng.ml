@@ -59,3 +59,17 @@ let normal t =
     let theta = 2.0 *. Float.pi *. u2 in
     t.cached_normal <- Some (r *. sin theta);
     r *. cos theta
+
+(* FNV-1a over the bytes of a string, folded to a non-negative OCaml int.
+   [Hashtbl.hash] is only specified per stdlib version, so anything that
+   must be stable across processes and toolchains (model seeds derived from
+   layer names, content-addressed keys) hashes through this instead. *)
+let fnv1a s =
+  let prime = 0x100000001b3L and basis = 0xcbf29ce484222325L in
+  let h = ref basis in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  Int64.to_int (Int64.shift_right_logical !h 2)

@@ -38,3 +38,9 @@ val uniform : t -> lo:float -> hi:float -> float
 
 val normal : t -> float
 (** Standard normal via Box-Muller. *)
+
+val fnv1a : string -> int
+(** Stable FNV-1a hash of a string, folded to a non-negative [int]. Unlike
+    [Hashtbl.hash] the value is pinned by this implementation, not the
+    stdlib version, so it is safe to derive persistent seeds and
+    content-addressed keys from it. *)

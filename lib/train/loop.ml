@@ -27,10 +27,37 @@ let missing_feed_error ~step names =
         construction (and that ids/labels entries were not dropped)"
        step names)
 
+(* Activation-site predicate: materialising, non-elementwise, not an input
+   or compile-time constant. Shared between the fault-plan validation (over
+   the original graph) and the arming path (over the executor's own graph,
+   which under a plan-cache hit is a different build of the same
+   structure). *)
+let is_act_site n =
+  (not (Fuse.elementwise n))
+  &&
+  match Node.op n with
+  | Op.Placeholder | Op.Variable | Op.Zeros | Op.ConstFill _
+  | Op.DropoutMask _ ->
+    false
+  | _ -> true
+
+(* Feed by node when the executor was compiled from this very build, by name
+   when it was served from a plan cache — a cached executor's nodes belong
+   to whichever build populated the entry, so ids differ but leaf names
+   (part of the cache key's fingerprint) are guaranteed to resolve. Inputs
+   absent from the graph are ignored either way, matching [Executor.feed]. *)
+let feed_compat e node tensor =
+  if Graph.mem (Executor.graph e) (Node.id node) then
+    Executor.feed e node tensor
+  else
+    match Executor.input_slot_by_name e (Node.name node) with
+    | Some s -> Executor.set_input e s tensor
+    | None -> ()
+
 let train ~graph ~params ~optimizer ?clip_norm ?on_step ?on_event ?budget_bytes
     ?(faults = Fault.of_env ()) ?checkpoint
     ?(device = Echo_gpusim.Device.titan_xp) ?(max_retries = 2) ?rng ?runtime
-    ?fuse ?planner ~batches () =
+    ?fuse ?planner ?cache ~batches () =
   let emit = match on_event with Some f -> f | None -> fun _ -> () in
   let param_nodes = Array.of_list (List.map fst params) in
   let n_params = Array.length param_nodes in
@@ -44,17 +71,7 @@ let train ~graph ~params ~optimizer ?clip_norm ?on_step ?on_event ?budget_bytes
      planner, fusion setting and domain count, which is what makes a
      [flip@STEP=act:...] spec planner-independent. *)
   let act_sites =
-    Array.of_list
-      (List.filter
-         (fun n ->
-           (not (Fuse.elementwise n))
-           &&
-           match Node.op n with
-           | Op.Placeholder | Op.Variable | Op.Zeros | Op.ConstFill _
-           | Op.DropoutMask _ ->
-             false
-           | _ -> true)
-         (Graph.forward_nodes graph))
+    Array.of_list (List.filter is_act_site (Graph.forward_nodes graph))
   in
   (* Fail fast: a fault plan naming a site or parameter this run does not
      have is a malformed plan, reported before any compilation — not a
@@ -113,7 +130,7 @@ let train ~graph ~params ~optimizer ?clip_norm ?on_step ?on_event ?budget_bytes
   in
   let compile_current () =
     Pipeline.executor
-      (Pipeline.compile_graph ?budget_bytes:!budget ?runtime ?fuse
+      (Pipeline.compile_graph ?budget_bytes:!budget ?runtime ?fuse ?cache
          !current_graph)
   in
   let replan ~step ~requested_bytes ~allowed =
@@ -250,8 +267,17 @@ let train ~graph ~params ~optimizer ?clip_norm ?on_step ?on_event ?budget_bytes
         let target = apply_param_flip ~index ~bit in
         emit (Event.Fault_injected { step = !step; fault; target })
       | Some (Fault.Flip_act { site; index; bit } as fault) ->
-        let node = act_sites.(site) in
         let e = !exe in
+        (* Resolve the site inside the executor's own graph: under a plan-
+           cache hit the executor's nodes are a different build's, but the
+           SITEth materialising non-elementwise forward node is the same
+           operation in every build of the structure, so the flip lands at
+           the same dataflow point. *)
+        let node =
+          List.nth
+            (List.filter is_act_site (Graph.forward_nodes (Executor.graph e)))
+            site
+        in
         Executor.schedule_flip e ~slot:(Executor.slot e node) ~index ~bit;
         (* Describe the site by its dataflow identity (ordinal, op, shape)
            rather than [Node.name]: fresh builds of the same model assign
@@ -266,10 +292,10 @@ let train ~graph ~params ~optimizer ?clip_norm ?on_step ?on_event ?budget_bytes
         emit (Event.Fault_injected { step = !step; fault; target })
       | None -> ());
       let e = !exe in
-      List.iter (fun (node, tensor) -> Executor.feed e node tensor) batch;
+      List.iter (fun (node, tensor) -> feed_compat e node tensor) batch;
       let values = !param_values in
       for i = 0 to n_params - 1 do
-        Executor.feed e param_nodes.(i) values.(i)
+        feed_compat e param_nodes.(i) values.(i)
       done;
       (try Executor.run e
        with Echo_exec.Interp.Missing_feed names ->

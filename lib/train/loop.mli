@@ -89,6 +89,7 @@ val train :
   ?runtime:Parallel.t ->
   ?fuse:bool ->
   ?planner:Echo_core.Planner.instance ->
+  ?cache:Echo_compiler.Pipeline.cache ->
   batches:batch list ->
   unit ->
   result
@@ -102,6 +103,15 @@ val train :
     {!Echo_core.Planner} registry ([echoc --policy]); it rewrites the
     original graph once before the initial compile — every registered
     planner trains bit-identically to the stash-all baseline.
+
+    [cache] is a content-addressed compile cache
+    ({!Echo_compiler.Pipeline.cache}): the initial compile (and any
+    recovery recompile) is served from it on a key hit, skipping the whole
+    pipeline. Cached executors may come from a different build of the same
+    structure, so the loop feeds them by input {e name} and re-derives
+    activation flip sites from the executor's own graph; training results
+    are bit-identical cached or cold — the serve test suite asserts this at
+    every domain count.
 
     [budget_bytes] caps the executor arena (see {e Recovery} above);
     [device] is the simulated device the escalation ladder re-plans

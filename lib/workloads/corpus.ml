@@ -1,6 +1,10 @@
 open Echo_tensor
 
-type t = { tokens : int array; vocab : int }
+type t = {
+  tokens : int array;
+  vocab : int;
+  words : string array;  (** id -> word; empty for synthetic streams *)
+}
 
 (* Zipf sampling via inverse-CDF over 1/rank weights, with a first-order
    Markov twist: with probability 0.3 the next token is a deterministic
@@ -34,11 +38,62 @@ let generate ~seed ~vocab ~length =
       (if Rng.float rng < 0.3 then ((tokens.(i - 1) * 7) + 3) mod vocab
        else sample ())
   done;
-  { tokens; vocab }
+  { tokens; vocab; words = [||] }
+
+(* PTB-style ingest: the file is a word stream, one sentence per line, words
+   blank-separated; every line is closed with the "<eos>" token (id 0), and
+   word ids are assigned in order of first appearance — the dictionary is a
+   pure function of the file contents, so two processes loading the same
+   file build bit-identical batch streams. *)
+let load_text path =
+  let ic =
+    try open_in path
+    with Sys_error msg -> invalid_arg ("Corpus.load_text: " ^ msg)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let dict : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+      Hashtbl.replace dict "<eos>" 0;
+      let words = ref [ "<eos>" ] in
+      let next = ref 1 in
+      let toks = ref [] in
+      let id_of w =
+        match Hashtbl.find_opt dict w with
+        | Some i -> i
+        | None ->
+          let i = !next in
+          Hashtbl.replace dict w i;
+          words := w :: !words;
+          incr next;
+          i
+      in
+      (try
+         while true do
+           let line = input_line ic in
+           List.iter
+             (fun w -> if w <> "" then toks := id_of w :: !toks)
+             (String.split_on_char ' '
+                (String.map (fun c -> if c = '\t' then ' ' else c) line));
+           toks := 0 :: !toks
+         done
+       with End_of_file -> ());
+      if !next < 2 then
+        invalid_arg
+          (Printf.sprintf
+             "Corpus.load_text: %s contains no words — a text corpus needs \
+              at least one non-blank line"
+             path);
+      {
+        tokens = Array.of_list (List.rev !toks);
+        vocab = !next;
+        words = Array.of_list (List.rev !words);
+      })
 
 let vocab t = t.vocab
 let length t = Array.length t.tokens
 let token t i = t.tokens.(i)
+let vocab_words t = t.words
 
 (* Time-major layout: row (t*B + b) holds stream position for sequence b at
    step t. Sequence b reads a distinct stripe of the stream. *)

@@ -13,9 +13,23 @@ type t
 val generate : seed:int -> vocab:int -> length:int -> t
 (** A Zipf-Markov token stream. *)
 
+val load_text : string -> t
+(** A real corpus, PTB-style: one sentence per line, words separated by
+    blanks, each line closed with an ["<eos>"] token (id 0). Word ids are
+    assigned in order of first appearance, so the dictionary — and every
+    batch stream derived from it — is a pure function of the file
+    contents. Feed the result to {!lm_batches} exactly like a synthetic
+    stream ([echoc --train --corpus FILE] does).
+    @raise Invalid_argument when the file cannot be read or contains no
+    words. *)
+
 val vocab : t -> int
 val length : t -> int
 val token : t -> int -> int
+
+val vocab_words : t -> string array
+(** The dictionary of a {!load_text} stream, id-indexed (["<eos>"] first);
+    empty for synthetic streams. *)
 
 val lm_batches :
   t -> batch:int -> seq_len:int -> steps:int -> (Tensor.t * Tensor.t) list

@@ -253,6 +253,79 @@ let prop_random_dag_schedules =
       Graph.validate g;
       true)
 
+(* Graph.fingerprint: the canonical structural digest compile caches key
+   on. It must be invariant under rebuilds (fresh node ids), commutative
+   input order and serialisation — and sensitive to structure, attributes
+   and leaf names. *)
+
+let fp_model ~name ~hidden () =
+  let x = Node.placeholder ~name:"x" [| 2; 3 |] in
+  let w = Node.variable ~name [| hidden; 3 |] in
+  let b = Node.variable ~name:"b" [| hidden |] in
+  let h = Node.relu (Node.add_bias (Node.matmul ~trans_b:true x w) b) in
+  Graph.create [ h ]
+
+let test_fingerprint_stable_across_rebuilds () =
+  let a = fp_model ~name:"w" ~hidden:4 () in
+  (* Burn some ids so the second build's node ids all differ. *)
+  for _ = 1 to 13 do ignore (Node.placeholder [| 1 |]) done;
+  let b = fp_model ~name:"w" ~hidden:4 () in
+  check_bool "distinct ids" true
+    (List.for_all2
+       (fun n m -> Node.id n <> Node.id m)
+       (Graph.nodes a) (Graph.nodes b));
+  Alcotest.(check string)
+    "same fingerprint" (Graph.fingerprint a) (Graph.fingerprint b)
+
+let test_fingerprint_commutative_inputs () =
+  let p () = Node.placeholder ~name:"p" [| 2 |] in
+  let q () = Node.placeholder ~name:"q" [| 2 |] in
+  let add_pq =
+    let p = p () and q = q () in
+    Graph.create [ Node.add p q ]
+  in
+  let add_qp =
+    let p = p () and q = q () in
+    Graph.create [ Node.add q p ]
+  in
+  Alcotest.(check string)
+    "a+b = b+a" (Graph.fingerprint add_pq) (Graph.fingerprint add_qp);
+  let sub_pq =
+    let p = p () and q = q () in
+    Graph.create [ Node.sub p q ]
+  in
+  let sub_qp =
+    let p = p () and q = q () in
+    Graph.create [ Node.sub q p ]
+  in
+  check_bool "a-b <> b-a" true
+    (Graph.fingerprint sub_pq <> Graph.fingerprint sub_qp)
+
+let test_fingerprint_serial_roundtrip () =
+  let g = fp_model ~name:"w" ~hidden:4 () in
+  let g' = Serial.of_string (Serial.to_string g) in
+  Alcotest.(check string)
+    "round-trip preserves fingerprint" (Graph.fingerprint g)
+    (Graph.fingerprint g')
+
+let test_fingerprint_distinguishes () =
+  let base = fp_model ~name:"w" ~hidden:4 () in
+  check_bool "different shape" true
+    (Graph.fingerprint base <> Graph.fingerprint (fp_model ~name:"w" ~hidden:5 ()));
+  (* Leaf names are part of the digest: a cache hit must guarantee that
+     name-based feed resolution finds every input. *)
+  check_bool "different leaf name" true
+    (Graph.fingerprint base <> Graph.fingerprint (fp_model ~name:"w2" ~hidden:4 ()))
+
+let test_fingerprint_golden () =
+  (* Process-independence regression: this digest must never drift across
+     runs, processes or toolchains — a drift would silently invalidate
+     every persisted cache key. *)
+  let x = Node.placeholder ~name:"x" [| 2; 2 |] in
+  let g = Graph.create [ Node.relu (Node.add x x) ] in
+  Alcotest.(check string)
+    "golden digest" "cbc3b90901aa9e0da20792e110e7ba02" (Graph.fingerprint g)
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   [
@@ -288,5 +361,13 @@ let suite =
         t "empty outputs" test_graph_empty_outputs;
         t "dot output" test_graph_to_dot;
         QCheck_alcotest.to_alcotest prop_random_dag_schedules;
+      ] );
+    ( "fingerprint",
+      [
+        t "stable across rebuilds" test_fingerprint_stable_across_rebuilds;
+        t "commutative inputs" test_fingerprint_commutative_inputs;
+        t "serial round-trip" test_fingerprint_serial_roundtrip;
+        t "distinguishes structure" test_fingerprint_distinguishes;
+        t "golden digest" test_fingerprint_golden;
       ] );
   ]

@@ -7,4 +7,4 @@ let () =
    @ Test_train.suite @ Test_opt.suite @ Test_extra.suite @ Test_substrate.suite
    @ Test_integration.suite @ Test_compiler.suite @ Test_runtime.suite
    @ Test_analysis.suite @ Test_planner.suite @ Test_parallel.suite
-   @ Test_campaign.suite)
+   @ Test_campaign.suite @ Test_serve.suite)

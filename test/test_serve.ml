@@ -1,0 +1,548 @@
+(* Tests for the echoc serve stack: the content-addressed plan cache
+   (hit/miss, LRU eviction under a byte cap, single-flight compiles), the
+   request engine (protocol, same-shape eval batching, tenant budgets), the
+   real-corpus loader, and the Unix-socket server end to end.
+
+   The load-bearing properties are differential: a cache-served executable
+   must train bit-identically to a cold-compiled one (the served executor
+   comes from a different build, so the loop feeds it by name), and a
+   stacked eval batch must score every member bit-identically to a serial
+   run — at every domain count. *)
+
+open Echo_tensor
+module Pipeline = Echo_compiler.Pipeline
+module Executor = Echo_compiler.Executor
+module Language_model = Echo_models.Language_model
+module Model = Echo_models.Model
+module Params = Echo_models.Params
+module Loop = Echo_train.Loop
+module Optimizer = Echo_train.Optimizer
+module Corpus = Echo_workloads.Corpus
+module Plan_cache = Echo_serve.Plan_cache
+module Engine = Echo_serve.Engine
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let lm_cfg ?(hidden = 8) ?(batch = 2) ?(seq_len = 4) ?(vocab = 20) () =
+  {
+    Language_model.ptb_default with
+    Language_model.hidden;
+    embed = hidden;
+    layers = 1;
+    seq_len;
+    batch;
+    vocab;
+    dropout = 0.0;
+    seed = 42;
+  }
+
+let training_graph cfg =
+  let lm = Language_model.build cfg in
+  (lm, (Model.training lm.Language_model.model).Echo_autodiff.Grad.graph)
+
+(* Plan_cache: hit/miss accounting and physical sharing. *)
+
+let test_cache_hit_miss () =
+  let cache = Plan_cache.create () in
+  let _, graph = training_graph (lm_cfg ()) in
+  let key = Pipeline.cache_key graph in
+  let compiles = ref 0 in
+  let compile () =
+    incr compiles;
+    Pipeline.compile_graph graph
+  in
+  let e1, hit1 = Plan_cache.fetch cache ~key ~compile in
+  let e2, hit2 = Plan_cache.fetch cache ~key ~compile in
+  check_bool "first is a miss" false hit1;
+  check_bool "second is a hit" true hit2;
+  check_int "one compile" 1 !compiles;
+  check_bool "same executable served" true
+    (Pipeline.executor e1 == Pipeline.executor e2);
+  let s = Plan_cache.stats cache in
+  check_int "hits" 1 s.Plan_cache.hits;
+  check_int "misses" 1 s.Plan_cache.misses;
+  check_int "entries" 1 s.Plan_cache.entries;
+  check_int "bytes = footprint" (Executor.footprint_bytes (Pipeline.executor e1))
+    s.Plan_cache.bytes
+
+(* Distinct knobs must produce distinct keys even on one graph. *)
+
+let test_cache_key_separates_knobs () =
+  let _, graph = training_graph (lm_cfg ()) in
+  let base = Pipeline.cache_key graph in
+  check_bool "budget changes the key" true
+    (base <> Pipeline.cache_key ~budget_bytes:1_000_000 graph);
+  check_bool "fusion changes the key" true
+    (Pipeline.cache_key ~fuse:true graph <> Pipeline.cache_key ~fuse:false graph);
+  (* [~oversubscribe:true] keeps the requested domain count even on a
+     single-core machine, where [create ~domains:2] would clamp to 1 and
+     legitimately produce the same key. *)
+  check_bool "runtime changes the key" true
+    (Pipeline.cache_key ~runtime:(Parallel.create ~domains:1 ()) graph
+    <> Pipeline.cache_key
+         ~runtime:(Parallel.create ~domains:2 ~oversubscribe:true ())
+         graph);
+  check_bool "blocking threshold changes the key" true
+    (Pipeline.cache_key ~runtime:(Parallel.create ~blocking_threshold:64 ())
+       graph
+    <> Pipeline.cache_key
+         ~runtime:(Parallel.create ~blocking_threshold:4096 ())
+         graph);
+  let other = Echo_core.Planner.instantiate "recompute-all" in
+  check_bool "planner changes the key" true
+    (base <> Pipeline.cache_key ~planner:other graph)
+
+(* LRU eviction under the byte cap: oldest-used entries fall out first; an
+   entry that alone exceeds the cap is served but not retained. *)
+
+let test_cache_eviction () =
+  let _, g_small = training_graph (lm_cfg ~hidden:4 ()) in
+  let _, g_mid = training_graph (lm_cfg ~hidden:6 ()) in
+  let _, g_big = training_graph (lm_cfg ~hidden:8 ()) in
+  let size g =
+    Executor.footprint_bytes (Pipeline.executor (Pipeline.compile_graph g))
+  in
+  let sz_small = size g_small and sz_mid = size g_mid and sz_big = size g_big in
+  (* Cap fits small+mid (and small+big, so evicting mid alone settles the
+     cache) but not all three at once. *)
+  let cap = sz_small + sz_big + (sz_mid / 2) in
+  let cache = Plan_cache.create ~cap_bytes:cap () in
+  let fetch g =
+    ignore
+      (Plan_cache.fetch cache ~key:(Pipeline.cache_key g) ~compile:(fun () ->
+           Pipeline.compile_graph g))
+  in
+  fetch g_small;
+  fetch g_mid;
+  (* Touch small so mid is the LRU victim. *)
+  fetch g_small;
+  fetch g_big;
+  let s = Plan_cache.stats cache in
+  check_bool "under cap" true (s.Plan_cache.bytes <= cap);
+  check_int "one eviction" 1 s.Plan_cache.evictions;
+  (* small survived (it was touched after mid, so mid was the LRU victim):
+     fetching it again is a hit. Check this *before* re-fetching mid — that
+     re-insert goes over cap again and evicts the then-LRU entry. *)
+  let hits_before = (Plan_cache.stats cache).Plan_cache.hits in
+  fetch g_small;
+  check_int "recently-used entry survived" (hits_before + 1)
+    (Plan_cache.stats cache).Plan_cache.hits;
+  (* mid was evicted: fetching it again is a miss. *)
+  let before = (Plan_cache.stats cache).Plan_cache.misses in
+  fetch g_mid;
+  check_int "evicted entry recompiles" (before + 1)
+    (Plan_cache.stats cache).Plan_cache.misses;
+  (* An entry alone over the cap is compiled but not retained. *)
+  let tiny = Plan_cache.create ~cap_bytes:16 () in
+  let e, hit =
+    Plan_cache.fetch tiny ~key:(Pipeline.cache_key g_small) ~compile:(fun () ->
+        Pipeline.compile_graph g_small)
+  in
+  check_bool "served" false hit;
+  check_bool "executable works" true
+    (Executor.footprint_bytes (Pipeline.executor e) > 16);
+  check_int "not retained" 0 (Plan_cache.stats tiny).Plan_cache.entries
+
+(* Single-flight: concurrent fetches of one missing key run exactly one
+   compile; every domain receives the same executable. *)
+
+let test_cache_single_flight () =
+  let cache = Plan_cache.create () in
+  let _, graph = training_graph (lm_cfg ()) in
+  let key = Pipeline.cache_key graph in
+  let compiles = Atomic.make 0 in
+  let compile () =
+    Atomic.incr compiles;
+    (* Widen the race window so every domain is in-flight together. *)
+    Unix.sleepf 0.05;
+    Pipeline.compile_graph graph
+  in
+  let workers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () -> Plan_cache.fetch cache ~key ~compile))
+  in
+  let results = List.map Domain.join workers in
+  check_int "exactly one compile" 1 (Atomic.get compiles);
+  let exes = List.map (fun (e, _) -> Pipeline.executor e) results in
+  List.iter
+    (fun e -> check_bool "all share one executable" true (e == List.hd exes))
+    exes;
+  check_int "one miss" 1 (Plan_cache.stats cache).Plan_cache.misses;
+  check_int "three waiter hits" 3 (Plan_cache.stats cache).Plan_cache.hits
+
+(* A failing compile releases the key instead of wedging later fetches. *)
+
+let test_cache_failed_compile_releases_key () =
+  let cache = Plan_cache.create () in
+  let _, graph = training_graph (lm_cfg ()) in
+  let key = Pipeline.cache_key ~budget_bytes:1 graph in
+  check_bool "budget aborts" true
+    (match
+       Plan_cache.fetch cache ~key ~compile:(fun () ->
+           Pipeline.compile_graph ~budget_bytes:1 graph)
+     with
+    | _ -> false
+    | exception Executor.Budget_exceeded _ -> true);
+  let _, hit =
+    Plan_cache.fetch cache ~key ~compile:(fun () -> Pipeline.compile_graph graph)
+  in
+  check_bool "key released for the next fetch" false hit
+
+(* The differential core: a cache-served executable — compiled by a
+   *different build* of the same structure, so every node id differs —
+   trains bit-identically to a cold compile, at 1, 2 and 4 domains. *)
+
+let train_losses ~runtime ?cache ?(corpus_length = 200) () =
+  let cfg = lm_cfg () in
+  let lm, graph = training_graph cfg in
+  let corpus =
+    Corpus.generate ~seed:5 ~vocab:cfg.Language_model.vocab
+      ~length:corpus_length
+  in
+  let batches =
+    List.map
+      (fun (tokens, labels) ->
+        [
+          (lm.Language_model.token_input, tokens);
+          (lm.Language_model.label_input, labels);
+        ])
+      (Corpus.lm_batches corpus ~batch:cfg.Language_model.batch
+         ~seq_len:cfg.Language_model.seq_len ~steps:3)
+  in
+  let result =
+    Loop.train ~graph
+      ~params:(Params.bindings lm.Language_model.model.Model.params)
+      ~optimizer:(Optimizer.create (Optimizer.Sgd { lr = 0.5 }))
+      ~runtime ?cache ~batches ()
+  in
+  result.Loop.losses
+
+let test_cached_train_bit_identical () =
+  List.iter
+    (fun domains ->
+      let runtime = Parallel.create ~domains () in
+      let cold = train_losses ~runtime () in
+      let cache = Plan_cache.create () in
+      (* Prime the cache from an independent build: different node ids,
+         same fingerprint. *)
+      let _, graph = training_graph (lm_cfg ()) in
+      let key = Pipeline.cache_key ~runtime graph in
+      ignore
+        (Plan_cache.fetch cache ~key ~compile:(fun () ->
+             Pipeline.compile_graph ~runtime graph));
+      let warm = train_losses ~runtime ~cache:(Plan_cache.hook cache) () in
+      let s = Plan_cache.stats cache in
+      check_bool
+        (Printf.sprintf "training compile served from cache (%d domains)"
+           domains)
+        true
+        (s.Plan_cache.hits >= 1);
+      Alcotest.(check (list (float 0.0)))
+        (Printf.sprintf "cached losses bit-identical (%d domains)" domains)
+        cold warm)
+    [ 1; 2; 4 ]
+
+(* Same-shape eval batching: the stacked step scores every request
+   bit-identically to serial execution, at 1, 2 and 4 domains. *)
+
+let eval_lines =
+  [
+    "eval hidden=8 vocab=20 tokens=1,2,3,4,5";
+    "eval hidden=8 vocab=20 tokens=5,4,3,2,1";
+    "eval hidden=8 vocab=20 tokens=7,7,7,7,7";
+    "eval hidden=8 vocab=20 tokens=0,19,3,11,6";
+  ]
+
+let loss_of resp =
+  Scanf.sscanf resp "ok loss=%h batched=%d" (fun l k -> (l, k))
+
+let test_batched_eval_bit_identical () =
+  List.iter
+    (fun domains ->
+      let runtime = Parallel.create ~domains () in
+      let batched_engine = Engine.create ~runtime () in
+      let batched = Engine.exec_all batched_engine eval_lines in
+      let serial_engine = Engine.create ~runtime () in
+      let serial = List.map (Engine.exec serial_engine) eval_lines in
+      List.iter2
+        (fun b s ->
+          let bl, bk = loss_of b and sl, sk = loss_of s in
+          check_int
+            (Printf.sprintf "stacked batch of %d (%d domains)"
+               (List.length eval_lines) domains)
+            (List.length eval_lines) bk;
+          check_int "serial batch of 1" 1 sk;
+          check_bool
+            (Printf.sprintf "bit-identical loss (%d domains)" domains)
+            true
+            (Int64.equal (Int64.bits_of_float bl) (Int64.bits_of_float sl)))
+        batched serial)
+    [ 1; 2; 4 ]
+
+(* Tenants: unknown tenants are rejected by name; a tiny budget rejects
+   compilation loudly; a batch mixing a budgeted tenant falls back without
+   corrupting the unbudgeted request's result. *)
+
+let test_tenant_budgets () =
+  let engine =
+    Engine.create ~tenants:[ ("tiny", 1); ("big", 64 * 1024 * 1024) ] ()
+  in
+  let r = Engine.exec engine "compile hidden=8 vocab=20 tenant=nosuch" in
+  check_bool "unknown tenant named" true
+    (String.length r >= 3
+    && String.sub r 0 3 = "err"
+    && String.length r > 0
+    &&
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    contains r "nosuch");
+  let r = Engine.exec engine "compile hidden=8 vocab=20 tenant=tiny" in
+  check_string "tiny budget rejected"
+    "err budget exceeded: requested=" (String.sub r 0 31);
+  let r = Engine.exec engine "compile hidden=8 vocab=20 tenant=big" in
+  check_string "big budget compiles" "ok" (String.sub r 0 2);
+  (* Batched eval with one member over budget: the stacked step falls back
+     to singles; the unbudgeted member still gets the serial-identical
+     loss, the budgeted one a loud rejection. *)
+  let free_engine = Engine.create () in
+  let expected, _ =
+    loss_of (Engine.exec free_engine "eval hidden=8 vocab=20 tokens=1,2,3,4,5")
+  in
+  let responses =
+    Engine.exec_all engine
+      [
+        "eval hidden=8 vocab=20 tokens=1,2,3,4,5";
+        "eval hidden=8 vocab=20 tokens=5,4,3,2,1 tenant=tiny";
+      ]
+  in
+  (match responses with
+  | [ ok_resp; err_resp ] ->
+    let l, _ = loss_of ok_resp in
+    check_bool "unbudgeted member unharmed" true
+      (Int64.equal (Int64.bits_of_float l) (Int64.bits_of_float expected));
+    check_string "budgeted member rejected" "err budget exceeded: requested="
+      (String.sub err_resp 0 31)
+  | _ -> Alcotest.fail "two responses expected")
+
+(* Protocol failure modes: loud, named errors; no silent fallbacks. *)
+
+let test_protocol_errors () =
+  let engine = Engine.create () in
+  let starts_with p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  List.iter
+    (fun (req, prefix) ->
+      let resp = Engine.exec engine req in
+      check_bool
+        (Printf.sprintf "%S -> %S" req resp)
+        true (starts_with prefix resp))
+    [
+      ("", "err empty request");
+      ("bogus", "err unknown verb \"bogus\"");
+      ("ping extra=1", "err unknown key \"extra\" for ping");
+      ("compile hidden=nope", "err bad value for hidden: \"nope\"");
+      ("compile hidden", "err malformed token \"hidden\"");
+      ("compile model=resnet", "err unknown model \"resnet\"");
+      ("compile hidden=8 hidden=9", "err duplicate key \"hidden\"");
+      ("eval hidden=8 vocab=20", "err eval needs tokens=");
+      ("eval hidden=8 vocab=20 tokens=1", "err eval needs at least 2 tokens");
+      ("eval hidden=8 vocab=20 tokens=1,99", "err bad token \"99\"");
+      ("compile hidden=8 tenant=t", "err unknown tenant \"t\"");
+      ("ping", "ok pong");
+    ];
+  check_bool "create rejects bad tenants" true
+    (match Engine.create ~tenants:[ ("a", 0) ] () with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "create rejects duplicate tenants" true
+    (match Engine.create ~tenants:[ ("a", 1); ("a", 2) ] () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* Corpus.load_text: PTB-style ingest is a pure function of the file. *)
+
+let test_corpus_load_text () =
+  let path = Filename.temp_file "echo_corpus" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "the cat sat\nthe cat ran\n";
+      close_out oc;
+      let c = Corpus.load_text path in
+      (* <eos>=0, then first-appearance order: the=1 cat=2 sat=3 ran=4 *)
+      check_int "vocab" 5 (Corpus.vocab c);
+      check_int "length" 8 (Corpus.length c);
+      Alcotest.(check (list int))
+        "token stream"
+        [ 1; 2; 3; 0; 1; 2; 4; 0 ]
+        (List.init (Corpus.length c) (Corpus.token c));
+      Alcotest.(check (array string))
+        "dictionary"
+        [| "<eos>"; "the"; "cat"; "sat"; "ran" |]
+        (Corpus.vocab_words c);
+      (* Determinism: a second load builds the identical stream. *)
+      let c' = Corpus.load_text path in
+      Alcotest.(check (list int))
+        "reload identical"
+        (List.init (Corpus.length c) (Corpus.token c))
+        (List.init (Corpus.length c') (Corpus.token c')));
+  check_bool "empty corpus rejected" true
+    (let empty = Filename.temp_file "echo_corpus" ".txt" in
+     Fun.protect
+       ~finally:(fun () -> Sys.remove empty)
+       (fun () ->
+         match Corpus.load_text empty with
+         | _ -> false
+         | exception Invalid_argument _ -> true));
+  check_bool "missing file rejected" true
+    (match Corpus.load_text "/nonexistent/echo.txt" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* End to end over the real Unix socket: the server in a domain, a scripted
+   pipelined client session — compile miss, compile hit, batched evals,
+   budget rejection, stats, shutdown — and the train response compared
+   bit-for-bit against a direct Loop.train of the same request. *)
+
+let read_lines fd n =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let count s = String.fold_left (fun a c -> if c = '\n' then a + 1 else a) 0 s in
+  while count (Buffer.contents buf) < n do
+    let r = Unix.read fd chunk 0 (Bytes.length chunk) in
+    if r = 0 then failwith "server closed early";
+    Buffer.add_subbytes buf chunk 0 r
+  done;
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> l <> "")
+
+let test_socket_end_to_end () =
+  let socket = Filename.temp_file "echo_serve" ".sock" in
+  Sys.remove socket;
+  let engine =
+    Engine.create ~tenants:[ ("tiny", 1) ] ~max_batch:8
+      ~runtime:(Parallel.create ~domains:1 ())
+      ()
+  in
+  let server = Domain.spawn (fun () -> Echo_serve.Server.serve ~socket engine) in
+  (* The server binds asynchronously; poll for the socket file. *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec connect () =
+    match
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      fd
+    with
+    | fd -> fd
+    | exception Unix.Unix_error _ when Unix.gettimeofday () < deadline ->
+      Unix.sleepf 0.02;
+      connect ()
+  in
+  let fd = connect () in
+  let requests =
+    [
+      "ping";
+      "compile hidden=8 seq_len=4 batch=2 vocab=20";
+      "compile hidden=8 seq_len=4 batch=2 vocab=20";
+      "train hidden=8 seq_len=4 batch=2 vocab=20 steps=3 lr=0.5";
+      "eval hidden=8 vocab=20 tokens=1,2,3,4,5";
+      "eval hidden=8 vocab=20 tokens=5,4,3,2,1";
+      "compile hidden=8 seq_len=4 batch=2 vocab=20 tenant=tiny";
+      "stats";
+      "shutdown";
+    ]
+  in
+  let payload = String.concat "\n" requests ^ "\n" in
+  let _ = Unix.write_substring fd payload 0 (String.length payload) in
+  let responses = read_lines fd (List.length requests) in
+  Domain.join server;
+  Unix.close fd;
+  check_int "one response per request" (List.length requests)
+    (List.length responses);
+  let nth = List.nth responses in
+  check_string "ping" "ok pong" (nth 0);
+  let starts_with p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  check_bool "first compile is a miss" true
+    (starts_with "ok key=" (nth 1)
+    &&
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    contains (nth 1) "cached=false");
+  check_bool "second compile is a hit" true
+    (let contains s sub =
+       let n = String.length sub in
+       let rec go i =
+         i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+       in
+       go 0
+     in
+     contains (nth 2) "cached=true");
+  (* The train response must be byte-identical to a direct Loop.train of
+     the same request: same model, same synthetic corpus, sequential
+     runtime — served through the cache entry the compile request created. *)
+  (* Mirror the engine's synthetic train corpus: seed 5, length
+     (steps+2)*batch*seq_len+1 for steps=3 batch=2 seq_len=4. *)
+  let expected_losses =
+    train_losses
+      ~runtime:(Parallel.create ~domains:1 ())
+      ~corpus_length:(((3 + 2) * 2 * 4) + 1)
+      ()
+  in
+  check_string "train bit-identical to direct Loop.train"
+    (Printf.sprintf "ok steps=%d losses=%s"
+       (List.length expected_losses)
+       (String.concat "," (List.map (Printf.sprintf "%h") expected_losses)))
+    (nth 3);
+  (* Pipelined evals coalesced into one stacked step... *)
+  let l1, k1 = loss_of (nth 4) in
+  let l2, k2 = loss_of (nth 5) in
+  check_int "eval 1 batched" 2 k1;
+  check_int "eval 2 batched" 2 k2;
+  (* ...bit-identical to serial engine-level execution. *)
+  let direct = Engine.create ~runtime:(Parallel.create ~domains:1 ()) () in
+  let d1, _ = loss_of (Engine.exec direct "eval hidden=8 vocab=20 tokens=1,2,3,4,5") in
+  let d2, _ = loss_of (Engine.exec direct "eval hidden=8 vocab=20 tokens=5,4,3,2,1") in
+  check_bool "eval 1 bit-identical" true
+    (Int64.equal (Int64.bits_of_float l1) (Int64.bits_of_float d1));
+  check_bool "eval 2 bit-identical" true
+    (Int64.equal (Int64.bits_of_float l2) (Int64.bits_of_float d2));
+  check_string "budget rejection" "err budget exceeded: requested="
+    (String.sub (nth 6) 0 31);
+  check_bool "stats" true (starts_with "ok hits=" (nth 7));
+  check_string "shutdown" "ok bye" (nth 8);
+  check_bool "socket file removed" true (not (Sys.file_exists socket))
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "serve",
+      [
+        t "cache hit and miss" test_cache_hit_miss;
+        t "cache key separates knobs" test_cache_key_separates_knobs;
+        t "cache LRU eviction" test_cache_eviction;
+        t "cache single-flight" test_cache_single_flight;
+        t "failed compile releases key" test_cache_failed_compile_releases_key;
+        t "cached train bit-identical" test_cached_train_bit_identical;
+        t "batched eval bit-identical" test_batched_eval_bit_identical;
+        t "tenant budgets" test_tenant_budgets;
+        t "protocol errors" test_protocol_errors;
+        t "corpus load_text" test_corpus_load_text;
+        t "socket end to end" test_socket_end_to_end;
+      ] );
+  ]
