@@ -1,5 +1,5 @@
 (* The experiment harness: regenerates every table/figure of the paper's
-   evaluation (reconstructed index E1..E21 — see DESIGN.md) on the simulated
+   evaluation (reconstructed index E1..E22 — see DESIGN.md) on the simulated
    GPU substrate, plus a Bechamel micro-suite over the host kernels.
 
      dune exec bench/main.exe                 # everything
@@ -1246,12 +1246,175 @@ let e21 () =
   record "batched_identical" (if !identical_everywhere then 1.0 else 0.0);
   record_json ~path:"BENCH_E21.json" "E21" (List.rev !json)
 
+(* E22: the race-verify layer — what certifying a plan costs and what
+   running sanitized costs. Two tables are measured and recorded in
+   BENCH_E22.json:
+   - static gate: every zoo model x campaign planner x fusion setting is
+     compiled (on a forced 2-domain fan-out pool, so the partition proofs
+     actually see parts > 1) and pushed through [Pipeline.race_verify];
+     the worst-case check time per model is the latency a self-certifying
+     compile pays. [--check] turns any error finding into exit 1 — the
+     clean-matrix gate of the race-verify work;
+   - sanitizer overhead: LM training-step wall-clock plain vs Cells-mode
+     vs Full-mode shadow memory at 1/2/4 domains, with every sanitized
+     executor's outputs checked bitwise against the plain sequential
+     reference (the sanitizer observes, never perturbs). The model is kept
+     deliberately small: Full mode diffs every non-destination buffer at
+     every instruction, so its cost scales with instrs x arena cells and
+     a production-size model would measure patience, not overhead. *)
+let e22_violations = ref []
+
+let e22 () =
+  heading "E22" "race-verify: static-check time and sanitizer overhead";
+  let module Executor = Echo_compiler.Executor in
+  let module Pipeline = Echo_compiler.Pipeline in
+  let module Sanitize = Echo_analysis.Sanitize in
+  let module Report = Echo_diag.Report in
+  let json = ref [] in
+  let record key v = json := (key, v) :: !json in
+  let planners =
+    match !scale with
+    | Full -> [ "stash-all"; "checkpoint-sqrt"; "dp-bptt"; "echo" ]
+    | Quick -> [ "stash-all"; "checkpoint-sqrt"; "echo" ]
+  in
+  (* Oversubscribed 2-domain pool with the work gate open: fan-out (and
+     therefore row partitioning) engages even on a 1-core CI box. *)
+  let fanout =
+    Parallel.create ~domains:2 ~oversubscribe:true ~min_fanout_work:0 ()
+  in
+  row "%-14s %8s %9s %11s@." "model" "configs" "findings" "check (ms)";
+  let clean = ref true in
+  List.iter
+    (fun entry ->
+      let graph, model = graph_of entry in
+      let tag = model.Model.name in
+      let configs = ref 0 and findings = ref 0 and worst = ref 0.0 in
+      List.iter
+        (fun planner ->
+          let inst = Planner.instantiate planner in
+          List.iter
+            (fun fuse ->
+              incr configs;
+              let exe =
+                Pipeline.compile_graph ~planner:inst ~runtime:fanout ~fuse
+                  graph
+              in
+              let t0 = wall () in
+              let report = Pipeline.race_verify exe in
+              worst := Float.max !worst (wall () -. t0);
+              let errs = Report.error_count report in
+              findings := !findings + errs;
+              if errs > 0 then begin
+                clean := false;
+                e22_violations :=
+                  Printf.sprintf "%s/%s/%s: %d race finding(s)" tag planner
+                    (if fuse then "fused" else "unfused")
+                    errs
+                  :: !e22_violations
+              end)
+            [ false; true ])
+        planners;
+      row "%-14s %8d %9d %11.2f@." tag !configs !findings (ms !worst);
+      record (tag ^ "_configs") (float_of_int !configs);
+      record (tag ^ "_findings") (float_of_int !findings);
+      record (tag ^ "_check_ms") (ms !worst))
+    (zoo ());
+  Parallel.shutdown fanout;
+  row "static race check clean everywhere: %b@." !clean;
+  record "static_clean" (if !clean then 1.0 else 0.0);
+  (* Sanitizer overhead grid. *)
+  let lm_cfg =
+    match !scale with
+    | Full ->
+      { Language_model.ptb_default with vocab = 120; embed = 24; hidden = 24;
+        layers = 2; seq_len = 8; batch = 4 }
+    | Quick ->
+      { Language_model.ptb_default with vocab = 80; embed = 16; hidden = 16;
+        layers = 1; seq_len = 6; batch = 2 }
+  in
+  let model = (Language_model.build lm_cfg).Language_model.model in
+  let graph = training_graph model in
+  let rng = Rng.create 11 in
+  let feeds =
+    List.map
+      (fun node ->
+        match Shape.rank (Node.shape node) with
+        | 4 -> (node, Tensor.normal rng (Node.shape node) ~mean:0.0 ~std:1.0)
+        | _ ->
+          ( node,
+            Tensor.init (Node.shape node) (fun _ ->
+                float_of_int (Rng.int rng (min 20 lm_cfg.Language_model.vocab)))
+          ))
+      model.Model.placeholders
+    @ Params.bindings model.Model.params
+  in
+  let fusion = Fuse.analyse graph in
+  let steps, rounds = match !scale with Full -> (5, 3) | Quick -> (3, 2) in
+  let reference =
+    Executor.eval (Executor.compile ~fusion graph) ~feeds
+  in
+  row "%-4s %10s %10s %10s %9s %9s %14s@." "" "plain" "cells" "full"
+    "cells-x" "full-x" "outputs";
+  let identical_everywhere = ref true in
+  List.iter
+    (fun d ->
+      let runtime =
+        if d = 1 then Parallel.sequential else Parallel.create ~domains:d ()
+      in
+      let time_and_check mode =
+        let exe = Executor.compile ~runtime ~fusion ~sanitize:mode graph in
+        let same =
+          List.for_all2 Tensor.equal reference (Executor.eval exe ~feeds)
+        in
+        let step () =
+          List.iter (fun (n, t) -> Executor.feed exe n t) feeds;
+          Executor.run exe
+        in
+        step () (* warm-up *);
+        let best = ref infinity in
+        for _ = 1 to rounds do
+          let t0 = wall () in
+          for _ = 1 to steps do step () done;
+          best :=
+            Float.min !best
+              (1000.0 *. (wall () -. t0) /. float_of_int steps)
+        done;
+        (!best, same)
+      in
+      let plain, plain_same = time_and_check Sanitize.Off in
+      let cells, cells_same = time_and_check Sanitize.Cells in
+      let full, full_same = time_and_check Sanitize.Full in
+      let identical = plain_same && cells_same && full_same in
+      if not identical then identical_everywhere := false;
+      row "d=%-2d %10.3f %10.3f %10.3f %8.2fx %8.2fx %14s@." d plain cells
+        full (cells /. plain) (full /. plain)
+        (if identical then "bit-identical" else "MISMATCH");
+      record (Printf.sprintf "lm_d%d_plain_ms" d) plain;
+      record (Printf.sprintf "lm_d%d_cells_ms" d) cells;
+      record (Printf.sprintf "lm_d%d_full_ms" d) full;
+      record (Printf.sprintf "lm_d%d_cells_overhead" d) (cells /. plain);
+      record (Printf.sprintf "lm_d%d_full_overhead" d) (full /. plain);
+      record
+        (Printf.sprintf "lm_d%d_identical" d)
+        (if identical then 1.0 else 0.0);
+      if d > 1 then Parallel.shutdown runtime)
+    [ 1; 2; 4 ];
+  if not !identical_everywhere then begin
+    e22_violations :=
+      "sanitized LM outputs diverged from the plain sequential reference"
+      :: !e22_violations
+  end;
+  row "sanitized runs bit-identical to plain everywhere: %b@."
+    !identical_everywhere;
+  record "sanitize_identical" (if !identical_everywhere then 1.0 else 0.0);
+  record_json ~path:"BENCH_E22.json" "E22" (List.rev !json)
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21);
+    ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21); ("E22", e22);
   ]
 
 let () =
@@ -1264,12 +1427,15 @@ let () =
       ("--quick", Arg.Unit (fun () -> scale := Quick), "Shrunken configurations");
       ( "--check",
         Arg.Unit (fun () -> check_mode := true),
-        "Smoke gate: run the E18 grid (unless --only widens it) and exit 1 \
-         if fused wall-clock regresses or parallelism is non-monotone" );
+        "Smoke gate: run the E18 grid and the E22 race-verify matrix \
+         (unless --only narrows it) and exit 1 if fused wall-clock \
+         regresses, parallelism is non-monotone, any (zoo x planner x \
+         fusion) config has a static race finding, or a sanitized run \
+         diverges" );
     ]
   in
   Arg.parse args (fun _ -> ()) "echo experiment harness";
-  if !check_mode && !only = None then only := Some "E18";
+  if !check_mode && !only = None then only := Some "E18,E22";
   let selected =
     match !only with
     | None -> experiments
@@ -1305,10 +1471,23 @@ let () =
   List.iter (fun (_, f) -> f ()) selected;
   json_flush ();
   Format.printf "@.done in %.1f s (cpu)@." (Sys.time () -. t0);
-  if !check_mode then
-    if !e18_violations = [] then Format.printf "E18 check: OK@."
-    else begin
-      Format.printf "E18 check FAILED:@.";
-      List.iter (fun m -> Format.printf "  %s@." m) (List.rev !e18_violations);
-      exit 1
-    end
+  if !check_mode then begin
+    (* Only render verdicts for gates that actually ran: --only E22 --check
+       must not print a vacuous "E18 check: OK". *)
+    let ran name = List.exists (fun (n, _) -> n = name) selected in
+    let render name violations =
+      if not (ran name) then true
+      else if !violations = [] then begin
+        Format.printf "%s check: OK@." name;
+        true
+      end
+      else begin
+        Format.printf "%s check FAILED:@." name;
+        List.iter (fun m -> Format.printf "  %s@." m) (List.rev !violations);
+        false
+      end
+    in
+    let ok18 = render "E18" e18_violations in
+    let ok22 = render "E22" e22_violations in
+    if not (ok18 && ok22) then exit 1
+  end

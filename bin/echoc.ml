@@ -120,7 +120,7 @@ let resolve_planner ?flag ~budget default =
 let train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
     ~device ~planner
     ~runtime ~budget_bytes ~faults_spec ~checkpoint_path ~checkpoint_every
-    ~resume ~no_fuse ~tune_exec ~corpus_file =
+    ~resume ~no_fuse ~tune_exec ~corpus_file ~sanitize =
   (* Parse the fault plan first: a malformed --faults/ECHO_FAULTS entry is a
      configuration error and must be reported before any model is built or
      compiled, not steps into the run. *)
@@ -256,8 +256,8 @@ let train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
           s.Echo_train.Loop.grad_norm)
       ~on_event:(fun e ->
         Format.printf "[recovery] %s@." (Echo_runtime.Event.to_string e))
-      ?budget_bytes ~faults ?checkpoint ~device ~runtime ?fuse ?planner
-      ~batches ()
+      ?budget_bytes ~faults ?checkpoint ~device ~runtime ?fuse ?sanitize
+      ?planner ~batches ()
   in
   let result =
     try train ()
@@ -307,19 +307,23 @@ let campaign_mode ~pool spec_text =
    one deliberate corruption first, demonstrating (and letting scripts
    assert, with --lint-strict's nonzero exit) that the checker for that
    artifact actually fires. *)
-let lint_policy ~runtime ~no_fuse ~corrupt label rw =
+let lint_policy ~runtime ~sanitize ~no_fuse ~corrupt label rw =
   let module Verify = Echo_analysis.Verify in
   let module Mutate = Echo_analysis.Mutate in
+  let module Race = Echo_analysis.Race in
   let planned = Pipeline.plan ~offsets:true rw in
   let fused =
     if no_fuse then Pipeline.fuse ~enabled:false planned
     else Pipeline.fuse planned
   in
-  let exe = Pipeline.compile ~runtime fused in
+  let exe = Pipeline.compile ~runtime ?sanitize fused in
   let graph = fused.Pipeline.graph in
   let report =
     match corrupt with
-    | None -> Pipeline.verify (Pipeline.Executable exe)
+    | None ->
+      let report = Pipeline.verify (Pipeline.Executable exe) in
+      Echo_diag.Report.append ~into:report (Pipeline.race_verify exe);
+      report
     | Some kind ->
       let offsets =
         match planned.Pipeline.offsets with
@@ -386,12 +390,64 @@ let lint_policy ~runtime ~no_fuse ~corrupt label rw =
             (Mutate.cross_region_group graph)
         in
         Verify.lint ~fusion graph
+      | "partition-overlap" | "partition-gap" ->
+        (* The corrupted chunk formula is only consulted where the runtime
+           actually fans out; force a 2-way oversubscribed fan-out so the
+           demonstration fires on any machine, single-core CI included. *)
+        let shift =
+          if kind = "partition-overlap" then `Overlap else `Gap
+        in
+        let fanout =
+          Echo_tensor.Parallel.create ~domains:2 ~oversubscribe:true
+            ~min_fanout_work:0 ()
+        in
+        let report =
+          Race.check_kernels ~chunk_bounds:(Mutate.shift_partition shift)
+            ?fusion:fused.Pipeline.fusion
+            ~binding:
+              (Echo_compiler.Executor.buffer_binding (Pipeline.executor exe))
+            ~runtime:fanout graph
+        in
+        Echo_tensor.Parallel.shutdown fanout;
+        report
+      | "lifetime" ->
+        let fusion = fused.Pipeline.fusion in
+        let corrupted =
+          need "no buffer read after its definition step"
+            (Mutate.shrink_lifetime (Liveness.analyse ?fusion graph))
+        in
+        let intervals =
+          List.map
+            (fun itv ->
+              ( Echo_ir.Node.id itv.Liveness.node,
+                itv.Liveness.def_step,
+                itv.Liveness.last_step ))
+            corrupted
+        in
+        Race.check_lifetimes ?fusion ~intervals graph
+      | "alias-offsets" ->
+        let binding = unfused_binding () in
+        let layout =
+          need "no two buffers with overlapping live ranges"
+            (Mutate.alias_offsets graph binding)
+        in
+        Race.check_addresses ~layout graph binding
+      | "fused-interior" ->
+        let plan =
+          need "no fusion plan (drop --no-fuse)" fused.Pipeline.fusion
+        in
+        let widened =
+          need "no single-input interior in any fused group"
+            (Mutate.widen_fused_interior plan)
+        in
+        Race.check_fused widened
       | other ->
         failwith
           (Printf.sprintf
              "unknown corruption %S: one of schedule, slot-overlap, \
               slot-escape, alias, inplace-donor, clone-seed, clone-hint, \
-              fusion-region"
+              fusion-region, partition-overlap, partition-gap, lifetime, \
+              alias-offsets, fused-interior"
              other))
   in
   List.iter
@@ -404,11 +460,20 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
     profile optimize dot_file trace_file save_file load_file device_name
     domains compile train_steps vocab budget_bytes faults_spec checkpoint_path
     checkpoint_every resume no_fuse tune_exec dump_fusion lint lint_strict
-    corrupt campaign corpus_file =
+    corrupt campaign corpus_file sanitize_spec =
   let device =
     match Echo_gpusim.Device.by_name device_name with
     | Some d -> d
     | None -> failwith (Printf.sprintf "unknown device %S" device_name)
+  in
+  (* Validate --sanitize before anything is built: a typo must be a loud
+     error naming the flag and the value, never a silent fallback. *)
+  let sanitize =
+    Option.map
+      (fun v ->
+        try Echo_analysis.Sanitize.mode_of_string ~source:"--sanitize" v
+        with Invalid_argument msg -> failwith msg)
+      sanitize_spec
   in
   (* The kernel runtime is process-wide: set it here once and every
      subsequent [Pipeline.compile] (with no explicit [?runtime]) uses it. *)
@@ -437,7 +502,7 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
     in
     train_mode model_choice ~batch ~seq_len ~hidden ~layers ~vocab ~steps
       ~device ~planner ~runtime ~budget_bytes ~faults_spec ~checkpoint_path
-      ~checkpoint_every ~resume ~no_fuse ~tune_exec ~corpus_file
+      ~checkpoint_every ~resume ~no_fuse ~tune_exec ~corpus_file ~sanitize
   | None ->
   if corpus_file <> None then
     failwith "--corpus only applies to --train (nothing else reads batches)";
@@ -490,12 +555,12 @@ let run model_choice batch seq_len hidden layers policy budget all breakdown
           if no_fuse then Pipeline.fuse ~enabled:false planned
           else Pipeline.fuse planned
         in
-        let exe = Pipeline.compile ~runtime fused in
+        let exe = Pipeline.compile ~runtime ?sanitize fused in
         Format.printf "%a@." Pipeline.describe exe
       end;
       if lint then
         if
-          lint_policy ~runtime ~no_fuse ~corrupt
+          lint_policy ~runtime ~sanitize ~no_fuse ~corrupt
             (Echo_core.Planner.label inst)
             rw
         then lint_failed := true;
@@ -695,10 +760,26 @@ let main_term =
           ~doc:
             "With --lint: seed one deliberate corruption before checking — \
              one of schedule, slot-overlap, slot-escape, alias, \
-             inplace-donor, clone-seed, clone-hint, fusion-region. The \
-             matching checker must fire; with --lint-strict the exit status \
-             proves it."
+             inplace-donor, clone-seed, clone-hint, fusion-region, \
+             partition-overlap, partition-gap, lifetime, alias-offsets, \
+             fused-interior. The matching checker must fire; with \
+             --lint-strict the exit status proves it."
           ~docv:"KIND")
+  in
+  let sanitize =
+    Arg.(
+      value & opt (some string) None
+      & info [ "sanitize" ]
+          ~doc:
+            "Shadow-memory sanitizer mode for every compiled executor: \
+             $(b,off), $(b,on) (tag each arena cell with its writer and \
+             generation; flag uninitialized, stale and plan-expired reads \
+             and out-of-partition writes), or $(b,full) (additionally \
+             bit-compare every foreign buffer around each instruction — \
+             slowest, catches writes the tags cannot see). Training is \
+             bit-identical under every mode. A bad value is rejected up \
+             front naming the flag. Defaults to \\$(b,ECHO_SANITIZE)."
+          ~docv:"MODE")
   in
   let campaign =
     Arg.(
@@ -731,7 +812,7 @@ let main_term =
     $ save_file $ load_file $ device $ domains $ compile $ train_steps
     $ vocab $ budget_bytes $ faults $ checkpoint_path $ checkpoint_every
     $ resume $ no_fuse $ tune_exec $ dump_fusion $ lint $ lint_strict
-    $ corrupt $ campaign $ corpus_file)
+    $ corrupt $ campaign $ corpus_file $ sanitize)
 
 (* echoc serve: the multi-tenant compile-and-train job server. Flag values
    are validated strictly up front — like the ECHO_DOMAINS parser, a bad

@@ -215,6 +215,146 @@ let bad_clone_hint graph =
       (rebuild graph ~replace:(fun n ->
            if Node.equal n t then Some fresh else None))
 
+(* ------------------------------------------------------------------ *)
+(* Race-verify corruptions: each targets exactly one of the Race /
+   Sanitize checkers, and the harness proves it fires both statically
+   (through Race's [?chunk_bounds]/[?intervals]/[?layout] injection
+   points) and dynamically (through [Executor.compile ?liveness] or a
+   directly-driven [Sanitize]).                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A corrupted chunk formula: every interior boundary is shifted one row,
+   so adjacent chunks either both write the boundary row ([`Overlap]) or
+   neither does ([`Gap]). Plugs into [Race.check_kernels ?chunk_bounds]. *)
+let shift_partition kind n parts i =
+  let lo = i * n / parts and hi = (i + 1) * n / parts in
+  if i = 0 then (lo, hi)
+  else
+    match kind with
+    | `Overlap -> (max 0 (lo - 1), hi)
+    | `Gap -> (min hi (lo + 1), hi)
+
+(* Expire one read-after-def buffer at its definition step: the pool may
+   recycle it under the pending read. The corrupted intervals go to
+   [Race.check_lifetimes ?intervals] statically and, through
+   [Liveness.of_intervals] and [Executor.compile ?liveness], to a real
+   executor whose sanitizer must catch the stale read dynamically. *)
+let shrink_lifetime liveness =
+  let module L = Echo_exec.Liveness in
+  let its = L.intervals liveness in
+  match
+    List.find_opt
+      (fun itv ->
+        itv.L.last_step <> max_int && itv.L.last_step > itv.L.def_step)
+      its
+  with
+  | None -> None
+  | Some victim ->
+    Some
+      (List.map
+         (fun itv ->
+           if Node.equal itv.L.node victim.L.node then
+             { itv with L.last_step = itv.L.def_step }
+           else itv)
+         its)
+
+(* A corrupted arena layout: place one buffer on top of another whose
+   tenant is live across the victim's definition, so two simultaneously
+   live values share addresses. Plugs into [Race.check_addresses
+   ?layout]. *)
+let alias_offsets graph binding =
+  let pos = positions graph in
+  let overlap_pair =
+    List.find_map
+      (fun (donor, dbid) ->
+        let d_def = Hashtbl.find pos (Node.id donor) in
+        let d_last = last_read graph pos donor d_def in
+        List.find_map
+          (fun (victim, vbid) ->
+            if vbid = dbid then None
+            else
+              let v_def = Hashtbl.find pos (Node.id victim) in
+              if v_def > d_def && v_def < d_last then Some (dbid, vbid)
+              else None)
+          binding)
+      binding
+  in
+  match overlap_pair with
+  | None -> None
+  | Some (dbid, vbid) ->
+    (* The honest end-to-end layout, with the victim's base rebased onto
+       the donor's. *)
+    let size_of = Hashtbl.create 64 in
+    List.iter
+      (fun (n, bid) ->
+        let sz = Echo_tensor.Shape.numel (Node.shape n) in
+        let cur = try Hashtbl.find size_of bid with Not_found -> 0 in
+        if sz > cur then Hashtbl.replace size_of bid sz)
+      binding;
+    let bids = List.sort_uniq compare (List.map snd binding) in
+    let base = ref 0 in
+    let layout =
+      List.map
+        (fun bid ->
+          let b = !base in
+          base := !base + (try Hashtbl.find size_of bid with Not_found -> 0);
+          (bid, b))
+        bids
+    in
+    let donor_base = List.assoc dbid layout in
+    Some
+      (List.map
+         (fun (bid, b) -> if bid = vbid then (bid, donor_base) else (bid, b))
+         layout)
+
+(* Swap one single-input interior of a fused group for a clone one row
+   wider than the root's sweep: the member-at-a-time semantics the fused
+   kernel replaces would write outside the partition. Plugs into
+   [Race.check_fused]. *)
+let widen_fused_interior plan =
+  let widen shape =
+    if Echo_tensor.Shape.rank shape = 0 then [| 2 |]
+    else begin
+      let c = Array.copy shape in
+      c.(0) <- c.(0) + 1;
+      c
+    end
+  in
+  let try_group g =
+    let root = g.Fuse.root in
+    match
+      List.find_opt
+        (fun m -> (not (Node.equal m root)) && List.length (Node.inputs m) = 1)
+        g.Fuse.members
+    with
+    | None -> None
+    | Some m ->
+      let wide_leaf =
+        Node.create
+          ~name:(Node.name m ^ "/widened")
+          ~region:(Node.region m)
+          ~shape:(widen (Node.shape m))
+          Op.Placeholder []
+      in
+      let fresh = Node.clone_with_inputs m [ wide_leaf ] in
+      Some
+        {
+          g with
+          Fuse.members =
+            List.map
+              (fun x -> if Node.equal x m then fresh else x)
+              g.Fuse.members;
+        }
+  in
+  let rec first = function
+    | [] -> None
+    | g :: rest -> (
+      match try_group g with Some g' -> Some g' | None -> first rest)
+  in
+  match first (Fuse.groups plan) with
+  | None -> None
+  | Some g' -> Some (Fuse.of_groups [ g' ])
+
 let cross_region_group graph =
   let site =
     List.find_opt

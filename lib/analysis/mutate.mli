@@ -46,3 +46,36 @@ val cross_region_group : Graph.t -> Fuse.plan option
 (** A hand-indexed fusion plan whose single group chains a forward producer
     into a backward consumer — {!Verify.check_fusion} must report the
     region crossing. *)
+
+(** {1 Race-verify corruptions}
+
+    Each targets exactly one {!Race} / {!Sanitize} checker; the harness
+    proves every one fires both statically (through [Race]'s
+    [?chunk_bounds] / [?intervals] / [?layout] injection points) and
+    dynamically (through [Executor.compile ?liveness] or a directly
+    driven {!Sanitize}). *)
+
+val shift_partition : [ `Overlap | `Gap ] -> int -> int -> int -> int * int
+(** A corrupted chunk formula with every interior boundary shifted one
+    row: adjacent chunks either both write the boundary row or neither
+    does — {!Race.check_kernels}'s [?chunk_bounds] must report the
+    overlap / gap. *)
+
+val shrink_lifetime :
+  Echo_exec.Liveness.t -> Echo_exec.Liveness.interval list option
+(** Expire one read-after-def buffer at its definition step, so the pool
+    may recycle it under the pending read — {!Race.check_lifetimes} must
+    report the stale read, and an executor compiled over
+    [Liveness.of_intervals] of the same corruption must trip the
+    sanitizer. *)
+
+val alias_offsets : Graph.t -> (Node.t * int) list -> (int * int) list option
+(** A corrupted arena layout placing one buffer's base on top of another
+    whose tenant is live across the victim's definition —
+    {!Race.check_addresses}'s [?layout] must report the overlapping live
+    buffers. *)
+
+val widen_fused_interior : Fuse.plan -> Fuse.plan option
+(** Swap one single-input interior of a fused group for a clone one row
+    wider than the root's sweep — {!Race.check_fused} must report the
+    extent mismatch. *)

@@ -9,6 +9,9 @@ module Planner = Echo_core.Planner
 module Pass = Echo_core.Pass
 module Mutate = Echo_analysis.Mutate
 module Verify = Echo_analysis.Verify
+module Sanitize = Echo_analysis.Sanitize
+module Race = Echo_analysis.Race
+module Pipeline = Echo_compiler.Pipeline
 module Corpus = Echo_workloads.Corpus
 
 let device = Echo_gpusim.Device.titan_xp
@@ -38,6 +41,7 @@ type result = {
   config : config;
   outcome : outcome;
   verify_caught : bool option;
+  race_caught : bool option;
 }
 
 type cell = {
@@ -49,6 +53,8 @@ type cell = {
   crash : int;
   verify_caught : int;
   verify_total : int;
+  race_caught : int;
+  race_total : int;
 }
 
 type spec = { preset : string; steps : int; seed : int; out : string option }
@@ -226,13 +232,14 @@ let act_site_count graph =
          | _ -> true)
        (Graph.forward_nodes graph))
 
-let train_once ~spec ~model ~fuse ~planner ~faults ~graph ~lm ~on_event =
+let train_once ~spec ~model ~fuse ~planner ~faults ~graph ~lm ?sanitize
+    ~on_event () =
   let batches, _ = data_for lm ~steps:spec.steps ~seed:spec.seed in
   Loop.train ~graph
     ~params:(Params.bindings lm.Language_model.model.Model.params)
     ~optimizer:(Optimizer.create (Optimizer.Sgd { lr = 0.5 }))
     ~clip_norm:5.0 ~on_event ~faults ~device ~runtime:Parallel.sequential
-    ~fuse ?planner ~batches ()
+    ~fuse ?sanitize ?planner ~batches ()
   |> fun r ->
   ignore model;
   r.Loop.losses
@@ -292,7 +299,7 @@ let golden_for ~spec ~model ~planner ~fuse =
   let _, dead = data_for lm ~steps:spec.steps ~seed:spec.seed in
   let losses =
     train_once ~spec ~model ~fuse ~planner:(Some inst) ~faults:Fault.none
-      ~graph ~lm ~on_event:ignore
+      ~graph ~lm ~on_event:ignore ()
   in
   {
     g_losses = losses;
@@ -337,10 +344,64 @@ let menu ~spec (g : golden) =
 
 (* {1 Execution} *)
 
+(* The dynamic cross-check: replay a flip fault under the Full-mode
+   shadow-memory sanitizer ({!Echo_analysis.Sanitize}) and record whether
+   it trips. An activation flip lands in the executor arena mid-run and
+   surfaces as a foreign write at the next instruction; a parameter flip
+   mutates persistent state outside the arena the sanitizer shadows and is
+   (correctly) invisible to it. The probe is a fresh run, independent of
+   the classified one, so detection never perturbs the outcome taxonomy;
+   it stops at the first step that can observe the flip. *)
+let sanitizer_probe ~spec ~c s =
+  let probe_spec = { spec with steps = min spec.steps (s.Fault.step + 2) } in
+  try
+    let lm = build_lm ~seed:spec.seed c.model in
+    let graph =
+      (Model.training lm.Language_model.model).Echo_autodiff.Grad.graph
+    in
+    let inst = Planner.instantiate c.planner in
+    ignore
+      (train_once ~spec:probe_spec ~model:c.model ~fuse:c.fuse
+         ~planner:(Some inst) ~faults:(Fault.of_specs [ s ]) ~graph ~lm
+         ~sanitize:Sanitize.Full ~on_event:ignore ());
+    Some false
+  with
+  | Sanitize.Sanitize_failed _ -> Some true
+  | _ -> None
+
+(* The static cross-check for plan faults: compile the corrupted graph
+   off the verify gate and ask {!Pipeline.race_verify} directly. Clone
+   corruptions are semantic (wrong seed, wrong hint), not races — the
+   column documents that the race layer is orthogonal to them while
+   {!Verify.lint} (the verify column) catches them. Under [ECHO_VERIFY=1]
+   the compile itself may be refused; the race verdict is then read off
+   the refusal report's race-check findings. *)
+let race_static ~fuse graph =
+  let race_checks =
+    [
+      "race-partition"; "race-sharing"; "race-alias"; "race-fused";
+      "race-liveness"; "race-address";
+    ]
+  in
+  try
+    let exe = Pipeline.compile_graph ~runtime:Parallel.sequential ~fuse graph in
+    Some (Echo_diag.Report.has_errors (Pipeline.race_verify exe))
+  with
+  | Verify.Verify_failed report ->
+    Some
+      (List.exists
+         (fun check ->
+           List.exists
+             (fun d -> d.Echo_diag.severity = Echo_diag.Error)
+             (Echo_diag.Report.with_check check report))
+         race_checks)
+  | _ -> None
+
 let run_config ~spec ~golden c =
   let events = ref [] in
   let on_event e = events := e :: !events in
   let verify_caught = ref None in
+  let race_caught = ref None in
   let outcome =
     match
       let lm = build_lm ~seed:spec.seed c.model in
@@ -350,8 +411,12 @@ let run_config ~spec ~golden c =
       let inst = Planner.instantiate c.planner in
       match c.fault with
       | Runtime_fault s ->
+        (match s.Fault.kind with
+        | Fault.Flip_param _ | Fault.Flip_act _ ->
+          race_caught := sanitizer_probe ~spec ~c s
+        | _ -> ());
         train_once ~spec ~model:c.model ~fuse:c.fuse ~planner:(Some inst)
-          ~faults:(Fault.of_specs [ s ]) ~graph ~lm ~on_event
+          ~faults:(Fault.of_specs [ s ]) ~graph ~lm ~on_event ()
       | Plan_fault m ->
         let rw, _ = Pass.run_instance ~device inst graph in
         let mutated =
@@ -368,8 +433,9 @@ let run_config ~spec ~golden c =
            this artifact? Checked directly, independent of ECHO_VERIFY. *)
         verify_caught :=
           Some (Echo_diag.Report.has_errors (Verify.lint mutated));
+        race_caught := race_static ~fuse:c.fuse mutated;
         train_once ~spec ~model:c.model ~fuse:c.fuse ~planner:None
-          ~faults:Fault.none ~graph:mutated ~lm ~on_event
+          ~faults:Fault.none ~graph:mutated ~lm ~on_event ()
     with
     | losses -> classify ~golden:golden.g_losses ~events:!events losses
     | exception Verify.Verify_failed _ ->
@@ -378,7 +444,8 @@ let run_config ~spec ~golden c =
       Detected_recovered
     | exception _ -> Crash
   in
-  { config = c; outcome; verify_caught = !verify_caught }
+  { config = c; outcome; verify_caught = !verify_caught;
+    race_caught = !race_caught }
 
 (* Fan [f 0 .. f (n-1)] out across the pool. Each task writes only its own
    result slot, so work stealing cannot perturb the report. The huge work
@@ -465,26 +532,37 @@ let run ?pool spec =
                     | Silent_data_corruption -> { cell with sdc = cell.sdc + 1 }
                     | Crash -> { cell with crash = cell.crash + 1 }
                   in
-                  match r.verify_caught with
-                  | None -> (
-                    match r.config.fault with
-                    | Plan_fault _ ->
-                      (* the compile was refused before the direct lint ran:
-                         ECHO_VERIFY counts as a static catch *)
+                  let cell =
+                    match r.verify_caught with
+                    | None -> (
+                      match r.config.fault with
+                      | Plan_fault _ ->
+                        (* the compile was refused before the direct lint
+                           ran: ECHO_VERIFY counts as a static catch *)
+                        {
+                          cell with
+                          verify_total = cell.verify_total + 1;
+                          verify_caught =
+                            (cell.verify_caught
+                            + if r.outcome = Detected_recovered then 1 else 0);
+                        }
+                      | Runtime_fault _ -> cell)
+                    | Some caught ->
                       {
                         cell with
                         verify_total = cell.verify_total + 1;
                         verify_caught =
-                          (cell.verify_caught
-                          + if r.outcome = Detected_recovered then 1 else 0);
+                          (cell.verify_caught + if caught then 1 else 0);
                       }
-                    | Runtime_fault _ -> cell)
+                  in
+                  match r.race_caught with
+                  | None -> cell
                   | Some caught ->
                     {
                       cell with
-                      verify_total = cell.verify_total + 1;
-                      verify_caught =
-                        (cell.verify_caught + if caught then 1 else 0);
+                      race_total = cell.race_total + 1;
+                      race_caught =
+                        (cell.race_caught + if caught then 1 else 0);
                     })
               {
                 cell_model = model;
@@ -495,6 +573,8 @@ let run ?pool spec =
                 crash = 0;
                 verify_caught = 0;
                 verify_total = 0;
+                race_caught = 0;
+                race_total = 0;
               }
               results)
           planners)
@@ -514,30 +594,39 @@ let summary r =
     r.spec.preset
     (List.length r.results)
     (List.length models) (List.length planners) r.spec.steps r.spec.seed;
-  Printf.bprintf b "%-14s %-16s %7s %9s %5s %6s %8s\n" "model" "planner"
-    "masked" "detected" "sdc" "crash" "verify";
+  Printf.bprintf b "%-14s %-16s %7s %9s %5s %6s %8s %8s\n" "model" "planner"
+    "masked" "detected" "sdc" "crash" "verify" "race";
   List.iter
     (fun c ->
-      Printf.bprintf b "%-14s %-16s %7d %9d %5d %6d %8s\n" c.cell_model
+      Printf.bprintf b "%-14s %-16s %7d %9d %5d %6d %8s %8s\n" c.cell_model
         c.cell_planner c.masked c.detected c.sdc c.crash
         (if c.verify_total = 0 then "-"
-         else Printf.sprintf "%d/%d" c.verify_caught c.verify_total))
+         else Printf.sprintf "%d/%d" c.verify_caught c.verify_total)
+        (if c.race_total = 0 then "-"
+         else Printf.sprintf "%d/%d" c.race_caught c.race_total))
     r.cells;
-  let tm, td, ts, tc, vc, vt =
+  let tm, td, ts, tc, vc, vt, rc, rt =
     List.fold_left
-      (fun (m, d, s, c, vc, vt) cell ->
+      (fun (m, d, s, c, vc, vt, rc, rt) cell ->
         ( m + cell.masked,
           d + cell.detected,
           s + cell.sdc,
           c + cell.crash,
           vc + cell.verify_caught,
-          vt + cell.verify_total ))
-      (0, 0, 0, 0, 0, 0) r.cells
+          vt + cell.verify_total,
+          rc + cell.race_caught,
+          rt + cell.race_total ))
+      (0, 0, 0, 0, 0, 0, 0, 0) r.cells
   in
-  Printf.bprintf b "%-14s %-16s %7d %9d %5d %6d %8s\n" "total" "" tm td ts tc
-    (if vt = 0 then "-" else Printf.sprintf "%d/%d" vc vt);
+  Printf.bprintf b "%-14s %-16s %7d %9d %5d %6d %8s %8s\n" "total" "" tm td ts
+    tc
+    (if vt = 0 then "-" else Printf.sprintf "%d/%d" vc vt)
+    (if rt = 0 then "-" else Printf.sprintf "%d/%d" rc rt);
   Printf.bprintf b
     "echo-verify flagged %d of %d plan-corrupting faults statically\n" vc vt;
+  Printf.bprintf b
+    "race/sanitizer cross-check flagged %d of %d memory-upsetting faults\n" rc
+    rt;
   Buffer.contents b
 
 let detail_lines r =
@@ -550,7 +639,12 @@ let detail_lines r =
         (match res.verify_caught with
         | None -> ""
         | Some true -> " [verify:caught]"
-        | Some false -> " [verify:missed]"))
+        | Some false -> " [verify:missed]")
+        ^
+        match res.race_caught with
+        | None -> ""
+        | Some true -> " [race:caught]"
+        | Some false -> " [race:missed]")
     r.results
 
 let json_fields r =
@@ -563,18 +657,22 @@ let json_fields r =
       (key "crash", float_of_int c.crash);
       (key "verify_caught", float_of_int c.verify_caught);
       (key "verify_total", float_of_int c.verify_total);
+      (key "race_caught", float_of_int c.race_caught);
+      (key "race_total", float_of_int c.race_total);
     ]
   in
-  let tm, td, ts, tc, vc, vt =
+  let tm, td, ts, tc, vc, vt, rc, rt =
     List.fold_left
-      (fun (m, d, s, c, vcaught, vtotal) cell ->
+      (fun (m, d, s, c, vcaught, vtotal, rcaught, rtotal) cell ->
         ( m + cell.masked,
           d + cell.detected,
           s + cell.sdc,
           c + cell.crash,
           vcaught + cell.verify_caught,
-          vtotal + cell.verify_total ))
-      (0, 0, 0, 0, 0, 0) r.cells
+          vtotal + cell.verify_total,
+          rcaught + cell.race_caught,
+          rtotal + cell.race_total ))
+      (0, 0, 0, 0, 0, 0, 0, 0) r.cells
   in
   List.concat_map cell_fields r.cells
   @ [
@@ -585,4 +683,6 @@ let json_fields r =
       ("total/crash", float_of_int tc);
       ("total/verify_caught", float_of_int vc);
       ("total/verify_total", float_of_int vt);
+      ("total/race_caught", float_of_int rc);
+      ("total/race_total", float_of_int rt);
     ]

@@ -32,7 +32,17 @@
     {!Echo_analysis.Mutate}) additionally record whether the Echo-verify
     static sanitizer flags the corrupted artifact — the report's
     cross-check column tying the campaign back to translation
-    validation. *)
+    validation.
+
+    A second cross-check column ties the campaign to the race-verify
+    layer: every bit-flip fault is replayed under the Full-mode
+    shadow-memory sanitizer ({!Echo_analysis.Sanitize}) and every plan
+    fault is checked by the static race analysis
+    ({!Echo_compiler.Pipeline.race_verify}). The column measures the
+    layer's real coverage boundary — activation flips surface as foreign
+    writes in the shadowed arena, while parameter flips live outside it
+    and clone corruptions are semantic rather than racy, so both are
+    (correctly) missed. *)
 
 type outcome = Masked | Detected_recovered | Silent_data_corruption | Crash
 
@@ -71,6 +81,13 @@ type result = {
       (** [Some true] iff this is a plan fault and {!Echo_analysis.Verify}
           reported an error on the corrupted artifact; [None] for runtime
           faults (there is no static artifact to check) *)
+  race_caught : bool option;
+      (** the race-verify cross-check: for a bit-flip fault, [Some true]
+          iff a Full-mode sanitizer replay raised
+          {!Echo_analysis.Sanitize.Sanitize_failed}; for a plan fault,
+          iff the static race analysis reported an error on the corrupted
+          artifact; [None] for transient/NaN faults (no memory upset to
+          observe) or when the probe itself crashed *)
 }
 
 type cell = {
@@ -82,6 +99,9 @@ type cell = {
   crash : int;
   verify_caught : int;  (** plan faults the sanitizer flagged *)
   verify_total : int;  (** plan faults attempted in this cell *)
+  race_caught : int;
+      (** faults the race checker or shadow-memory sanitizer flagged *)
+  race_total : int;  (** faults the race/sanitizer cross-check probed *)
 }
 (** One row of the resilience report: the outcome histogram of every
     configuration sharing (model, planner), fused and unfused merged. *)
@@ -123,8 +143,8 @@ val summary : report -> string
     the reproducibility test compares byte-for-byte. *)
 
 val detail_lines : report -> string list
-(** One line per configuration (fault, outcome, verify verdict), in
-    enumeration order — the report file's appendix. *)
+(** One line per configuration (fault, outcome, verify and race/sanitizer
+    verdicts), in enumeration order — the report file's appendix. *)
 
 val json_fields : report -> (string * float) list
 (** The BENCH_E20 payload: per-cell histogram counts

@@ -1,6 +1,7 @@
 open Echo_tensor
 open Echo_ir
 open Echo_exec
+module Sanitize = Echo_analysis.Sanitize
 
 (* A physical transient buffer. [writers] counts the instructions that write
    into it across the whole schedule: a constant node owning a single-writer
@@ -37,6 +38,9 @@ type t = {
       (** (slot, index, bit) single-event upsets to apply during the next
           {!run}, right after the slot's instruction writes; cleared after
           that run *)
+  sanitize : Sanitize.t option;
+      (** shadow-memory sanitizer driven around every instruction of every
+          {!run}; [None] when compiled with the sanitizer off *)
 }
 
 exception Budget_exceeded of { requested_bytes : int; budget_bytes : int }
@@ -53,11 +57,21 @@ let () =
 
 let nop () = ()
 
-let compile ?(inplace = true) ?budget_bytes ?runtime ?fusion graph =
+let compile ?(inplace = true) ?budget_bytes ?runtime ?fusion ?liveness
+    ?sanitize graph =
   let runtime =
     match runtime with Some r -> r | None -> Parallel.default ()
   in
-  let liveness = Liveness.analyse ?fusion graph in
+  (* [?liveness] overrides the plan the executor frees and recycles
+     buffers against — the race-verify mutation harness injects corrupted
+     intervals here ([Liveness.of_intervals]) to prove the sanitizer
+     catches the resulting stale reads on a real executor. *)
+  let liveness =
+    match liveness with Some l -> l | None -> Liveness.analyse ?fusion graph
+  in
+  let sanitize_mode =
+    match sanitize with Some m -> m | None -> Sanitize.env_mode ()
+  in
   (* Fused interiors get no buffer, no tensor and no instruction; a group
      root compiles to one fused instruction over the group's external
      inputs. Both follow the same [Fuse.plan] the planner used, so the
@@ -376,6 +390,74 @@ let compile ?(inplace = true) ?budget_bytes ?runtime ?fusion graph =
         | _ -> acc)
       0 nodes
   in
+  (* Describe the schedule to the shadow-memory sanitizer: what each slot
+     writes (bid + extent), which arena cells it reads and from which
+     producer, and how long the plan keeps its value alive. Built after
+     bid numbering so the descriptions use the same buffer identities the
+     static checkers see. *)
+  let sanitizer =
+    if not (Sanitize.is_on sanitize_mode) then None
+    else begin
+      let buffers = Hashtbl.create 64 in
+      Array.iter
+        (fun b ->
+          match b with
+          | Some b when not (Hashtbl.mem buffers b.bid) ->
+            Hashtbl.replace buffers b.bid b.arr
+          | _ -> ())
+        buf_of_slot;
+      let tracked_inputs node =
+        match group_of_root node with
+        | Some g -> g.Fuse.externals
+        | None -> Node.inputs node
+      in
+      let slots =
+        Array.mapi
+          (fun step node ->
+            let si_name =
+              Printf.sprintf "%s %s" (Op.to_string (Node.op node))
+                (Node.name node)
+            in
+            let si_dst =
+              match buf_of_slot.(step) with
+              | Some b -> Some (b.bid, Shape.numel (Node.shape node))
+              | None -> None
+            in
+            let si_const =
+              match (buf_of_slot.(step), Node.op node) with
+              | Some b, (Op.Zeros | Op.ConstFill _ | Op.DropoutMask _) ->
+                b.writers = 1
+              | _ -> false
+            in
+            let si_reads =
+              if si_dst = None then [||]
+              else
+                Array.of_list
+                  (List.filter_map
+                     (fun input ->
+                       match Hashtbl.find_opt slot_of_id (Node.id input) with
+                       | None -> None
+                       | Some s -> (
+                         match buf_of_slot.(s) with
+                         | Some b ->
+                           Some (s, b.bid, Shape.numel (Node.shape input))
+                         | None -> None))
+                     (tracked_inputs node))
+            in
+            let si_expire =
+              match Liveness.interval liveness (Node.id node) with
+              | itv -> itv.Liveness.last_step
+              | exception Not_found -> max_int
+            in
+            { Sanitize.si_name; si_dst; si_const; si_reads; si_expire })
+          nodes
+      in
+      Some
+        (Sanitize.create sanitize_mode ~slots
+           ~buffers:
+             (Hashtbl.fold (fun bid arr acc -> (bid, arr) :: acc) buffers []))
+    end
+  in
   {
     graph;
     runtime;
@@ -402,6 +484,7 @@ let compile ?(inplace = true) ?budget_bytes ?runtime ?fusion graph =
       Array.init n (fun s ->
           is_persistent_slot.(s) || buf_of_slot.(s) <> None);
     pending_flips = [];
+    sanitize = sanitizer;
   }
 
 let graph e = e.graph
@@ -420,6 +503,8 @@ let transient_bytes e = e.transient_bytes
 let persistent_bytes e = e.persistent_bytes
 let buffer_binding e = e.binding
 let interp_fallback_count e = e.fallback_count
+let sanitize_mode e = match e.sanitize with None -> Sanitize.Off | Some s -> Sanitize.mode s
+let sanitize_report e = Option.map Sanitize.report e.sanitize
 
 let slot_opt e node = Hashtbl.find_opt e.slot_of_id (Node.id node)
 
@@ -521,20 +606,40 @@ let run e =
      instant its kernel has written it — before any consumer reads — so
      the flip lands at the same dataflow point under every planner, fusion
      setting and domain count. *)
-  (match e.pending_flips with
-  | [] ->
+  (match e.sanitize with
+  | Some san ->
+    (* Sanitized path: shadow checks bracket every instruction. A pending
+       flip is applied after [after_instr] stamps and snapshots the slot's
+       destination, so [Full] mode sees the corruption as a foreign write
+       at the next instruction — exactly how a real upset would surface. *)
+    Sanitize.begin_run san;
+    let flips = e.pending_flips in
     for i = 0 to Array.length instrs - 1 do
-      (Array.unsafe_get instrs i) ()
-    done
-  | flips ->
-    for i = 0 to Array.length instrs - 1 do
+      Sanitize.before_instr san i;
       (Array.unsafe_get instrs i) ();
+      Sanitize.after_instr san i;
       List.iter
         (fun (s, index, bit) ->
           if s = i then Tensor.flip_bit e.values.(i) ~index ~bit)
         flips
     done;
-    e.pending_flips <- []);
+    e.pending_flips <- [];
+    Sanitize.check_exn san
+  | None -> (
+    match e.pending_flips with
+    | [] ->
+      for i = 0 to Array.length instrs - 1 do
+        (Array.unsafe_get instrs i) ()
+      done
+    | flips ->
+      for i = 0 to Array.length instrs - 1 do
+        (Array.unsafe_get instrs i) ();
+        List.iter
+          (fun (s, index, bit) ->
+            if s = i then Tensor.flip_bit e.values.(i) ~index ~bit)
+          flips
+      done;
+      e.pending_flips <- []));
   let os = e.output_slots in
   for i = 0 to Array.length os - 1 do
     e.outs.(i) <- e.values.(os.(i))

@@ -40,6 +40,8 @@ val compile :
   ?budget_bytes:int ->
   ?runtime:Parallel.t ->
   ?fusion:Fuse.plan ->
+  ?liveness:Echo_exec.Liveness.t ->
+  ?sanitize:Echo_analysis.Sanitize.mode ->
   Graph.t ->
   t
 (** Compile the graph's schedule into instructions and bind buffers.
@@ -64,7 +66,20 @@ val compile :
     and no instruction, so [footprint_bytes] equals
     [(Memplan.plan ~fusion graph).arena_bytes], and results stay
     bit-identical to the unfused executor (same scalar kernels, same
-    partitioning). *)
+    partitioning).
+
+    [liveness] (default: [Liveness.analyse ?fusion graph]) is the plan
+    the executor frees and recycles buffers against. Overriding it is the
+    race-verify mutation harness's injection point: a corrupted interval
+    list ({!Echo_exec.Liveness.of_intervals}) becomes a real executor
+    whose early frees the shadow-memory sanitizer must catch.
+
+    [sanitize] (default {!Echo_analysis.Sanitize.env_mode}, i.e. the
+    [ECHO_SANITIZE] environment variable) brackets every instruction of
+    every {!run} with shadow-memory checks — see
+    {!Echo_analysis.Sanitize}. The sanitizer changes no kernel, schedule
+    or buffer content, so sanitized runs stay bit-identical; {!run}
+    raises [Sanitize_failed] at the end of any step with findings. *)
 
 (** {1 Running} *)
 
@@ -172,3 +187,12 @@ val interp_fallback_count : t -> int
 (** Number of compiled instructions that evaluate through the reference
     interpreter instead of a native compiled kernel (currently the conv2d
     family). Surfaced by [echoc --lint] as an info diagnostic. *)
+
+val sanitize_mode : t -> Echo_analysis.Sanitize.mode
+(** The shadow-memory sanitizer mode this executor was compiled with. *)
+
+val sanitize_report : t -> Echo_diag.Report.t option
+(** The sanitizer's findings so far ([None] when compiled with it off).
+    {!run} raises [Echo_analysis.Sanitize.Sanitize_failed] as soon as a
+    step finishes with error findings, but the report remains readable
+    here afterwards. *)

@@ -171,17 +171,41 @@ let verify stage =
       ~fallback_count:(Executor.interp_fallback_count e.executor)
       f.graph
 
-let compile ?budget_bytes ?runtime (f : fused) =
+(* The race checker over a compiled executable: every artifact the
+   executor actually carries — its runtime, fusion plan, buffer binding
+   and the liveness intervals it frees against — handed to
+   [Race.check]. *)
+let race_verify e =
+  let f = e.fused in
+  let executor = e.executor in
+  let intervals =
+    List.map
+      (fun itv ->
+        Echo_exec.Liveness.
+          (Node.id itv.node, itv.def_step, itv.last_step))
+      (Echo_exec.Liveness.intervals
+         (Echo_exec.Liveness.analyse ?fusion:f.fusion f.graph))
+  in
+  Echo_analysis.Race.check ?fusion:f.fusion ~intervals
+    ~binding:(Executor.buffer_binding executor)
+    ~runtime:(Executor.runtime executor) f.graph
+
+let compile ?budget_bytes ?runtime ?sanitize (f : fused) =
   let e =
     {
       fused = f;
       executor =
-        Executor.compile ?budget_bytes ?runtime ?fusion:f.fusion f.graph;
+        Executor.compile ?budget_bytes ?runtime ?fusion:f.fusion ?sanitize
+          f.graph;
     }
   in
-  (* ECHO_VERIFY=1: every compile self-certifies; error findings abort. *)
-  if Echo_analysis.Verify.env_enabled () then
+  (* ECHO_VERIFY=1: every compile self-certifies; error findings abort.
+     The race checker runs alongside the classic verifiers, so every
+     verified compile is also proven partition-disjoint. *)
+  if Echo_analysis.Verify.env_enabled () then begin
     Echo_analysis.Verify.check_exn (verify (Executable e));
+    Echo_analysis.Verify.check_exn (race_verify e)
+  end;
   e
 
 let executor e = e.executor
@@ -203,7 +227,7 @@ type cache = {
    setting, the runtime's domain count and blocking threshold (both baked
    into compiled instructions), and the budget ceiling the artifact was
    proven under. *)
-let cache_key ?planner ?runtime ?fuse ?budget_bytes graph =
+let cache_key ?planner ?runtime ?fuse ?budget_bytes ?sanitize graph =
   let planner_label =
     match planner with
     | Some i -> Echo_core.Planner.label i
@@ -214,6 +238,11 @@ let cache_key ?planner ?runtime ?fuse ?budget_bytes graph =
   in
   let rt =
     match runtime with Some r -> r | None -> Echo_tensor.Parallel.default ()
+  in
+  let sanitize =
+    match sanitize with
+    | Some m -> m
+    | None -> Echo_analysis.Sanitize.env_mode ()
   in
   Digest.to_hex
     (Digest.string
@@ -227,9 +256,14 @@ let cache_key ?planner ?runtime ?fuse ?budget_bytes graph =
             (match budget_bytes with
             | None -> "unbounded"
             | Some b -> string_of_int b);
+            (* The sanitizer is baked into the compiled run loop, so a
+               sanitized and a plain executable must never share a cache
+               entry. *)
+            Echo_analysis.Sanitize.mode_name sanitize;
           ]))
 
-let compile_graph ?budget_bytes ?policy ?planner ?runtime ?fuse ?cache graph =
+let compile_graph ?budget_bytes ?policy ?planner ?runtime ?fuse ?sanitize
+    ?cache graph =
   let planner =
     match (planner, policy) with
     | Some i, _ -> Some i
@@ -240,19 +274,19 @@ let compile_graph ?budget_bytes ?policy ?planner ?runtime ?fuse ?cache graph =
     of_training_graph graph
     |> optimize ~enabled:false |> rewrite ?planner |> plan
     |> fuse_stage ?enabled:fuse ?runtime
-    |> compile ?budget_bytes ?runtime
+    |> compile ?budget_bytes ?runtime ?sanitize
   in
   match cache with
   | None -> build ()
   | Some c ->
     c.fetch
-      ~key:(cache_key ?planner ?runtime ?fuse ?budget_bytes graph)
+      ~key:(cache_key ?planner ?runtime ?fuse ?budget_bytes ?sanitize graph)
       ~compile:build
 
 let compile_source ?device ?optimize:(opt_enabled = true) ?policy ?planner
-    ?budget_bytes ?runtime ?fuse src =
+    ?budget_bytes ?runtime ?fuse ?sanitize src =
   let opt = optimize ~enabled:opt_enabled (differentiate src) in
-  compile ?budget_bytes ?runtime
+  compile ?budget_bytes ?runtime ?sanitize
     (fuse_stage ?enabled:fuse ?runtime
        (plan (rewrite ?device ?policy ?planner opt)))
 

@@ -153,7 +153,11 @@ val fuse : ?enabled:bool -> ?runtime:Echo_tensor.Parallel.t -> planned -> fused
 type executable = { fused : fused; executor : Executor.t }
 
 val compile :
-  ?budget_bytes:int -> ?runtime:Echo_tensor.Parallel.t -> fused -> executable
+  ?budget_bytes:int ->
+  ?runtime:Echo_tensor.Parallel.t ->
+  ?sanitize:Echo_analysis.Sanitize.mode ->
+  fused ->
+  executable
 (** Lower to the slot executor. [runtime] selects the kernel runtime the
     executor's instructions partition work over (default
     [Parallel.default ()], sized by [ECHO_DOMAINS]); this is the single
@@ -161,7 +165,11 @@ val compile :
     execution.
 
     [budget_bytes] is passed through to {!Executor.compile}: compilation
-    aborts with {!Executor.Budget_exceeded} if the arena would cross it. *)
+    aborts with {!Executor.Budget_exceeded} if the arena would cross it.
+
+    [sanitize] (default [ECHO_SANITIZE] via
+    {!Echo_analysis.Sanitize.env_mode}) compiles the shadow-memory
+    sanitizer into the executor's run loop — see {!Executor.compile}. *)
 
 val executor : executable -> Executor.t
 
@@ -194,6 +202,17 @@ val verify : stage -> Echo_diag.Report.t
     ({!Echo_analysis.Verify.env_enabled}) and raises
     {!Echo_analysis.Verify.Verify_failed} on errors. *)
 
+val race_verify : executable -> Echo_diag.Report.t
+(** The static race / partition-disjointness analysis
+    ({!Echo_analysis.Race.check}) over everything the compiled executable
+    carries: its kernel runtime (chunk coverage and disjointness of every
+    fanned-out instruction, in-place alias legality, false-sharing lint),
+    its fusion plan (sweep extents), its liveness intervals (no buffer
+    recycled under a pending read) and its buffer binding (no two
+    address-overlapping live values). A sound executable has no error
+    findings at any domain count. Also runs automatically — alongside
+    {!verify} — inside {!compile} under [ECHO_VERIFY=1]. *)
+
 (** {1 Compile cache}
 
     The content-addressed plan-cache hook. The pipeline stays policy-free
@@ -211,14 +230,17 @@ val cache_key :
   ?runtime:Echo_tensor.Parallel.t ->
   ?fuse:bool ->
   ?budget_bytes:int ->
+  ?sanitize:Echo_analysis.Sanitize.mode ->
   Graph.t ->
   string
 (** The stable content address of what {!compile_graph} would produce:
     digest of the canonical {!Echo_ir.Graph.fingerprint} (never raw node
     ids), the planner instance label (name + knobs), the effective fusion
-    setting, the runtime's domain count and blocking threshold, and the
-    budget ceiling. Stable across processes; two graphs with equal
-    fingerprints compiled under equal knobs share one key. *)
+    setting, the runtime's domain count and blocking threshold, the
+    budget ceiling, and the sanitizer mode (baked into the run loop, so a
+    sanitized and a plain executable never share an entry). Stable across
+    processes; two graphs with equal fingerprints compiled under equal
+    knobs share one key. *)
 
 (** {1 Shorthands} *)
 
@@ -228,6 +250,7 @@ val compile_graph :
   ?planner:Echo_core.Planner.instance ->
   ?runtime:Echo_tensor.Parallel.t ->
   ?fuse:bool ->
+  ?sanitize:Echo_analysis.Sanitize.mode ->
   ?cache:cache ->
   Graph.t ->
   executable
@@ -253,6 +276,7 @@ val compile_source :
   ?budget_bytes:int ->
   ?runtime:Echo_tensor.Parallel.t ->
   ?fuse:bool ->
+  ?sanitize:Echo_analysis.Sanitize.mode ->
   source ->
   executable
 (** The whole pipeline in one call. *)

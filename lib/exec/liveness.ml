@@ -65,6 +65,23 @@ let analyse ?fusion graph =
     schedule;
   { by_id; ordered = List.rev !ordered; deaths; steps = List.length schedule }
 
+(* Rebuild an analysis from explicit intervals. The executor frees and
+   recycles buffers off whatever [t] it is handed, so this is the injection
+   point for the race-verify mutation harness: a corrupted interval list
+   becomes a real executor whose pool reuse genuinely clobbers live data. *)
+let of_intervals ~steps intervals =
+  let by_id = Hashtbl.create (2 * List.length intervals) in
+  let deaths = Hashtbl.create (2 * List.length intervals) in
+  List.iter
+    (fun itv ->
+      Hashtbl.replace by_id (Node.id itv.node) itv;
+      if itv.last_step <> max_int then begin
+        let cur = try Hashtbl.find deaths itv.last_step with Not_found -> [] in
+        Hashtbl.replace deaths itv.last_step (itv.node :: cur)
+      end)
+    intervals;
+  { by_id; ordered = intervals; deaths; steps }
+
 let intervals t = t.ordered
 let interval t id = Hashtbl.find t.by_id id
 let step_count t = t.steps

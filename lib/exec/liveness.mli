@@ -20,6 +20,13 @@ val analyse : ?fusion:Fuse.plan -> Graph.t -> t
     materialize), and every buffer a group member reads stays live to the
     group root's step — that is where the fused kernel actually reads it. *)
 
+val of_intervals : steps:int -> interval list -> t
+(** An analysis rebuilt from explicit intervals (death table re-derived
+    from the [last_step]s). [Executor.compile ?liveness] frees buffers off
+    whatever analysis it is handed, so this is how the race-verify mutation
+    harness turns a corrupted interval list into a real executor whose
+    early frees the dynamic sanitizer must catch. *)
+
 val intervals : t -> interval list
 (** One interval per non-persistent node, in schedule order. *)
 

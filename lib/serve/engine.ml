@@ -219,6 +219,34 @@ let do_train t kvs =
     (List.length result.Loop.losses)
     (String.concat "," (List.map (Printf.sprintf "%h") result.Loop.losses))
 
+(* Lint: run the full Echo-verify layer (classic checkers + the static
+   race/partition-disjointness analysis) over the spec's compiled
+   executable and render every finding as one line. The compile itself
+   goes through the plan cache, so linting a warm spec re-checks the
+   cached artifact without recompiling. *)
+let do_lint t kvs =
+  check_keys ~verb:"lint" ~allowed:spec_keys kvs;
+  let cfg = spec_of kvs in
+  let budget_bytes = Option.map snd (budget_of t kvs) in
+  let key = key_of t cfg budget_bytes in
+  let exe, hit =
+    Plan_cache.fetch t.cache ~key ~compile:(fun () ->
+        Pipeline.compile_graph ?budget_bytes ?runtime:t.runtime
+          (training_graph (Language_model.build cfg)))
+  in
+  let report = Echo_diag.Report.create () in
+  Echo_diag.Report.append ~into:report
+    (Pipeline.verify (Pipeline.Executable exe));
+  Echo_diag.Report.append ~into:report (Pipeline.race_verify exe);
+  let diags = Echo_diag.Report.diags report in
+  String.concat "\n"
+    (Printf.sprintf "ok findings=%d errors=%d warnings=%d cached=%b"
+       (List.length diags)
+       (Echo_diag.Report.error_count report)
+       (Echo_diag.Report.warning_count report)
+       hit
+    :: List.map Echo_diag.to_string diags)
+
 let do_stats t =
   let s = Plan_cache.stats t.cache in
   Printf.sprintf "ok hits=%d misses=%d evictions=%d entries=%d bytes=%d"
@@ -419,8 +447,9 @@ let immediate t verb kvs =
     do_stats t
   | "compile" -> do_compile t kvs
   | "train" -> do_train t kvs
+  | "lint" -> do_lint t kvs
   | _ ->
-    reject "unknown verb %S (ping|stats|compile|train|eval|shutdown)" verb
+    reject "unknown verb %S (ping|stats|compile|train|lint|eval|shutdown)" verb
 
 let exec_all t lines =
   let n = List.length lines in

@@ -25,6 +25,17 @@
       [ok loss=%h batched=K] — score a single token sequence (mean
       next-token NLL over the [len-1] transitions) under the spec's
       deterministic initial parameters, with dropout forced off.
+    - [lint <spec> [tenant=T]] →
+      [ok findings=N errors=E warnings=W cached=B] followed by one line
+      per finding ([[severity] check\@stage [ids]: message]) — run the
+      full Echo-verify layer ({!Echo_compiler.Pipeline.verify} at the
+      executable stage plus the static race checker
+      {!Echo_compiler.Pipeline.race_verify}) over the spec's compiled
+      artifact. Compilation goes through the plan cache, so linting a
+      warm spec re-checks the cached executable without recompiling. A
+      sound artifact answers with [errors=0] and only info-level lines
+      (e.g. the false-sharing lint). This is the only multi-line [ok]
+      response in the protocol.
 
     The model [<spec>] keys (all optional):
     [model] (lm|gru-lm|rnn-lm|peephole-lm, default lm), [hidden] (32),

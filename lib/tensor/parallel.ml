@@ -52,6 +52,8 @@ let sequential = { kind = Seq; config = default_config }
 let domains t = match t.kind with Seq -> 1 | Pool p -> p.pool_domains
 let blocking_threshold t = t.config.blocking_threshold
 let min_fanout_work t = t.config.min_fanout_work
+let chunks_per_domain t = t.config.chunks_per_domain
+let oversubscribed t = t.config.oversubscribe
 
 let hardware_parallelism =
   let n = lazy (max 1 (Domain.recommended_domain_count ())) in

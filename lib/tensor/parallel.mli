@@ -95,6 +95,16 @@ val blocking_threshold : t -> int
 val min_fanout_work : t -> int
 (** The handle's fan-out work gate. *)
 
+val chunks_per_domain : t -> int
+(** The handle's target number of stealable chunks per fanned-out domain.
+    Together with {!effective_fanout} and {!min_fanout_work}, this fully
+    determines the partition [parallel_for] uses for a given [(n, work)] —
+    what the static race checker re-derives. *)
+
+val oversubscribed : t -> bool
+(** Whether the handle may spread across more domains than the hardware
+    has ({!effective_fanout} already accounts for this). *)
+
 val shutdown : t -> unit
 (** Stop and join the pool's workers (idempotent, no-op on a sequential
     runtime). A shut-down pool must not be used again. *)

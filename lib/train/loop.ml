@@ -57,7 +57,7 @@ let feed_compat e node tensor =
 let train ~graph ~params ~optimizer ?clip_norm ?on_step ?on_event ?budget_bytes
     ?(faults = Fault.of_env ()) ?checkpoint
     ?(device = Echo_gpusim.Device.titan_xp) ?(max_retries = 2) ?rng ?runtime
-    ?fuse ?planner ?cache ~batches () =
+    ?fuse ?sanitize ?planner ?cache ~batches () =
   let emit = match on_event with Some f -> f | None -> fun _ -> () in
   let param_nodes = Array.of_list (List.map fst params) in
   let n_params = Array.length param_nodes in
@@ -130,8 +130,8 @@ let train ~graph ~params ~optimizer ?clip_norm ?on_step ?on_event ?budget_bytes
   in
   let compile_current () =
     Pipeline.executor
-      (Pipeline.compile_graph ?budget_bytes:!budget ?runtime ?fuse ?cache
-         !current_graph)
+      (Pipeline.compile_graph ?budget_bytes:!budget ?runtime ?fuse ?sanitize
+         ?cache !current_graph)
   in
   let replan ~step ~requested_bytes ~allowed =
     emit (Event.Budget_hit { step; requested_bytes; budget_bytes = allowed });

@@ -88,6 +88,7 @@ val train :
   ?rng:Rng.t ->
   ?runtime:Parallel.t ->
   ?fuse:bool ->
+  ?sanitize:Echo_analysis.Sanitize.mode ->
   ?planner:Echo_core.Planner.instance ->
   ?cache:Echo_compiler.Pipeline.cache ->
   batches:batch list ->
@@ -98,7 +99,12 @@ val train :
     multicore kernel runtime for the compiled executor (default: sized by
     [ECHO_DOMAINS]; training results are bit-identical either way). [fuse]
     enables the elementwise fusion stage (default: the [ECHO_FUSION]
-    environment setting); losses are bit-identical fused or not. [planner]
+    environment setting); losses are bit-identical fused or not.
+    [sanitize] compiles the shadow-memory sanitizer into every executor
+    the loop builds (default: the [ECHO_SANITIZE] environment setting);
+    sanitized training is bit-identical to plain — the race suite asserts
+    this at every domain count — and a step whose sanitizer finds errors
+    raises {!Echo_analysis.Sanitize.Sanitize_failed}. [planner]
     is a recomputation planner resolved through the
     {!Echo_core.Planner} registry ([echoc --policy]); it rewrites the
     original graph once before the initial compile — every registered

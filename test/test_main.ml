@@ -6,5 +6,5 @@ let () =
    @ Test_exec.suite @ Test_gpusim.suite @ Test_core.suite @ Test_models.suite
    @ Test_train.suite @ Test_opt.suite @ Test_extra.suite @ Test_substrate.suite
    @ Test_integration.suite @ Test_compiler.suite @ Test_runtime.suite
-   @ Test_analysis.suite @ Test_planner.suite @ Test_parallel.suite
-   @ Test_campaign.suite @ Test_serve.suite)
+   @ Test_analysis.suite @ Test_race.suite @ Test_planner.suite
+   @ Test_parallel.suite @ Test_campaign.suite @ Test_serve.suite)
